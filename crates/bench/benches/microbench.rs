@@ -1,0 +1,174 @@
+//! Criterion microbenches for the performance-critical kernels:
+//! exact KNN-Shapley, TMC sampling, relational operators, provenance-traced
+//! execution, symbolic (Zorro) training steps, and CPClean certainty checks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nde_importance::knn_shapley::knn_shapley;
+use nde_importance::semivalue::{tmc_shapley, McConfig};
+use nde_importance::utility::{ModelUtility, UtilityMetric};
+use nde_learners::dataset::ClassDataset;
+use nde_learners::KnnClassifier;
+use nde_learners::Matrix;
+use nde_pipeline::exec::sources;
+use nde_pipeline::Plan;
+use nde_tabular::Table;
+use nde_uncertain::cpclean::{certain_prediction, IncompleteDataset};
+use nde_uncertain::incomplete::IncompleteMatrix;
+use nde_uncertain::interval::Interval;
+use nde_uncertain::zorro::{train_symbolic, ZorroConfig};
+
+fn synth_dataset(n: usize, d: usize) -> ClassDataset {
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..d)
+                .map(|j| ((i * 31 + j * 17) % 101) as f64 / 101.0 + (i % 2) as f64)
+                .collect()
+        })
+        .collect();
+    let y: Vec<usize> = (0..n).map(|i| i % 2).collect();
+    ClassDataset::new(Matrix::from_rows(&rows).unwrap(), y, 2).unwrap()
+}
+
+fn bench_knn_shapley(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knn_shapley");
+    group.sample_size(10);
+    let valid = synth_dataset(50, 8);
+    for &n in &[200usize, 800] {
+        let train = synth_dataset(n, 8);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| knn_shapley(&train, &valid, 5))
+        });
+    }
+    let train = synth_dataset(800, 8);
+    group.bench_function("parallel4_800", |b| {
+        b.iter(|| nde_importance::knn_shapley::knn_shapley_parallel(&train, &valid, 5, 4))
+    });
+    group.finish();
+}
+
+fn bench_tmc_shapley(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tmc_shapley_10perms");
+    group.sample_size(10);
+    let train = synth_dataset(40, 4);
+    let valid = synth_dataset(20, 4);
+    let learner = KnnClassifier::new(3);
+    let util = ModelUtility::new(&learner, &train, &valid, UtilityMetric::Accuracy);
+    group.bench_function("n40", |b| {
+        b.iter(|| tmc_shapley(&util, &McConfig::new(10, 1).with_truncation(1e-3)))
+    });
+    group.finish();
+}
+
+fn demo_tables(n: usize) -> (Table, Table) {
+    let left = Table::builder()
+        .int("k", (0..n as i64).map(|i| i % 50).collect::<Vec<_>>())
+        .float("x", (0..n).map(|i| i as f64).collect::<Vec<_>>())
+        .build()
+        .unwrap();
+    let right = Table::builder()
+        .int("k", (0..50i64).collect::<Vec<_>>())
+        .str("s", (0..50).map(|i| format!("v{i}")).collect::<Vec<_>>())
+        .build()
+        .unwrap();
+    (left, right)
+}
+
+fn bench_relational_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("relational_ops");
+    group.sample_size(10);
+    let (left, right) = demo_tables(10_000);
+    group.bench_function("hash_join_10k", |b| {
+        b.iter(|| left.inner_join(&right, "k", "k").unwrap())
+    });
+    group.bench_function("filter_10k", |b| {
+        b.iter(|| left.filter(|r| r.float("x").unwrap() < 5000.0).unwrap())
+    });
+    group.bench_function("group_by_10k", |b| {
+        use nde_tabular::{AggExpr, AggFn};
+        b.iter(|| {
+            left.group_by(&["k"], &[AggExpr::new("x", AggFn::Mean, "avg")]).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_provenance_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_exec");
+    group.sample_size(10);
+    let (left, right) = demo_tables(5_000);
+    let srcs = sources(vec![("l", left), ("r", right)]);
+    let plan = Plan::source("l")
+        .join(Plan::source("r"), "k", "k")
+        .filter("x < 2500", |r| r.float("x").unwrap() < 2500.0);
+    group.bench_function("plain", |b| b.iter(|| plan.run(&srcs).unwrap()));
+    group.bench_function("traced", |b| b.iter(|| plan.run_traced(&srcs).unwrap()));
+    group.finish();
+}
+
+fn bench_zorro(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zorro_train");
+    group.sample_size(10);
+    let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![(i % 10) as f64 / 10.0]).collect();
+    let x = Matrix::from_rows(&rows).unwrap();
+    let y: Vec<f64> = rows.iter().map(|r| r[0]).collect();
+    let mut im = IncompleteMatrix::from_exact(&x);
+    for i in 0..10 {
+        im.set_missing(i, 0, Interval::new(0.0, 1.0));
+    }
+    let cfg = ZorroConfig { epochs: 10, ..Default::default() };
+    group.bench_function("n100_10missing_10epochs", |b| {
+        b.iter(|| train_symbolic(&im, &y, &cfg))
+    });
+    group.finish();
+}
+
+fn bench_kdtree(c: &mut Criterion) {
+    use nde_learners::models::kdtree::KdTree;
+    use nde_learners::traits::Learner;
+    let mut group = c.benchmark_group("knn_query");
+    group.sample_size(10);
+    let train = synth_dataset(5_000, 3);
+    let brute = KnnClassifier::new(5).fit(&train).unwrap();
+    let indexed = KnnClassifier::indexed(5).fit(&train).unwrap();
+    let query = [0.5, 0.5, 0.5];
+    group.bench_function("brute_5k", |b| b.iter(|| brute.predict(&query)));
+    group.bench_function("kdtree_5k", |b| b.iter(|| indexed.predict(&query)));
+    group.bench_function("kdtree_build_5k", |b| {
+        b.iter(|| KdTree::build(train.x.clone()))
+    });
+    group.finish();
+}
+
+fn bench_cpclean(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cpclean_certainty");
+    group.sample_size(10);
+    let n = 500;
+    let cells: Vec<Interval> = (0..n)
+        .map(|i| {
+            if i % 10 == 0 {
+                Interval::new(0.0, 5.0)
+            } else {
+                Interval::point((i % 7) as f64)
+            }
+        })
+        .collect();
+    let x = IncompleteMatrix::from_intervals(n, 1, cells).unwrap();
+    let y: Vec<usize> = (0..n).map(|i| i % 2).collect();
+    let data = IncompleteDataset { x, y, n_classes: 2 };
+    group.bench_function("n500_k5", |b| {
+        b.iter(|| certain_prediction(&data, &[2.5], 5))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_knn_shapley,
+    bench_tmc_shapley,
+    bench_relational_ops,
+    bench_provenance_overhead,
+    bench_zorro,
+    bench_kdtree,
+    bench_cpclean
+);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! **A5** — zonotope vs interval domain in Zorro: bound tightness
+//! (worst-case-loss upper bound; smaller is tighter, both are sound) and
+//! wall-clock cost across missingness levels. The zonotope's relational
+//! precision is the design choice that makes symbolic training usable.
+
+use nde_bench::{f4, row, section, timed};
+use nde_core::scenario::load_recommendation_letters;
+use nde_core::zorro_scenario::{encode_symbolic, encode_test, estimate_with_zorro};
+use nde_datagen::errors::Mechanism;
+use nde_datagen::HiringConfig;
+use nde_uncertain::zorro::{Domain, ZorroConfig};
+
+fn main() {
+    let cfg = HiringConfig { n_train: 150, n_valid: 0, n_test: 80, ..Default::default() };
+    let scenario = load_recommendation_letters(&cfg);
+    let features = ["employer_rating", "age"];
+    let test = encode_test(&scenario.test, &features).expect("encode");
+
+    section("A5: Zorro abstract-domain ablation");
+    row(&[
+        "missing_pct",
+        "domain",
+        "worst_case_loss_bound",
+        "max_weight_width",
+        "seconds",
+    ]);
+    for &pct in &[5usize, 10, 15] {
+        let problem = encode_symbolic(
+            &scenario.train,
+            &features,
+            "employer_rating",
+            pct as f64 / 100.0,
+            Mechanism::Mnar,
+            42,
+        )
+        .expect("encode");
+        let mut bounds = Vec::new();
+        for &domain in &[Domain::Zonotope, Domain::Interval] {
+            let zc = ZorroConfig { domain, epochs: 30, ..Default::default() };
+            let ((model, worst), secs) = timed(|| estimate_with_zorro(&problem, &test, &zc));
+            row(&[
+                pct.to_string(),
+                format!("{domain:?}"),
+                f4(worst),
+                f4(model.max_weight_width()),
+                f4(secs),
+            ]);
+            bounds.push(worst);
+        }
+        assert!(
+            bounds[0] <= bounds[1],
+            "zonotope bound must be at least as tight as interval: {bounds:?}"
+        );
+    }
+    println!(
+        "\nTake-away: both domains are sound, but the interval domain's bound \
+         explodes with missingness while the zonotope stays informative — the \
+         relational precision Zorro is built on."
+    );
+}

@@ -1,0 +1,106 @@
+//! **A4** — §2.3 "do we even need to clean?": the CPClean analysis. As the
+//! missingness rate grows, what fraction of test queries still has a
+//! *certain* k-NN prediction, and how many rows does prioritized
+//! (greedy) cleaning need to certify a query, versus cleaning everything?
+
+use nde_bench::{f4, row, section};
+use nde_core::scenario::load_recommendation_letters;
+use nde_datagen::errors::{inject_missing, Mechanism};
+use nde_datagen::HiringConfig;
+use nde_tabular::Table;
+use nde_uncertain::cpclean::{certain_prediction, min_cleaning_greedy, IncompleteDataset};
+use nde_uncertain::incomplete::IncompleteMatrix;
+use nde_uncertain::interval::Interval;
+use nde_learners::Matrix;
+
+const FEATURES: &[&str] = &["employer_rating", "age"];
+
+/// Encodes the table's numeric features with missing cells spanning the
+/// observed range, plus the (clean) ground-truth matrix.
+fn encode(table: &Table, clean: &Table) -> (IncompleteDataset, Matrix) {
+    let n = table.num_rows();
+    let mut cells = Vec::with_capacity(n * FEATURES.len());
+    let mut truth_rows: Vec<Vec<f64>> = vec![Vec::new(); n];
+    for &f in FEATURES {
+        let vals = table.column(f).unwrap().to_f64().unwrap();
+        let clean_vals = clean.column(f).unwrap().to_f64().unwrap();
+        let present: Vec<f64> = vals.iter().flatten().copied().collect();
+        let lo = present.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = present.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let scale = (hi - lo).max(1e-9);
+        for i in 0..n {
+            let iv = match vals[i] {
+                Some(v) => Interval::point((v - lo) / scale),
+                None => Interval::new(0.0, 1.0),
+            };
+            truth_rows[i].push((clean_vals[i].unwrap() - lo) / scale);
+            cells.push(iv);
+        }
+    }
+    // cells were pushed feature-major; rebuild row-major.
+    let mut row_major = Vec::with_capacity(n * FEATURES.len());
+    for i in 0..n {
+        for j in 0..FEATURES.len() {
+            row_major.push(cells[j * n + i]);
+        }
+    }
+    let x = IncompleteMatrix::from_intervals(n, FEATURES.len(), row_major).unwrap();
+    let y: Vec<usize> = table
+        .column("sentiment")
+        .unwrap()
+        .iter()
+        .map(|v| usize::from(v.as_str() == Some("positive")))
+        .collect();
+    let truth = Matrix::from_rows(&truth_rows).unwrap();
+    (IncompleteDataset { x, y, n_classes: 2 }, truth)
+}
+
+fn main() {
+    let cfg = HiringConfig { n_train: 150, n_valid: 0, n_test: 60, ..Default::default() };
+    let scenario = load_recommendation_letters(&cfg);
+    let (test_data, _) = encode(&scenario.test, &scenario.test);
+    let queries: Vec<Vec<f64>> = (0..test_data.x.nrows())
+        .map(|i| test_data.x.row(i).iter().map(Interval::mid).collect())
+        .collect();
+    let k = 3;
+
+    section("A4: certain predictions and cleaning effort vs missingness");
+    row(&[
+        "missing_pct",
+        "certain_fraction",
+        "mean_greedy_cleanings",
+        "clean_everything",
+    ]);
+    for &pct in &[0usize, 5, 10, 20, 30] {
+        let (dirty, _) = inject_missing(
+            &scenario.train,
+            "employer_rating",
+            pct as f64 / 100.0,
+            Mechanism::Mcar,
+            31,
+        )
+        .expect("inject");
+        let (data, truth) = encode(&dirty, &scenario.train);
+        let total_incomplete = data.x.incomplete_rows().len();
+
+        let mut certain = 0usize;
+        let mut cleanings = 0usize;
+        for q in &queries {
+            if certain_prediction(&data, q, k).is_some() {
+                certain += 1;
+            }
+            cleanings += min_cleaning_greedy(&data, &truth, q, k).unwrap_or(total_incomplete);
+        }
+        row(&[
+            pct.to_string(),
+            f4(certain as f64 / queries.len() as f64),
+            f4(cleanings as f64 / queries.len() as f64),
+            total_incomplete.to_string(),
+        ]);
+    }
+    println!(
+        "\nTake-away: even at 30% missingness most queries stay certain, and \
+         greedy query-specific cleaning touches a tiny fraction of the rows \
+         that clean-everything would — CPClean's central observation."
+    );
+}

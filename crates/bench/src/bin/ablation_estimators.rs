@@ -1,0 +1,68 @@
+//! **A1** — §2.1 "Overcoming computational challenges": Monte-Carlo
+//! permutation Shapley (TMC) vs Banzhaf-MSR vs Beta(16,1) Shapley vs exact
+//! KNN-Shapley vs LOO — label-error detection precision@k and runtime as a
+//! function of the sampling budget. The point the survey makes: the exact
+//! KNN proxy delivers the best quality-per-second by orders of magnitude.
+
+use nde_bench::{f4, row, section, timed};
+use nde_core::scenario::encode_splits;
+use nde_core::scenario::load_recommendation_letters;
+use nde_datagen::errors::flip_labels;
+use nde_datagen::HiringConfig;
+use nde_importance::knn_shapley::knn_shapley;
+use nde_importance::loo::leave_one_out;
+use nde_importance::rank::rank_ascending;
+use nde_importance::semivalue::{banzhaf_msr, beta_shapley, tmc_shapley, McConfig};
+use nde_importance::utility::{ModelUtility, UtilityMetric};
+use nde_learners::KnnClassifier;
+
+fn main() {
+    let cfg = HiringConfig { n_train: 80, n_valid: 60, n_test: 0, ..Default::default() };
+    let scenario = load_recommendation_letters(&cfg);
+    let (dirty, report) = flip_labels(&scenario.train, "sentiment", 0.2, 17).expect("inject");
+    let (_, train, valid) = encode_splits(&dirty, &scenario.valid).expect("encode");
+    let k_eval = report.count();
+    let learner = KnnClassifier::new(5);
+    let util = ModelUtility::new(&learner, &train, &valid, UtilityMetric::Accuracy);
+
+    section("A1: estimator quality vs budget (precision@k of injected-error detection)");
+    row(&["estimator", "budget", "precision_at_k", "seconds"]);
+
+    let report_line = |name: &str, budget: usize, scores: Vec<f64>, secs: f64| {
+        let p = report.precision_at_k(&rank_ascending(&scores), k_eval);
+        row(&[name.to_string(), budget.to_string(), f4(p), f4(secs)]);
+        p
+    };
+
+    // Exact KNN-Shapley: no sampling budget at all.
+    let (scores, secs) = timed(|| knn_shapley(&train, &valid, 5));
+    let p_knn = report_line("knn_shapley_exact", 0, scores, secs);
+
+    // LOO: n+1 evaluations.
+    let (scores, secs) = timed(|| leave_one_out(&util));
+    report_line("loo", train.len() + 1, scores, secs);
+
+    let mut p_tmc_best = 0.0f64;
+    for &budget in &[10usize, 40, 160] {
+        let (scores, secs) = timed(|| {
+            tmc_shapley(&util, &McConfig::new(budget, 3).with_truncation(1e-3))
+        });
+        let p = report_line("tmc_shapley", budget, scores, secs);
+        p_tmc_best = p_tmc_best.max(p);
+
+        let (scores, secs) =
+            timed(|| banzhaf_msr(&util, &McConfig::new(budget * train.len() / 10, 3)));
+        report_line("banzhaf_msr", budget * train.len() / 10, scores, secs);
+
+        let (scores, secs) =
+            timed(|| beta_shapley(&util, 16.0, 1.0, &McConfig::new(budget, 3)));
+        report_line("beta_shapley_16_1", budget, scores, secs);
+    }
+
+    println!(
+        "\nTake-away: exact KNN-Shapley reaches precision {} with zero sampling;\n\
+         permutation estimators close the gap only with large budgets.",
+        f4(p_knn)
+    );
+    assert!(p_knn > 0.4, "the exact proxy should be a strong detector");
+}

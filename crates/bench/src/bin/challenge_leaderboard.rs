@@ -1,0 +1,65 @@
+//! **E8 / §3.2** — the data-debugging challenge with a live leaderboard:
+//! every built-in detection strategy plays the same hidden-error challenge
+//! (label flips + MNAR missing ratings + invalid degrees) under the same
+//! cleaning budget; the oracle reports hidden-test accuracy.
+
+use nde_bench::{f4, row, section, timed};
+use nde_core::challenge::{Challenge, ChallengeConfig, Leaderboard};
+use nde_core::cleaning::Strategy;
+use nde_datagen::HiringConfig;
+
+fn main() {
+    let challenge = Challenge::generate(ChallengeConfig {
+        scenario: HiringConfig {
+            n_train: 250,
+            n_valid: 100,
+            n_test: 150,
+            ..Default::default()
+        },
+        budget: 50,
+        ..Default::default()
+    })
+    .expect("challenge generation");
+
+    println!(
+        "Challenge: {} training rows, {} hidden corruptions, budget {}.",
+        challenge.train().num_rows(),
+        challenge.n_corrupted(),
+        challenge.budget()
+    );
+    let baseline = challenge.baseline_accuracy().expect("baseline");
+    println!("Dirty baseline accuracy on the hidden test set: {}.", f4(baseline));
+
+    let mut board = Leaderboard::new();
+    let mut timings = Vec::new();
+    for &strategy in Strategy::all() {
+        let (entry, secs) = timed(|| challenge.play(strategy).expect("play"));
+        timings.push((strategy.name(), secs));
+        board.record(entry);
+    }
+
+    section("Leaderboard (hidden-test accuracy after budgeted cleaning)");
+    row(&["rank", "strategy", "accuracy", "gain_vs_dirty", "true_positives"]);
+    for (rank, entry) in board.standings().iter().enumerate() {
+        row(&[
+            (rank + 1).to_string(),
+            entry.name.clone(),
+            f4(entry.accuracy),
+            f4(entry.accuracy - baseline),
+            entry.true_positives.to_string(),
+        ]);
+    }
+
+    section("Strategy runtimes (seconds)");
+    row(&["strategy", "seconds"]);
+    for (name, secs) in &timings {
+        row(&[(*name).to_string(), f4(*secs)]);
+    }
+
+    let leader = board.leader().expect("non-empty board");
+    assert!(
+        leader.accuracy >= baseline,
+        "the winning submission must not be worse than no cleaning"
+    );
+    assert_ne!(leader.name, "random", "an informed method should lead");
+}

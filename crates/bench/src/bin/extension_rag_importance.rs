@@ -1,0 +1,110 @@
+//! **X1 (extension)** — corpus valuation for retrieval-augmented
+//! generation (§2.1's pointer to Lyu et al. 2023): poison a retrieval
+//! corpus with mislabeled documents, value every document with exact
+//! KNN-Shapley over the retrieval geometry, and show that pruning the
+//! lowest-valued documents restores answer quality.
+
+use nde_bench::{f4, row, section};
+use nde_importance::rag::{rag_corpus_shapley, rag_utility, RagCorpus, RagEvalSet};
+use nde_importance::rank::rank_ascending;
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::SeedableRng;
+
+const TOPICS: [(&str, &[&str]); 3] = [
+    (
+        "refunds",
+        &[
+            "refund", "returns", "money", "back", "guarantee", "reimburse", "credit",
+            "cancel", "policy",
+        ],
+    ),
+    (
+        "shipping",
+        &[
+            "shipping", "delivery", "tracking", "package", "courier", "express",
+            "customs", "freight", "dispatch",
+        ],
+    ),
+    (
+        "accounts",
+        &[
+            "password", "login", "account", "profile", "email", "authentication",
+            "settings", "security", "username",
+        ],
+    ),
+];
+
+fn synth_doc(topic: usize, rng: &mut StdRng) -> String {
+    let vocab = TOPICS[topic].1;
+    (0..8)
+        .map(|_| *vocab.choose(rng).expect("non-empty vocab"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let dims = 64;
+    let k = 5;
+
+    // Clean corpus: 40 docs per topic.
+    let mut docs: Vec<(String, usize)> = Vec::new();
+    for topic in 0..3 {
+        for _ in 0..40 {
+            docs.push((synth_doc(topic, &mut rng), topic));
+        }
+    }
+    // Poison: 18 docs whose text belongs to one topic but whose answer
+    // label is another (retrieval pulls them in, the vote goes wrong).
+    let mut poisoned_ids = Vec::new();
+    for p in 0..18 {
+        let topic = p % 3;
+        poisoned_ids.push(docs.len());
+        docs.push((synth_doc(topic, &mut rng), (topic + 1) % 3));
+    }
+
+    let eval_queries: Vec<(String, usize)> = (0..60)
+        .map(|q| {
+            let topic = q % 3;
+            (synth_doc(topic, &mut rng), topic)
+        })
+        .collect();
+
+    let corpus = RagCorpus::from_texts(&docs, 3, dims).expect("corpus");
+    let eval = RagEvalSet::from_texts(&eval_queries, dims).expect("eval");
+
+    section("X1: RAG corpus valuation");
+    let dirty_util = rag_utility(&corpus, &eval, k);
+    let phi = rag_corpus_shapley(&corpus, &eval, k).expect("valuation");
+    let ranking = rank_ascending(&phi);
+
+    row(&["pruned_docs", "retrieval_utility", "poisoned_among_pruned"]);
+    row(&["0".to_string(), f4(dirty_util), "0".to_string()]);
+    for &prune in &[6usize, 12, 18, 24] {
+        let pruned: std::collections::HashSet<usize> =
+            ranking.iter().copied().take(prune).collect();
+        let kept: Vec<(String, usize)> = docs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !pruned.contains(i))
+            .map(|(_, d)| d.clone())
+            .collect();
+        let corpus_kept = RagCorpus::from_texts(&kept, 3, dims).expect("corpus");
+        let util = rag_utility(&corpus_kept, &eval, k);
+        let hits = poisoned_ids.iter().filter(|i| pruned.contains(i)).count();
+        row(&[prune.to_string(), f4(util), hits.to_string()]);
+    }
+
+    let hits18: usize = {
+        let pruned: std::collections::HashSet<usize> =
+            ranking.iter().copied().take(18).collect();
+        poisoned_ids.iter().filter(|i| pruned.contains(i)).count()
+    };
+    println!(
+        "\nTake-away: {hits18}/18 poisoned documents sit in the 18 lowest-valued \
+         corpus entries; pruning by value repairs retrieval quality without \
+         touching the model."
+    );
+    assert!(hits18 >= 12, "valuation must concentrate on the poisoned docs");
+}

@@ -1,0 +1,77 @@
+//! **E6 / Figure 4 attendee task** — compare Zorro's guaranteed prediction
+//! ranges against a baseline model trained on mean-imputed data: per-point
+//! prediction variability, robust (certified) accuracy, and where the
+//! baseline silently gambles on the imputation being right.
+
+use nde_bench::{f4, row, section};
+use nde_core::scenario::load_recommendation_letters;
+use nde_core::zorro_scenario::{
+    encode_symbolic, encode_test, estimate_with_zorro, imputation_baseline,
+};
+use nde_datagen::errors::Mechanism;
+use nde_datagen::HiringConfig;
+use nde_uncertain::zorro::ZorroConfig;
+
+fn main() {
+    let cfg = HiringConfig { n_train: 200, n_valid: 0, n_test: 100, ..Default::default() };
+    let scenario = load_recommendation_letters(&cfg);
+    let features = ["employer_rating", "age"];
+    let test = encode_test(&scenario.test, &features).expect("test encoding");
+    let zorro_cfg = ZorroConfig::default();
+
+    section("Zorro ranges vs imputation baseline across missingness levels");
+    row(&[
+        "missing_pct",
+        "zorro_worst_case_mse",
+        "imputed_mse",
+        "mean_range_width",
+        "certified_accuracy",
+        "imputed_accuracy",
+    ]);
+    for &pct in &[5usize, 15, 25] {
+        let problem = encode_symbolic(
+            &scenario.train,
+            &features,
+            "employer_rating",
+            pct as f64 / 100.0,
+            Mechanism::Mnar,
+            42,
+        )
+        .expect("symbolic encoding");
+        let (model, worst_mse) = estimate_with_zorro(&problem, &test, &zorro_cfg);
+        let imputed_mse = imputation_baseline(&problem, &test);
+
+        // Per-test-point prediction ranges; a classification at threshold
+        // 0.5 is *certified* when the whole range lies on the correct side.
+        let mut width_sum = 0.0;
+        let mut certified = 0usize;
+        let mut imputed_correct = 0usize;
+        let world = problem.x.midpoint_world();
+        let concrete = nde_uncertain::zorro::train_concrete(&world, &problem.y, &zorro_cfg);
+        for i in 0..test.len() {
+            let x = test.x.row(i);
+            let range = model.prediction_range(x);
+            width_sum += range.width();
+            let label = test.y[i];
+            let certified_here = if label >= 0.5 { range.lo > 0.5 } else { range.hi < 0.5 };
+            certified += usize::from(certified_here);
+            let pred: f64 =
+                concrete.0.iter().zip(x).map(|(w, &xj)| w * xj).sum::<f64>() + concrete.1;
+            imputed_correct += usize::from((pred >= 0.5) == (label >= 0.5));
+        }
+        row(&[
+            pct.to_string(),
+            f4(worst_mse),
+            f4(imputed_mse),
+            f4(width_sum / test.len() as f64),
+            f4(certified as f64 / test.len() as f64),
+            f4(imputed_correct as f64 / test.len() as f64),
+        ]);
+    }
+
+    println!(
+        "\nTake-away: the imputed model reports a single optimistic number; \
+         Zorro's ranges expose exactly which predictions depend on the \
+         missing data (certified accuracy ≤ imputed accuracy, by design)."
+    );
+}

@@ -1,0 +1,47 @@
+#![deny(missing_docs)]
+//! # nde-bench
+//!
+//! The experiment harness: one binary per figure of the paper (E1–E8 in
+//! DESIGN.md) plus the ablation studies (A1–A6) and Criterion microbenches.
+//! Binaries print tab-separated series suitable for plotting, preceded by a
+//! human-readable narrative that mirrors the outputs shown in the paper's
+//! figures.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Prints a section header.
+pub fn section(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Prints one TSV row.
+pub fn row<D: Display>(cells: &[D]) {
+    let rendered: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+    println!("{}", rendered.join("\t"));
+}
+
+/// Times a closure, returning (result, seconds).
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Formats a float with 4 decimals (the harness's standard precision).
+pub fn f4(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_and_formatting() {
+        let (v, secs) = timed(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(secs >= 0.0);
+        assert_eq!(f4(0.123456), "0.1235");
+    }
+}

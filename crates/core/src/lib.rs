@@ -1,0 +1,48 @@
+#![deny(missing_docs)]
+//! # nde-core
+//!
+//! The high-level facade of the reproduction: the Rust counterpart of the
+//! `navigating_data_errors` Python package the paper's hands-on session is
+//! built around (§3). It wires the substrate crates into the exact
+//! workflows of the paper's Figures 2–4:
+//!
+//! - [`scenario`] — `load_recommendation_letters`, standard encoders, and
+//!   `evaluate_model` (Figure 2's setup),
+//! - [`cleaning`] — importance-ranked, oracle-driven iterative cleaning
+//!   with pluggable detection strategies (Figure 2's task),
+//! - [`pipeline_scenario`] — the Figure 3 preprocessing pipeline (two
+//!   joins, sector filter, `has_twitter` UDF, per-column encoders) with
+//!   provenance and Datascope attribution,
+//! - [`zorro_scenario`] — `encode_symbolic` + `estimate_with_zorro`
+//!   (Figure 4's missingness sweep),
+//! - [`challenge`] — the §3.2 data-debugging challenge: hidden errors, a
+//!   budgeted cleaning oracle scoring on a hidden test set, and a
+//!   leaderboard.
+
+pub mod activeclean;
+pub mod challenge;
+pub mod cleaning;
+pub mod pipeline_scenario;
+pub mod scenario;
+pub mod zorro_scenario;
+
+/// One-stop imports for the common workflows:
+/// `use nde_core::prelude::*;`.
+pub mod prelude {
+    pub use crate::activeclean::{activeclean, ActiveCleanConfig};
+    pub use crate::challenge::{Challenge, ChallengeConfig, Leaderboard};
+    pub use crate::cleaning::{importance_scores, iterative_cleaning, repair_row, Strategy};
+    pub use crate::pipeline_scenario::{figure3_plan, pipeline_sources, run_figure3};
+    pub use crate::scenario::{
+        encode_splits, evaluate_model, load_recommendation_letters, standard_encoder,
+    };
+    pub use crate::zorro_scenario::{encode_symbolic, encode_test, estimate_with_zorro};
+    pub use nde_datagen::{HiringConfig, HiringScenario};
+    pub use nde_importance::{knn_shapley, rank_ascending};
+    pub use nde_learners::{ClassDataset, KnnClassifier, Learner, Model};
+    pub use nde_tabular::{Table, Value};
+}
+
+pub use challenge::{Challenge, ChallengeConfig, Leaderboard};
+pub use cleaning::{iterative_cleaning, CleaningStep, Strategy};
+pub use scenario::{evaluate_model, load_recommendation_letters, standard_encoder};

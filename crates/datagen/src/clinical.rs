@@ -1,0 +1,219 @@
+//! The clinical scenario sketched in the paper's Figure 1: a patient
+//! table (`sex`, `age`, `diagnosis`, `survived`) joined against a cancer
+//! registry (`diagnosis` → `death_rate`), with the figure's four seeded
+//! error classes — a *missing* registry rate, a *wrong* rate, a *biased*
+//! death-rate entry, and an *invalid* diagnosis code (`CRC` / `n/a` in the
+//! figure) — available both clean and pre-corrupted.
+
+use nde_tabular::{Table, Value};
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::{Rng, SeedableRng};
+
+/// Diagnosis codes with their true death rates (synthetic but shaped like
+/// the figure's SKCM/BRCA registry sketch).
+pub const REGISTRY: &[(&str, f64)] = &[
+    ("SKCM", 0.10),
+    ("BRCA", 0.02),
+    ("LUAD", 0.18),
+    ("PRAD", 0.03),
+    ("COAD", 0.09),
+];
+
+/// Generation parameters for the clinical scenario.
+#[derive(Debug, Clone)]
+pub struct ClinicalConfig {
+    /// Number of patients.
+    pub n_patients: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for ClinicalConfig {
+    fn default() -> Self {
+        ClinicalConfig { n_patients: 300, seed: 7 }
+    }
+}
+
+/// The generated scenario.
+#[derive(Debug, Clone)]
+pub struct ClinicalScenario {
+    /// Clean patients table: `patient_id`, `sex`, `age`, `diagnosis`,
+    /// `survived` ("yes"/"no").
+    pub patients: Table,
+    /// Clean registry side table: `diagnosis`, `death_rate`.
+    pub registry: Table,
+}
+
+impl ClinicalScenario {
+    /// Generates the clean scenario. Survival depends on the diagnosis's
+    /// death rate and (weakly) on age, so the registry join is predictive.
+    pub fn generate(config: &ClinicalConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let n = config.n_patients;
+        let mut sex = Vec::with_capacity(n);
+        let mut age = Vec::with_capacity(n);
+        let mut diagnosis = Vec::with_capacity(n);
+        let mut survived = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (code, rate) = *REGISTRY.choose(&mut rng).expect("non-empty registry");
+            let a = rng.random_range(18i64..90);
+            sex.push(if rng.random_bool(0.5) { "f" } else { "m" }.to_owned());
+            age.push(a);
+            diagnosis.push(code.to_owned());
+            // Death probability grows with the registry rate and age.
+            let p_death = (rate * 3.0 + (a as f64 - 18.0) / 250.0).clamp(0.02, 0.9);
+            survived.push(if rng.random_bool(p_death) { "no" } else { "yes" }.to_owned());
+        }
+        let patients = Table::builder()
+            .int("patient_id", (0..n as i64).collect::<Vec<_>>())
+            .str("sex", sex)
+            .int("age", age)
+            .str("diagnosis", diagnosis)
+            .str("survived", survived)
+            .build()
+            .expect("schema is well-formed");
+        let registry = Table::builder()
+            .str("diagnosis", REGISTRY.iter().map(|&(c, _)| c).collect::<Vec<_>>())
+            .float("death_rate", REGISTRY.iter().map(|&(_, r)| r).collect::<Vec<_>>())
+            .build()
+            .expect("schema is well-formed");
+        ClinicalScenario { patients, registry }
+    }
+
+    /// The corrupted variant of Figure 1's sketch — every error class the
+    /// figure paints, at fixed positions:
+    ///
+    /// - **invalid**: patient 0's diagnosis becomes `"CRC"` (a code absent
+    ///   from the registry) and their age becomes `-1`,
+    /// - **missing**: patient 1's age is null; the registry's `BRCA` rate
+    ///   is null,
+    /// - **wrong**: the registry's `SKCM` death rate is multiplied by 5,
+    /// - **biased**: female patients who survived are over-dropped (30%).
+    ///
+    /// Returns the corrupted patients and registry tables plus the indices
+    /// of dropped patient rows.
+    pub fn corrupted(&self, seed: u64) -> (Table, Table, Vec<usize>) {
+        let mut patients = self.patients.clone();
+        patients
+            .set(0, "diagnosis", Value::from("CRC"))
+            .expect("row 0 exists");
+        patients.set(0, "age", Value::Int(-1)).expect("row 0 exists");
+        patients.set(1, "age", Value::Null).expect("row 1 exists");
+
+        let mut registry = self.registry.clone();
+        for i in 0..registry.num_rows() {
+            match registry.get(i, "diagnosis").expect("in bounds").as_str() {
+                Some("BRCA") => registry.set(i, "death_rate", Value::Null).expect("set"),
+                Some("SKCM") => {
+                    let rate = registry
+                        .get(i, "death_rate")
+                        .expect("in bounds")
+                        .as_float()
+                        .expect("numeric");
+                    registry
+                        .set(i, "death_rate", Value::Float(rate * 5.0))
+                        .expect("set");
+                }
+                _ => {}
+            }
+        }
+
+        // Selection bias: drop surviving female patients with p = 0.3.
+        // Rows 0 and 1 carry the seeded invalid/missing cells and are
+        // exempt, so every error class of the figure is present at once.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut kept = Vec::new();
+        let mut dropped = Vec::new();
+        for i in 0..patients.num_rows() {
+            let row = patients.row(i).expect("in bounds");
+            let target = i > 1
+                && row.str("sex") == Some("f")
+                && row.str("survived") == Some("yes");
+            if target && rng.random_bool(0.3) {
+                dropped.push(i);
+            } else {
+                kept.push(i);
+            }
+        }
+        let biased = patients.take(&kept).expect("indices in bounds");
+        (biased, registry, dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_shapes_and_determinism() {
+        let cfg = ClinicalConfig { n_patients: 120, seed: 3 };
+        let a = ClinicalScenario::generate(&cfg);
+        let b = ClinicalScenario::generate(&cfg);
+        assert_eq!(a.patients, b.patients);
+        assert_eq!(a.patients.num_rows(), 120);
+        assert_eq!(a.registry.num_rows(), REGISTRY.len());
+    }
+
+    #[test]
+    fn survival_correlates_with_death_rate() {
+        let s = ClinicalScenario::generate(&ClinicalConfig { n_patients: 2000, seed: 5 });
+        let survival_rate = |code: &str| {
+            let sub = s
+                .patients
+                .filter(|r| r.str("diagnosis") == Some(code))
+                .unwrap();
+            let yes = sub.filter(|r| r.str("survived") == Some("yes")).unwrap().num_rows();
+            yes as f64 / sub.num_rows().max(1) as f64
+        };
+        // LUAD (0.18) should kill more often than BRCA (0.02).
+        assert!(survival_rate("BRCA") > survival_rate("LUAD") + 0.1);
+    }
+
+    #[test]
+    fn corruption_contains_all_figure1_error_classes() {
+        let s = ClinicalScenario::generate(&ClinicalConfig::default());
+        let (patients, registry, dropped) = s.corrupted(11);
+        // invalid: CRC diagnosis + negative age in row 0 (exempt from the
+        // bias drop, so always present).
+        let crc = patients.filter(|r| r.str("diagnosis") == Some("CRC")).unwrap();
+        assert_eq!(crc.num_rows(), 1);
+        assert_eq!(crc.get(0, "age").unwrap(), Value::Int(-1));
+        // missing patient age in row 1.
+        assert_eq!(patients.get(1, "age").unwrap(), Value::Null);
+        // missing registry rate for BRCA, wrong (×5) for SKCM.
+        let brca = registry.filter(|r| r.str("diagnosis") == Some("BRCA")).unwrap();
+        assert_eq!(brca.get(0, "death_rate").unwrap(), Value::Null);
+        let skcm = registry.filter(|r| r.str("diagnosis") == Some("SKCM")).unwrap();
+        assert_eq!(skcm.get(0, "death_rate").unwrap().as_float(), Some(0.5));
+        // biased: some surviving female patients were dropped.
+        assert!(!dropped.is_empty());
+        for &i in &dropped {
+            let row = s.patients.row(i).unwrap();
+            assert_eq!(row.str("sex"), Some("f"));
+            assert_eq!(row.str("survived"), Some("yes"));
+        }
+    }
+
+    #[test]
+    fn registry_join_works_on_clean_data() {
+        let s = ClinicalScenario::generate(&ClinicalConfig { n_patients: 50, seed: 1 });
+        let joined = s
+            .patients
+            .inner_join(&s.registry, "diagnosis", "diagnosis")
+            .unwrap();
+        assert_eq!(joined.num_rows(), 50);
+        assert!(joined.schema().contains("death_rate"));
+    }
+
+    #[test]
+    fn invalid_code_breaks_the_join_for_that_row() {
+        let s = ClinicalScenario::generate(&ClinicalConfig { n_patients: 50, seed: 1 });
+        let (patients, registry, _) = s.corrupted(2);
+        let joined = patients.inner_join(&registry, "diagnosis", "diagnosis").unwrap();
+        // The CRC row silently vanishes in an inner join — exactly the
+        // propagation hazard Figure 1 illustrates.
+        assert!(joined.filter(|r| r.str("diagnosis") == Some("CRC")).unwrap().is_empty());
+        assert!(joined.num_rows() < patients.num_rows());
+    }
+}

@@ -1,0 +1,162 @@
+//! Bias injection: selection bias (under-representation of a group) and
+//! group-conditional label bias — the "biased" errors of Figure 1 and the
+//! inputs to fairness debugging (Gopher) and consistent range approximation.
+
+use crate::errors::InjectionReport;
+use nde_tabular::{Table, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Selection bias: drops each row whose `group_col` equals `group_value`
+/// with probability `drop_prob`. The returned report lists the indices of
+/// the dropped rows *in the input table* (the output table is shorter).
+pub fn selection_bias(
+    table: &Table,
+    group_col: &str,
+    group_value: &str,
+    drop_prob: f64,
+    seed: u64,
+) -> nde_tabular::Result<(Table, InjectionReport)> {
+    table.column(group_col)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut kept = Vec::with_capacity(table.num_rows());
+    let mut dropped = Vec::new();
+    for i in 0..table.num_rows() {
+        let row = table.row(i)?;
+        let in_group = row.str(group_col) == Some(group_value);
+        if in_group && rng.random_bool(drop_prob.clamp(0.0, 1.0)) {
+            dropped.push(i);
+        } else {
+            kept.push(i);
+        }
+    }
+    let out = table.take(&kept)?;
+    Ok((
+        out,
+        InjectionReport {
+            affected: dropped,
+            description: format!(
+                "selection bias: dropped {group_col}={group_value} rows w.p. {drop_prob}"
+            ),
+        },
+    ))
+}
+
+/// Group-conditional label bias: for rows whose `group_col` equals
+/// `group_value` and whose label is `from_label`, the label is flipped to
+/// `to_label` with probability `flip_prob` — systematic disadvantage for one
+/// group rather than random noise.
+#[allow(clippy::too_many_arguments)]
+pub fn label_bias(
+    table: &Table,
+    group_col: &str,
+    group_value: &str,
+    label_col: &str,
+    from_label: &str,
+    to_label: &str,
+    flip_prob: f64,
+    seed: u64,
+) -> nde_tabular::Result<(Table, InjectionReport)> {
+    table.column(group_col)?;
+    table.column(label_col)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = table.clone();
+    let mut affected = Vec::new();
+    for i in 0..table.num_rows() {
+        let row = table.row(i)?;
+        if row.str(group_col) == Some(group_value)
+            && row.str(label_col) == Some(from_label)
+            && rng.random_bool(flip_prob.clamp(0.0, 1.0))
+        {
+            out.set(i, label_col, Value::Str(to_label.to_owned()))?;
+            affected.push(i);
+        }
+    }
+    Ok((
+        out,
+        InjectionReport {
+            affected,
+            description: format!(
+                "label bias: {group_col}={group_value} rows flipped {from_label}→{to_label} w.p. {flip_prob}"
+            ),
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Table {
+        let n = 200usize;
+        Table::builder()
+            .int("id", (0..n as i64).collect::<Vec<_>>())
+            .str(
+                "sex",
+                (0..n).map(|i| if i % 2 == 0 { "f" } else { "m" }).collect::<Vec<_>>(),
+            )
+            .str(
+                "label",
+                (0..n).map(|i| if i % 4 < 2 { "positive" } else { "negative" }).collect::<Vec<_>>(),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn selection_bias_shrinks_one_group() {
+        let t = demo();
+        let (biased, report) = selection_bias(&t, "sex", "f", 0.5, 3).unwrap();
+        assert_eq!(biased.num_rows() + report.count(), 200);
+        // All dropped rows are from group f.
+        for &i in &report.affected {
+            assert_eq!(t.row(i).unwrap().str("sex"), Some("f"));
+        }
+        let f_left = biased.filter(|r| r.str("sex") == Some("f")).unwrap().num_rows();
+        assert!(f_left < 80, "f_left = {f_left}");
+        let m_left = biased.filter(|r| r.str("sex") == Some("m")).unwrap().num_rows();
+        assert_eq!(m_left, 100);
+    }
+
+    #[test]
+    fn selection_bias_zero_prob_is_identity() {
+        let t = demo();
+        let (b, r) = selection_bias(&t, "sex", "f", 0.0, 0).unwrap();
+        assert_eq!(b, t);
+        assert_eq!(r.count(), 0);
+    }
+
+    #[test]
+    fn label_bias_targets_group_and_label() {
+        let t = demo();
+        let (biased, report) =
+            label_bias(&t, "sex", "m", "label", "positive", "negative", 1.0, 5).unwrap();
+        assert!(report.count() > 0);
+        for &i in &report.affected {
+            assert_eq!(t.row(i).unwrap().str("sex"), Some("m"));
+            assert_eq!(t.get(i, "label").unwrap(), Value::from("positive"));
+            assert_eq!(biased.get(i, "label").unwrap(), Value::from("negative"));
+        }
+        // No f-row labels changed.
+        for i in 0..t.num_rows() {
+            if t.row(i).unwrap().str("sex") == Some("f") {
+                assert_eq!(biased.get(i, "label").unwrap(), t.get(i, "label").unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let t = demo();
+        let (a, _) = selection_bias(&t, "sex", "f", 0.3, 8).unwrap();
+        let (b, _) = selection_bias(&t, "sex", "f", 0.3, 8).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unknown_columns_error() {
+        let t = demo();
+        assert!(selection_bias(&t, "nope", "f", 0.5, 0).is_err());
+        assert!(label_bias(&t, "sex", "f", "nope", "a", "b", 0.5, 0).is_err());
+    }
+}

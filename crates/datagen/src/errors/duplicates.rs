@@ -1,0 +1,101 @@
+//! Duplicate injection: near-duplicate rows appended to a table, a classic
+//! integration error that inflates the influence of the duplicated records.
+
+use crate::errors::InjectionReport;
+use nde_tabular::{Table, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Appends `n_duplicates` near-duplicates of randomly chosen rows. Numeric
+/// cells of the duplicates are jittered by a relative `noise` factor so they
+/// are near- rather than exact duplicates. The report's `affected` indices
+/// are the positions of the *appended* rows in the output table.
+pub fn inject_duplicates(
+    table: &Table,
+    n_duplicates: usize,
+    noise: f64,
+    seed: u64,
+) -> nde_tabular::Result<(Table, InjectionReport)> {
+    if table.is_empty() {
+        return Ok((
+            table.clone(),
+            InjectionReport { affected: vec![], description: "no rows to duplicate".into() },
+        ));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = table.clone();
+    let mut affected = Vec::with_capacity(n_duplicates);
+    for d in 0..n_duplicates {
+        let src = rng.random_range(0..table.num_rows());
+        let mut row = table.row_values(src)?;
+        for cell in row.iter_mut() {
+            if let Value::Float(v) = cell {
+                let jitter = 1.0 + noise * (rng.random::<f64>() * 2.0 - 1.0);
+                *cell = Value::Float(*v * jitter);
+            }
+        }
+        out.push_row(row)?;
+        affected.push(table.num_rows() + d);
+    }
+    Ok((
+        out,
+        InjectionReport {
+            affected,
+            description: format!("{n_duplicates} near-duplicate rows appended (noise {noise})"),
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Table {
+        Table::builder()
+            .int("id", [1, 2, 3])
+            .float("x", [10.0, 20.0, 30.0])
+            .str("s", ["a", "b", "c"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn appends_requested_duplicates() {
+        let t = demo();
+        let (dup, report) = inject_duplicates(&t, 5, 0.01, 2).unwrap();
+        assert_eq!(dup.num_rows(), 8);
+        assert_eq!(report.affected, vec![3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn duplicates_match_some_source_row() {
+        let t = demo();
+        let (dup, report) = inject_duplicates(&t, 3, 0.0, 7).unwrap();
+        for &i in &report.affected {
+            let id = dup.get(i, "id").unwrap();
+            // With zero noise the duplicate is exact; its id must be one of
+            // the originals.
+            assert!(matches!(id, Value::Int(1..=3)));
+        }
+    }
+
+    #[test]
+    fn noise_jitters_floats_only() {
+        let t = demo();
+        let (dup, report) = inject_duplicates(&t, 10, 0.1, 4).unwrap();
+        for &i in &report.affected {
+            let x = dup.get(i, "x").unwrap().as_float().unwrap();
+            assert!(x > 8.0 && x < 34.0);
+            // ids (ints) are copied exactly.
+            assert!(matches!(dup.get(i, "id").unwrap(), Value::Int(1..=3)));
+        }
+    }
+
+    #[test]
+    fn empty_table_is_noop() {
+        let t = demo().take(&[]).unwrap();
+        let (out, report) = inject_duplicates(&t, 5, 0.1, 0).unwrap();
+        assert_eq!(out.num_rows(), 0);
+        assert_eq!(report.count(), 0);
+    }
+}

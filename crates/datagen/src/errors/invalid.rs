@@ -1,0 +1,90 @@
+//! Invalid-value injection: cells replaced with domain-violating values
+//! (the "invalid" row of the paper's Figure 1 error taxonomy, e.g. the
+//! `CRC`/`n/a` cells in its source-data sketch).
+
+use crate::errors::InjectionReport;
+use nde_tabular::{Column, Table, Value};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Replaces a `fraction` of cells in `column` with type-compatible but
+/// domain-invalid values: `-1` for integers, `999.0` for floats, `"N/A"`
+/// for strings. (Type-compatible so the corruption survives schema checks
+/// and must be caught semantically — the harder, realistic case.)
+pub fn inject_invalid(
+    table: &Table,
+    column: &str,
+    fraction: f64,
+    seed: u64,
+) -> nde_tabular::Result<(Table, InjectionReport)> {
+    let col = table.column(column)?;
+    let poison = match col {
+        Column::Int(_) => Value::Int(-1),
+        Column::Float(_) => Value::Float(999.0),
+        Column::Str(_) => Value::Str("N/A".to_owned()),
+        Column::Bool(_) => Value::Bool(false),
+    };
+    let mut candidates: Vec<usize> =
+        (0..table.num_rows()).filter(|&i| !col.is_null(i)).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    candidates.shuffle(&mut rng);
+    let n = ((candidates.len() as f64) * fraction.clamp(0.0, 1.0)).round() as usize;
+    let mut affected: Vec<usize> = candidates.into_iter().take(n).collect();
+    affected.sort_unstable();
+
+    let mut out = table.clone();
+    for &i in &affected {
+        out.set(i, column, poison.clone())?;
+    }
+    Ok((
+        out,
+        InjectionReport {
+            affected,
+            description: format!("{n} cells of {column:?} set to invalid value {poison}"),
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injects_sentinel_per_type() {
+        let t = Table::builder()
+            .int("age", [30, 40, 50, 60])
+            .float("rating", [1.0, 2.0, 3.0, 4.0])
+            .str("name", ["a", "b", "c", "d"])
+            .build()
+            .unwrap();
+        let (d, r) = inject_invalid(&t, "age", 0.5, 1).unwrap();
+        for &i in &r.affected {
+            assert_eq!(d.get(i, "age").unwrap(), Value::Int(-1));
+        }
+        let (d, r) = inject_invalid(&t, "rating", 0.5, 1).unwrap();
+        for &i in &r.affected {
+            assert_eq!(d.get(i, "rating").unwrap(), Value::Float(999.0));
+        }
+        let (d, r) = inject_invalid(&t, "name", 0.5, 1).unwrap();
+        for &i in &r.affected {
+            assert_eq!(d.get(i, "name").unwrap(), Value::from("N/A"));
+        }
+    }
+
+    #[test]
+    fn fraction_and_determinism() {
+        let t = Table::builder().int("x", (0..40i64).collect::<Vec<_>>()).build().unwrap();
+        let (a, ra) = inject_invalid(&t, "x", 0.25, 4).unwrap();
+        assert_eq!(ra.count(), 10);
+        let (b, rb) = inject_invalid(&t, "x", 0.25, 4).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn missing_column_errors() {
+        let t = Table::builder().int("x", [1]).build().unwrap();
+        assert!(inject_invalid(&t, "y", 0.5, 0).is_err());
+    }
+}

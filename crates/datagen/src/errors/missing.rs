@@ -1,0 +1,187 @@
+//! Missing-value injection under the three classical mechanisms
+//! (MCAR / MAR / MNAR), used by the Figure 4 Zorro experiment
+//! (`nde.encode_symbolic(..., missingness="MNAR")`).
+
+use crate::errors::InjectionReport;
+use nde_tabular::{Table, Value};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Missingness mechanism.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Mechanism {
+    /// Missing completely at random: uniform over rows.
+    Mcar,
+    /// Missing at random: the probability of being missing grows with the
+    /// value of another *observed* column (named here).
+    Mar {
+        /// The observed driver column.
+        driver: String,
+    },
+    /// Missing not at random: the probability grows with the (unobserved)
+    /// value of the target column itself — self-censoring, e.g. low employer
+    /// ratings being withheld.
+    Mnar,
+}
+
+/// Replaces a `fraction` of the non-null cells in `column` with nulls.
+///
+/// - `Mcar`: cells are chosen uniformly at random.
+/// - `Mar { driver }` / `Mnar`: cells are chosen by weighted sampling where
+///   a row's weight is its (driver / own) value's rank squared, so larger
+///   values are much more likely to go missing — a structured, biased
+///   missingness that mean-imputation cannot undo.
+pub fn inject_missing(
+    table: &Table,
+    column: &str,
+    fraction: f64,
+    mechanism: Mechanism,
+    seed: u64,
+) -> nde_tabular::Result<(Table, InjectionReport)> {
+    let col = table.column(column)?;
+    let candidates: Vec<usize> = (0..table.num_rows()).filter(|&i| !col.is_null(i)).collect();
+    let n_missing = ((candidates.len() as f64) * fraction.clamp(0.0, 1.0)).round() as usize;
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut affected: Vec<usize> = match &mechanism {
+        Mechanism::Mcar => {
+            let mut pool = candidates.clone();
+            pool.shuffle(&mut rng);
+            pool.into_iter().take(n_missing).collect()
+        }
+        Mechanism::Mar { driver } => {
+            let drv = table.column(driver)?;
+            weighted_top(&candidates, |i| drv.get(i), n_missing, &mut rng)
+        }
+        Mechanism::Mnar => weighted_top(&candidates, |i| col.get(i), n_missing, &mut rng),
+    };
+    affected.sort_unstable();
+
+    let mut out = table.clone();
+    for &i in &affected {
+        out.set(i, column, Value::Null)?;
+    }
+    Ok((
+        out,
+        InjectionReport {
+            affected,
+            description: format!("{n_missing} cells of {column:?} made missing ({mechanism:?})"),
+        },
+    ))
+}
+
+/// Weighted sampling without replacement where weight grows with the rank of
+/// `value_of(row)` (rank² + 1), implemented by exponential-race keys.
+fn weighted_top(
+    candidates: &[usize],
+    value_of: impl Fn(usize) -> Value,
+    n: usize,
+    rng: &mut StdRng,
+) -> Vec<usize> {
+    // Rank candidates by value.
+    let mut order: Vec<usize> = candidates.to_vec();
+    order.sort_by(|&a, &b| value_of(a).total_cmp(&value_of(b)));
+    let rank_of: std::collections::HashMap<usize, usize> =
+        order.iter().enumerate().map(|(rank, &row)| (row, rank)).collect();
+    // Exponential race: key = Exp(1)/weight; take the n smallest keys.
+    let mut keyed: Vec<(f64, usize)> = candidates
+        .iter()
+        .map(|&row| {
+            let rank = rank_of[&row] as f64;
+            let weight = rank * rank + 1.0;
+            let u: f64 = rng.random::<f64>().max(1e-12);
+            ((-u.ln()) / weight, row)
+        })
+        .collect();
+    keyed.sort_by(|a, b| a.0.total_cmp(&b.0));
+    keyed.into_iter().take(n).map(|(_, row)| row).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo(n: usize) -> Table {
+        Table::builder()
+            .float("rating", (0..n).map(|i| i as f64).collect::<Vec<_>>())
+            .float("driver", (0..n).map(|i| (n - i) as f64).collect::<Vec<_>>())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn mcar_hits_requested_fraction() {
+        let t = demo(100);
+        let (dirty, report) = inject_missing(&t, "rating", 0.25, Mechanism::Mcar, 5).unwrap();
+        assert_eq!(report.count(), 25);
+        assert_eq!(dirty.column("rating").unwrap().null_count(), 25);
+        for &i in &report.affected {
+            assert!(dirty.column("rating").unwrap().is_null(i));
+        }
+    }
+
+    #[test]
+    fn mnar_prefers_high_values() {
+        let t = demo(200);
+        let (_, report) = inject_missing(&t, "rating", 0.2, Mechanism::Mnar, 3).unwrap();
+        // Mean index of missing rows should be well above the midpoint
+        // because value == index here.
+        let mean: f64 =
+            report.affected.iter().map(|&i| i as f64).sum::<f64>() / report.count() as f64;
+        assert!(mean > 120.0, "mean affected index = {mean}");
+    }
+
+    #[test]
+    fn mar_follows_driver_column() {
+        let t = demo(200);
+        let (_, report) = inject_missing(
+            &t,
+            "rating",
+            0.2,
+            Mechanism::Mar { driver: "driver".into() },
+            3,
+        )
+        .unwrap();
+        // driver is reversed, so missingness should concentrate at low indices.
+        let mean: f64 =
+            report.affected.iter().map(|&i| i as f64).sum::<f64>() / report.count() as f64;
+        assert!(mean < 80.0, "mean affected index = {mean}");
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let t = demo(60);
+        let (a, ra) = inject_missing(&t, "rating", 0.3, Mechanism::Mcar, 11).unwrap();
+        let (b, rb) = inject_missing(&t, "rating", 0.3, Mechanism::Mcar, 11).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(ra, rb);
+        let (_, rc) = inject_missing(&t, "rating", 0.3, Mechanism::Mcar, 12).unwrap();
+        assert_ne!(ra.affected, rc.affected);
+    }
+
+    #[test]
+    fn already_null_cells_are_not_candidates() {
+        let t = Table::builder()
+            .float("x", [None, Some(1.0), Some(2.0), Some(3.0)])
+            .build()
+            .unwrap();
+        let (dirty, report) = inject_missing(&t, "x", 0.5, Mechanism::Mcar, 1).unwrap();
+        assert_eq!(report.count(), 2); // 50% of the 3 non-null cells, rounded
+        assert_eq!(dirty.column("x").unwrap().null_count(), 3);
+    }
+
+    #[test]
+    fn unknown_columns_error() {
+        let t = demo(5);
+        assert!(inject_missing(&t, "nope", 0.5, Mechanism::Mcar, 0).is_err());
+        assert!(inject_missing(
+            &t,
+            "rating",
+            0.5,
+            Mechanism::Mar { driver: "nope".into() },
+            0
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,100 @@
+//! Error injection — the "Data Errors" taxonomy of the paper's Figure 1:
+//! missing, wrong (label errors, outliers), invalid, biased, duplicated and
+//! out-of-distribution values.
+//!
+//! Injectors are pure: they take a table and return a corrupted copy plus an
+//! [`InjectionReport`] with the exact affected row indices, which is the
+//! ground truth for scoring error *detectors* (precision@k of importance
+//! rankings, challenge leaderboards, …).
+
+pub mod bias;
+pub mod duplicates;
+pub mod invalid;
+pub mod labels;
+pub mod missing;
+pub mod outliers;
+pub mod shift;
+
+pub use bias::{label_bias, selection_bias};
+pub use duplicates::inject_duplicates;
+pub use invalid::inject_invalid;
+pub use labels::flip_labels;
+pub use missing::{inject_missing, Mechanism};
+pub use outliers::inject_outliers;
+pub use shift::inject_shift;
+
+/// Ground truth about an injection: which rows were corrupted and how.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InjectionReport {
+    /// Row indices (into the *returned* table, which preserves row order
+    /// except where documented) that were corrupted.
+    pub affected: Vec<usize>,
+    /// Human-readable description of the corruption.
+    pub description: String,
+}
+
+impl InjectionReport {
+    /// Number of corrupted rows.
+    pub fn count(&self) -> usize {
+        self.affected.len()
+    }
+
+    /// Whether row `i` was corrupted.
+    pub fn is_affected(&self, i: usize) -> bool {
+        self.affected.contains(&i)
+    }
+
+    /// Precision@k of a ranking of suspect rows (most-suspect first):
+    /// the fraction of the first `k` suspects that are truly corrupted.
+    pub fn precision_at_k(&self, ranking: &[usize], k: usize) -> f64 {
+        if k == 0 {
+            return 0.0;
+        }
+        let k = k.min(ranking.len());
+        if k == 0 {
+            return 0.0;
+        }
+        let affected: std::collections::HashSet<usize> = self.affected.iter().copied().collect();
+        let hits = ranking[..k].iter().filter(|i| affected.contains(i)).count();
+        hits as f64 / k as f64
+    }
+
+    /// Recall@k: the fraction of corrupted rows found in the first `k`
+    /// suspects.
+    pub fn recall_at_k(&self, ranking: &[usize], k: usize) -> f64 {
+        if self.affected.is_empty() {
+            return 0.0;
+        }
+        let k = k.min(ranking.len());
+        let affected: std::collections::HashSet<usize> = self.affected.iter().copied().collect();
+        let hits = ranking[..k].iter().filter(|i| affected.contains(i)).count();
+        hits as f64 / self.affected.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_and_recall_at_k() {
+        let report = InjectionReport {
+            affected: vec![1, 3, 5],
+            description: "test".into(),
+        };
+        let ranking = vec![3, 0, 5, 2, 1];
+        assert_eq!(report.precision_at_k(&ranking, 2), 0.5);
+        assert_eq!(report.precision_at_k(&ranking, 5), 3.0 / 5.0);
+        assert!((report.recall_at_k(&ranking, 3) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(report.precision_at_k(&ranking, 0), 0.0);
+        assert!(report.is_affected(3));
+        assert!(!report.is_affected(0));
+    }
+
+    #[test]
+    fn empty_report_edge_cases() {
+        let report = InjectionReport { affected: vec![], description: String::new() };
+        assert_eq!(report.recall_at_k(&[0, 1], 2), 0.0);
+        assert_eq!(report.count(), 0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Outlier injection: numeric cells replaced by extreme values.
+
+use crate::errors::InjectionReport;
+use nde_tabular::{Table, Value};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Replaces a `fraction` of the non-null cells of a numeric `column` with
+/// extreme values: `magnitude` column-standard-deviations away from the
+/// column mean, with a random sign.
+pub fn inject_outliers(
+    table: &Table,
+    column: &str,
+    fraction: f64,
+    magnitude: f64,
+    seed: u64,
+) -> nde_tabular::Result<(Table, InjectionReport)> {
+    let col = table.column(column)?;
+    let vals = col.to_f64()?;
+    let present: Vec<f64> = vals.iter().flatten().copied().collect();
+    let mean = if present.is_empty() {
+        0.0
+    } else {
+        present.iter().sum::<f64>() / present.len() as f64
+    };
+    let std = if present.len() < 2 {
+        1.0
+    } else {
+        (present.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / present.len() as f64)
+            .sqrt()
+            .max(1e-9)
+    };
+
+    let mut candidates: Vec<usize> =
+        (0..table.num_rows()).filter(|&i| vals[i].is_some()).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    candidates.shuffle(&mut rng);
+    let n = ((candidates.len() as f64) * fraction.clamp(0.0, 1.0)).round() as usize;
+    let mut affected: Vec<usize> = candidates.into_iter().take(n).collect();
+    affected.sort_unstable();
+
+    let mut out = table.clone();
+    for &i in &affected {
+        let sign = if rng.random_bool(0.5) { 1.0 } else { -1.0 };
+        out.set(i, column, Value::Float(mean + sign * magnitude * std))?;
+    }
+    Ok((
+        out,
+        InjectionReport {
+            affected,
+            description: format!("{n} outliers (±{magnitude}σ) injected into {column:?}"),
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Table {
+        Table::builder()
+            .float("x", (0..100).map(|i| (i % 10) as f64).collect::<Vec<_>>())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn outliers_are_extreme() {
+        let t = demo();
+        let (dirty, report) = inject_outliers(&t, "x", 0.1, 8.0, 3).unwrap();
+        assert_eq!(report.count(), 10);
+        for &i in &report.affected {
+            let v = dirty.get(i, "x").unwrap().as_float().unwrap();
+            assert!(v < -10.0 || v > 20.0, "value {v} is not extreme");
+        }
+    }
+
+    #[test]
+    fn unaffected_rows_unchanged() {
+        let t = demo();
+        let (dirty, report) = inject_outliers(&t, "x", 0.2, 5.0, 1).unwrap();
+        for i in 0..t.num_rows() {
+            if !report.is_affected(i) {
+                assert_eq!(dirty.get(i, "x").unwrap(), t.get(i, "x").unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn integer_columns_error_on_float_injection() {
+        // Int columns cannot hold the float outlier; the injector reports
+        // a type error rather than silently truncating.
+        let t = Table::builder().int("x", [1, 2, 3]).build().unwrap();
+        assert!(inject_outliers(&t, "x", 0.5, 5.0, 0).is_err());
+    }
+
+    #[test]
+    fn string_column_rejected() {
+        let t = Table::builder().str("s", ["a"]).build().unwrap();
+        assert!(inject_outliers(&t, "s", 0.5, 5.0, 0).is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let t = demo();
+        let (a, _) = inject_outliers(&t, "x", 0.1, 5.0, 9).unwrap();
+        let (b, _) = inject_outliers(&t, "x", 0.1, 5.0, 9).unwrap();
+        assert_eq!(a, b);
+    }
+}

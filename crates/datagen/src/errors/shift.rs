@@ -1,0 +1,60 @@
+//! Distribution-shift injection: out-of-distribution values produced by
+//! shifting and rescaling a numeric column (the "out-of-distribution" error
+//! class of Figure 1, and the covariate-shift scenario of §2.3).
+
+use crate::errors::InjectionReport;
+use nde_tabular::{Table, Value};
+
+/// Applies `x → x * scale + offset` to every non-null cell of a numeric
+/// `column` — a deterministic covariate shift of the whole table (use on a
+/// test split to simulate deployment drift).
+pub fn inject_shift(
+    table: &Table,
+    column: &str,
+    scale: f64,
+    offset: f64,
+) -> nde_tabular::Result<(Table, InjectionReport)> {
+    let col = table.column(column)?;
+    // Validate numeric type up front.
+    col.to_f64()?;
+    let affected: Vec<usize> = (0..table.num_rows()).filter(|&i| !col.is_null(i)).collect();
+    let out = table.map_column(column, |v| match v.as_float() {
+        Some(x) => Value::Float(x * scale + offset),
+        None => v,
+    })?;
+    Ok((
+        out,
+        InjectionReport {
+            affected,
+            description: format!("shifted {column:?} by x→{scale}·x+{offset}"),
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shifts_all_non_null_cells() {
+        let t = Table::builder().float("x", [Some(1.0), None, Some(3.0)]).build().unwrap();
+        let (s, report) = inject_shift(&t, "x", 2.0, 10.0).unwrap();
+        assert_eq!(s.get(0, "x").unwrap(), Value::Float(12.0));
+        assert_eq!(s.get(1, "x").unwrap(), Value::Null);
+        assert_eq!(s.get(2, "x").unwrap(), Value::Float(16.0));
+        assert_eq!(report.affected, vec![0, 2]);
+    }
+
+    #[test]
+    fn int_columns_are_widened() {
+        let t = Table::builder().int("x", [1, 2]).build().unwrap();
+        let (s, _) = inject_shift(&t, "x", 1.0, 0.5).unwrap();
+        assert_eq!(s.get(0, "x").unwrap(), Value::Float(1.5));
+    }
+
+    #[test]
+    fn string_column_rejected() {
+        let t = Table::builder().str("s", ["a"]).build().unwrap();
+        assert!(inject_shift(&t, "s", 1.0, 0.0).is_err());
+    }
+}

@@ -1,0 +1,382 @@
+//! The synthetic hiring scenario of the hands-on session (§3.1): a main
+//! table of recommendation letters plus job-detail and social-media side
+//! tables, split into train/validation/test.
+
+use crate::letters::{LetterGenerator, Sentiment};
+use nde_tabular::{Table, Value};
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::{Rng, SeedableRng};
+
+/// Job sectors; the Figure 3 pipeline filters on `"healthcare"`.
+pub const SECTORS: &[&str] = &["healthcare", "finance", "retail", "education"];
+
+/// Employer names for the fuzzy-join side table (§3.1 mentions "(fuzzy)
+/// joins" over dirty keys).
+pub const EMPLOYERS: &[&str] = &[
+    "Acme Health", "Globex Care", "Initech Medical", "Umbrella Clinics", "Stark Wellness",
+    "Wayne Biolabs", "Tyrell Pharma", "Cyberdyne Diagnostics",
+];
+
+/// Degree vocabulary for the one-hot-encoded `degree` column.
+pub const DEGREES: &[&str] = &["bsc", "msc", "phd", "mba"];
+
+/// Generation parameters for the hiring scenario.
+#[derive(Debug, Clone)]
+pub struct HiringConfig {
+    /// Training letters.
+    pub n_train: usize,
+    /// Validation letters.
+    pub n_valid: usize,
+    /// Test letters.
+    pub n_test: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Class-signal strength of the letter text in `[0, 1]`.
+    pub signal: f64,
+    /// Baseline fraction of missing `degree` cells (the paper's pipeline
+    /// includes an `Imputer` for this column).
+    pub missing_degree: f64,
+    /// Number of distinct jobs in the job-detail side table.
+    pub n_jobs: usize,
+    /// Fraction of applicants with a Twitter handle in the social table.
+    pub twitter_rate: f64,
+    /// Fraction of `employer` cells carrying a one-character typo, so the
+    /// employer side table only links via fuzzy joins.
+    pub employer_typo_rate: f64,
+}
+
+impl Default for HiringConfig {
+    fn default() -> Self {
+        HiringConfig {
+            n_train: 400,
+            n_valid: 100,
+            n_test: 100,
+            seed: 42,
+            signal: 0.78,
+            missing_degree: 0.05,
+            n_jobs: 40,
+            twitter_rate: 0.6,
+            employer_typo_rate: 0.25,
+        }
+    }
+}
+
+/// The generated scenario: three letter splits plus the two side tables of
+/// the Figure 3 pipeline.
+#[derive(Debug, Clone)]
+pub struct HiringScenario {
+    /// Training letters (`letter_id`, `person_id`, `job_id`, `letter_text`,
+    /// `sex`, `age`, `degree`, `employer` (typo-ridden), `employer_rating`,
+    /// `sentiment`).
+    pub train: Table,
+    /// Validation letters (same schema).
+    pub valid: Table,
+    /// Test letters (same schema).
+    pub test: Table,
+    /// Side table: `job_id`, `sector`, `seniority`, `salary_band`.
+    pub job_details: Table,
+    /// Side table: `person_id`, `twitter` (nullable), `followers`.
+    pub social: Table,
+    /// Side table: `employer`, `industry_score` — linkable to the letters'
+    /// (typo-ridden) `employer` column only via fuzzy joins.
+    pub employers: Table,
+}
+
+/// Introduces a single-character substitution typo (lowercased letter at a
+/// random position).
+fn typo(name: &str, rng: &mut StdRng) -> String {
+    let mut chars: Vec<char> = name.chars().collect();
+    if chars.is_empty() {
+        return name.to_owned();
+    }
+    let pos = rng.random_range(0..chars.len());
+    let replacement = (b'a' + rng.random_range(0..26u8)) as char;
+    chars[pos] = replacement;
+    chars.into_iter().collect()
+}
+
+/// Approximate standard normal sample (Box–Muller).
+fn normal(rng: &mut StdRng, mean: f64, std: f64) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random::<f64>();
+    mean + std * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+impl HiringScenario {
+    /// Generates the full scenario deterministically from `config.seed`.
+    pub fn generate(config: &HiringConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut letters = LetterGenerator::new(config.seed.wrapping_add(1), config.signal);
+        let total = config.n_train + config.n_valid + config.n_test;
+
+        let mut letter_id = Vec::with_capacity(total);
+        let mut person_id = Vec::with_capacity(total);
+        let mut job_id = Vec::with_capacity(total);
+        let mut letter_text = Vec::with_capacity(total);
+        let mut sex = Vec::with_capacity(total);
+        let mut age = Vec::with_capacity(total);
+        let mut degree: Vec<Option<String>> = Vec::with_capacity(total);
+        let mut employer = Vec::with_capacity(total);
+        let mut employer_rating = Vec::with_capacity(total);
+        let mut sentiment = Vec::with_capacity(total);
+
+        for i in 0..total {
+            let s = if i % 2 == 0 { Sentiment::Positive } else { Sentiment::Negative };
+            letter_id.push(i as i64);
+            person_id.push(i as i64);
+            job_id.push(rng.random_range(0..config.n_jobs as i64));
+            letter_text.push(letters.letter(s));
+            sex.push(if rng.random_bool(0.5) { "f" } else { "m" }.to_owned());
+            age.push(rng.random_range(22i64..65));
+            degree.push(if rng.random_bool(config.missing_degree) {
+                None
+            } else {
+                Some((*DEGREES.choose(&mut rng).expect("non-empty")).to_owned())
+            });
+            // Employer name, possibly with a single-character typo so only
+            // fuzzy joins can link the employer side table.
+            let clean_name = *EMPLOYERS.choose(&mut rng).expect("non-empty");
+            employer.push(if rng.random_bool(config.employer_typo_rate) {
+                typo(clean_name, &mut rng)
+            } else {
+                clean_name.to_owned()
+            });
+            // employer_rating is label-correlated — the uncertain feature of
+            // the Figure 4 Zorro experiment.
+            let mean = match s {
+                Sentiment::Positive => 4.0,
+                Sentiment::Negative => 2.5,
+            };
+            employer_rating.push(normal(&mut rng, mean, 0.7).clamp(1.0, 5.0));
+            sentiment.push(s.label().to_owned());
+        }
+
+        let full = Table::builder()
+            .int("letter_id", letter_id)
+            .int("person_id", person_id)
+            .int("job_id", job_id)
+            .str("letter_text", letter_text)
+            .str("sex", sex)
+            .int("age", age)
+            .str_opt("degree", degree)
+            .str("employer", employer)
+            .float("employer_rating", employer_rating)
+            .str("sentiment", sentiment)
+            .build()
+            .expect("schema is well-formed by construction");
+
+        // Contiguous splits keep the alternating class balance in each split.
+        let train_idx: Vec<usize> = (0..config.n_train).collect();
+        let valid_idx: Vec<usize> =
+            (config.n_train..config.n_train + config.n_valid).collect();
+        let test_idx: Vec<usize> = (config.n_train + config.n_valid..total).collect();
+
+        // Job details.
+        let mut sector = Vec::with_capacity(config.n_jobs);
+        let mut seniority = Vec::with_capacity(config.n_jobs);
+        let mut salary_band = Vec::with_capacity(config.n_jobs);
+        for j in 0..config.n_jobs {
+            // Deterministic striping gives ~40% healthcare jobs.
+            sector.push(
+                if j % 5 < 2 { "healthcare" } else { SECTORS[1 + j % 3] }.to_owned(),
+            );
+            seniority.push(["junior", "mid", "senior"][j % 3].to_owned());
+            salary_band.push(rng.random_range(1i64..=5));
+        }
+        let job_details = Table::builder()
+            .int("job_id", (0..config.n_jobs as i64).collect::<Vec<_>>())
+            .str("sector", sector)
+            .str("seniority", seniority)
+            .int("salary_band", salary_band)
+            .build()
+            .expect("schema is well-formed by construction");
+
+        // Social media side table.
+        let mut twitter: Vec<Option<String>> = Vec::with_capacity(total);
+        let mut followers = Vec::with_capacity(total);
+        for i in 0..total {
+            twitter.push(if rng.random_bool(config.twitter_rate) {
+                Some(format!("@applicant{i}"))
+            } else {
+                None
+            });
+            followers.push(rng.random_range(0i64..20_000));
+        }
+        let social = Table::builder()
+            .int("person_id", (0..total as i64).collect::<Vec<_>>())
+            .str_opt("twitter", twitter)
+            .int("followers", followers)
+            .build()
+            .expect("schema is well-formed by construction");
+
+        // Employer side table (clean canonical names).
+        let employers = Table::builder()
+            .str("employer", EMPLOYERS.to_vec())
+            .float(
+                "industry_score",
+                (0..EMPLOYERS.len())
+                    .map(|i| 2.0 + (i % 4) as f64)
+                    .collect::<Vec<_>>(),
+            )
+            .build()
+            .expect("schema is well-formed by construction");
+
+        HiringScenario {
+            train: full.take(&train_idx).expect("indices in bounds"),
+            valid: full.take(&valid_idx).expect("indices in bounds"),
+            test: full.take(&test_idx).expect("indices in bounds"),
+            job_details,
+            social,
+            employers,
+        }
+    }
+
+    /// The class labels of a letters table as indices (`negative` = 0,
+    /// `positive` = 1), panicking on nulls — labels are only null after
+    /// deliberate corruption, and corrupted tables go through the encoders
+    /// instead.
+    pub fn labels(table: &Table) -> Vec<usize> {
+        table
+            .column("sentiment")
+            .expect("letters tables have a sentiment column")
+            .iter()
+            .map(|v| match v {
+                Value::Str(s) if s == "positive" => 1,
+                Value::Str(s) if s == "negative" => 0,
+                other => panic!("unexpected sentiment value {other:?}"),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_sizes_match_config() {
+        let cfg = HiringConfig { n_train: 50, n_valid: 20, n_test: 10, ..Default::default() };
+        let s = HiringScenario::generate(&cfg);
+        assert_eq!(s.train.num_rows(), 50);
+        assert_eq!(s.valid.num_rows(), 20);
+        assert_eq!(s.test.num_rows(), 10);
+        assert_eq!(s.job_details.num_rows(), cfg.n_jobs);
+        assert_eq!(s.social.num_rows(), 80);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = HiringConfig { n_train: 30, n_valid: 10, n_test: 10, ..Default::default() };
+        let a = HiringScenario::generate(&cfg);
+        let b = HiringScenario::generate(&cfg);
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.social, b.social);
+    }
+
+    #[test]
+    fn classes_are_balanced() {
+        let cfg = HiringConfig { n_train: 100, n_valid: 0, n_test: 0, ..Default::default() };
+        let s = HiringScenario::generate(&cfg);
+        let labels = HiringScenario::labels(&s.train);
+        assert_eq!(labels.iter().filter(|&&l| l == 1).count(), 50);
+    }
+
+    #[test]
+    fn employer_rating_correlates_with_label() {
+        let cfg = HiringConfig { n_train: 200, n_valid: 0, n_test: 0, ..Default::default() };
+        let s = HiringScenario::generate(&cfg);
+        let labels = HiringScenario::labels(&s.train);
+        let ratings = s.train.column("employer_rating").unwrap().to_f64().unwrap();
+        let mean_of = |class: usize| {
+            let vals: Vec<f64> = labels
+                .iter()
+                .zip(&ratings)
+                .filter(|(&l, _)| l == class)
+                .filter_map(|(_, r)| *r)
+                .collect();
+            vals.iter().sum::<f64>() / vals.len() as f64
+        };
+        assert!(mean_of(1) > mean_of(0) + 0.5);
+    }
+
+    #[test]
+    fn sectors_include_healthcare_jobs() {
+        let s = HiringScenario::generate(&HiringConfig::default());
+        let healthcare = s
+            .job_details
+            .filter(|r| r.str("sector") == Some("healthcare"))
+            .unwrap();
+        let share = healthcare.num_rows() as f64 / s.job_details.num_rows() as f64;
+        assert!(share > 0.25 && share < 0.55, "share = {share}");
+    }
+
+    #[test]
+    fn some_degrees_are_missing() {
+        let cfg = HiringConfig {
+            n_train: 300,
+            n_valid: 0,
+            n_test: 0,
+            missing_degree: 0.2,
+            ..Default::default()
+        };
+        let s = HiringScenario::generate(&cfg);
+        let nulls = s.train.column("degree").unwrap().null_count();
+        assert!(nulls > 20 && nulls < 120, "nulls = {nulls}");
+    }
+
+    #[test]
+    fn employer_typos_break_exact_joins_but_not_fuzzy_joins() {
+        let cfg = HiringConfig {
+            n_train: 200,
+            n_valid: 0,
+            n_test: 0,
+            employer_typo_rate: 0.3,
+            ..Default::default()
+        };
+        let s = HiringScenario::generate(&cfg);
+        let exact = s
+            .train
+            .inner_join(&s.employers, "employer", "employer")
+            .unwrap();
+        assert!(
+            exact.num_rows() < s.train.num_rows(),
+            "typos must break some exact matches"
+        );
+        let fuzzy = s
+            .train
+            .fuzzy_join(&s.employers, "employer", "employer", 1)
+            .unwrap();
+        // A single-character typo is within edit distance 1 of its source.
+        assert_eq!(fuzzy.num_rows(), s.train.num_rows());
+        assert!(fuzzy.schema().contains("industry_score"));
+    }
+
+    #[test]
+    fn zero_typo_rate_keeps_exact_joins_total() {
+        let cfg = HiringConfig {
+            n_train: 80,
+            n_valid: 0,
+            n_test: 0,
+            employer_typo_rate: 0.0,
+            ..Default::default()
+        };
+        let s = HiringScenario::generate(&cfg);
+        let exact = s
+            .train
+            .inner_join(&s.employers, "employer", "employer")
+            .unwrap();
+        assert_eq!(exact.num_rows(), 80);
+    }
+
+    #[test]
+    fn labels_helper_maps_classes() {
+        let s = HiringScenario::generate(&HiringConfig {
+            n_train: 4,
+            n_valid: 0,
+            n_test: 0,
+            ..Default::default()
+        });
+        assert_eq!(HiringScenario::labels(&s.train), vec![1, 0, 1, 0]);
+    }
+}

@@ -1,0 +1,206 @@
+//! Template-grammar generation of recommendation letters with sentiment
+//! labels — the text data of the paper's hands-on scenario (Figure 2 shows
+//! letters such as "…engaged in actions that undermined our project…").
+
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::{Rng, SeedableRng};
+
+/// Letter sentiment (the classification target).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sentiment {
+    /// A supportive letter.
+    Positive,
+    /// A critical letter.
+    Negative,
+}
+
+impl Sentiment {
+    /// Label string used in tables ("positive"/"negative").
+    pub fn label(self) -> &'static str {
+        match self {
+            Sentiment::Positive => "positive",
+            Sentiment::Negative => "negative",
+        }
+    }
+
+    /// Class index with the sorted-vocabulary convention of the encoders
+    /// (`negative` = 0, `positive` = 1).
+    pub fn class_index(self) -> usize {
+        match self {
+            Sentiment::Negative => 0,
+            Sentiment::Positive => 1,
+        }
+    }
+
+    /// The opposite sentiment.
+    pub fn flipped(self) -> Sentiment {
+        match self {
+            Sentiment::Positive => Sentiment::Negative,
+            Sentiment::Negative => Sentiment::Positive,
+        }
+    }
+}
+
+const POSITIVE_PHRASES: &[&str] = &[
+    "demonstrated exceptional dedication and outstanding technical skill",
+    "consistently exceeded expectations on every project milestone",
+    "showed brilliant initiative and remarkable problem solving ability",
+    "was a superb collaborator praised by the entire team",
+    "delivered excellent results ahead of schedule with great care",
+    "earned my strongest possible endorsement through impressive work",
+    "displayed admirable leadership and inspiring work ethic",
+    "produced innovative solutions that delighted our clients",
+    "has extraordinary talent and a generous collaborative spirit",
+    "handled every challenge with grace and impressive competence",
+];
+
+const NEGATIVE_PHRASES: &[&str] = &[
+    "engaged in actions that undermined our project and raised serious concerns",
+    "repeatedly missed deadlines and ignored critical feedback",
+    "produced careless work requiring constant supervision and rework",
+    "showed poor judgment and a dismissive attitude toward colleagues",
+    "failed to meet the basic expectations of the role",
+    "caused regrettable friction and avoidable conflicts within the team",
+    "demonstrated weak technical fundamentals and little improvement",
+    "was unreliable under pressure and resistant to guidance",
+    "left tasks unfinished and communicated evasively about progress",
+    "displayed a troubling lack of accountability for mistakes",
+];
+
+const NEUTRAL_PHRASES: &[&str] = &[
+    "worked with our group for several quarters",
+    "was assigned to the data platform initiative",
+    "attended the weekly planning meetings",
+    "joined the team during the spring hiring cycle",
+    "was responsible for routine reporting duties",
+    "collaborated with the analytics department on occasion",
+    "expressed a willingness to develop better time management skills",
+    "has a background in statistics and software development",
+    "relocated to our regional office midway through the engagement",
+    "completed the standard onboarding and compliance training",
+];
+
+const OPENINGS: &[&str] = &[
+    "To whom it may concern:",
+    "Dear hiring committee,",
+    "I am writing regarding this applicant.",
+    "It is my duty to provide this reference.",
+];
+
+/// Deterministic generator of labeled letters.
+///
+/// `signal` in `[0, 1]` controls class separability: each sentiment-bearing
+/// slot draws from the letter's own class pool with probability `signal` and
+/// from the opposite pool otherwise, so lower signal yields noisier, harder
+/// data (the knob behind the "accuracy ≈ 0.76 with errors" regime of the
+/// paper's Figure 2).
+#[derive(Debug, Clone)]
+pub struct LetterGenerator {
+    rng: StdRng,
+    /// Class-signal strength in `[0, 1]`.
+    pub signal: f64,
+    /// Number of sentiment-bearing phrases per letter.
+    pub body_phrases: usize,
+    /// Number of neutral filler phrases per letter.
+    pub filler_phrases: usize,
+}
+
+impl LetterGenerator {
+    /// Creates a generator with the given seed and signal strength.
+    pub fn new(seed: u64, signal: f64) -> Self {
+        LetterGenerator {
+            rng: StdRng::seed_from_u64(seed),
+            signal: signal.clamp(0.0, 1.0),
+            body_phrases: 3,
+            filler_phrases: 2,
+        }
+    }
+
+    /// Generates one letter of the given sentiment.
+    pub fn letter(&mut self, sentiment: Sentiment) -> String {
+        let opening = OPENINGS.choose(&mut self.rng).expect("non-empty pool");
+        let mut sentences: Vec<String> = vec![(*opening).to_owned()];
+        let (own, other) = match sentiment {
+            Sentiment::Positive => (POSITIVE_PHRASES, NEGATIVE_PHRASES),
+            Sentiment::Negative => (NEGATIVE_PHRASES, POSITIVE_PHRASES),
+        };
+        for slot in 0..(self.body_phrases + self.filler_phrases) {
+            let phrase = if slot % 2 == 1 && slot / 2 < self.filler_phrases {
+                NEUTRAL_PHRASES.choose(&mut self.rng).expect("non-empty pool")
+            } else if self.rng.random_bool(self.signal) {
+                own.choose(&mut self.rng).expect("non-empty pool")
+            } else {
+                other.choose(&mut self.rng).expect("non-empty pool")
+            };
+            sentences.push(format!("The candidate {phrase}."));
+        }
+        sentences.join(" ")
+    }
+
+    /// Generates `n` letters with alternating sentiments, returning
+    /// `(text, sentiment)` pairs (even index → positive).
+    pub fn letters(&mut self, n: usize) -> Vec<(String, Sentiment)> {
+        (0..n)
+            .map(|i| {
+                let s = if i % 2 == 0 { Sentiment::Positive } else { Sentiment::Negative };
+                (self.letter(s), s)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sentiment_helpers() {
+        assert_eq!(Sentiment::Positive.label(), "positive");
+        assert_eq!(Sentiment::Negative.class_index(), 0);
+        assert_eq!(Sentiment::Positive.flipped(), Sentiment::Negative);
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let mut a = LetterGenerator::new(7, 0.9);
+        let mut b = LetterGenerator::new(7, 0.9);
+        assert_eq!(a.letter(Sentiment::Positive), b.letter(Sentiment::Positive));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = LetterGenerator::new(1, 0.9);
+        let mut b = LetterGenerator::new(2, 0.9);
+        assert_ne!(a.letter(Sentiment::Positive), b.letter(Sentiment::Positive));
+    }
+
+    #[test]
+    fn high_signal_letters_use_own_pool() {
+        let mut g = LetterGenerator::new(3, 1.0);
+        let letter = g.letter(Sentiment::Negative);
+        let has_negative = NEGATIVE_PHRASES.iter().any(|p| letter.contains(p));
+        let has_positive = POSITIVE_PHRASES.iter().any(|p| letter.contains(p));
+        assert!(has_negative);
+        assert!(!has_positive);
+    }
+
+    #[test]
+    fn batch_alternates_sentiments() {
+        let mut g = LetterGenerator::new(5, 0.8);
+        let batch = g.letters(10);
+        assert_eq!(batch.len(), 10);
+        assert_eq!(batch[0].1, Sentiment::Positive);
+        assert_eq!(batch[1].1, Sentiment::Negative);
+        let positives = batch.iter().filter(|(_, s)| *s == Sentiment::Positive).count();
+        assert_eq!(positives, 5);
+    }
+
+    #[test]
+    fn letters_contain_multiple_sentences() {
+        let mut g = LetterGenerator::new(9, 0.9);
+        let letter = g.letter(Sentiment::Positive);
+        assert!(letter.matches('.').count() >= 4);
+        assert!(letter.len() > 100);
+    }
+}

@@ -1,0 +1,27 @@
+#![deny(missing_docs)]
+//! # nde-datagen
+//!
+//! The data substrate of the paper's hands-on session: a synthetic *hiring
+//! scenario* — recommendation letters with sentiment labels plus side tables
+//! of demographic, job and social-media details — together with injectors
+//! for every error class in the paper's Figure 1 taxonomy (missing, wrong,
+//! invalid, biased, out-of-distribution, duplicated values).
+//!
+//! The paper's own dataset is synthetic and unreleased; this module
+//! generates an equivalent one with controllable class signal, so every
+//! downstream experiment (Figures 2–4) can be regenerated deterministically
+//! from a seed.
+//!
+//! Every injector returns an [`errors::InjectionReport`] listing exactly
+//! which rows were corrupted — the ground truth against which the detection
+//! methods of `nde-importance` are scored.
+
+pub mod clinical;
+pub mod errors;
+pub mod hiring;
+pub mod letters;
+
+pub use clinical::{ClinicalConfig, ClinicalScenario};
+pub use errors::InjectionReport;
+pub use hiring::{HiringConfig, HiringScenario};
+pub use letters::{LetterGenerator, Sentiment};

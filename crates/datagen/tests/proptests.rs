@@ -1,0 +1,140 @@
+//! Property-based tests for the error injectors: the ground-truth reports
+//! must exactly describe the corruption, injections must touch only their
+//! target column, and everything must be seed-deterministic — the
+//! invariants every detection experiment in the workspace relies on.
+
+use nde_datagen::errors::{
+    flip_labels, inject_duplicates, inject_invalid, inject_missing, inject_outliers,
+    selection_bias, Mechanism,
+};
+use nde_tabular::Table;
+use proptest::prelude::*;
+
+fn arb_table() -> impl Strategy<Value = Table> {
+    (3usize..40).prop_flat_map(|n| {
+        (
+            prop::collection::vec(-100.0f64..100.0, n..=n),
+            prop::collection::vec(0usize..2, n..=n),
+            prop::collection::vec(0usize..3, n..=n),
+        )
+            .prop_map(|(xs, labels, groups)| {
+                Table::builder()
+                    .float("x", xs)
+                    .str(
+                        "label",
+                        labels
+                            .iter()
+                            .map(|&l| if l == 0 { "negative" } else { "positive" })
+                            .collect::<Vec<_>>(),
+                    )
+                    .str(
+                        "group",
+                        groups
+                            .iter()
+                            .map(|&g| ["a", "b", "c"][g])
+                            .collect::<Vec<_>>(),
+                    )
+                    .build()
+                    .unwrap()
+            })
+    })
+}
+
+proptest! {
+    /// flip_labels: exactly the reported rows change, only in the label
+    /// column, and the new label differs from the old one.
+    #[test]
+    fn flip_report_is_exact(table in arb_table(), fraction in 0.0f64..1.0, seed in any::<u64>()) {
+        let (dirty, report) = flip_labels(&table, "label", fraction, seed).unwrap();
+        prop_assert_eq!(dirty.num_rows(), table.num_rows());
+        for i in 0..table.num_rows() {
+            let label_changed =
+                dirty.get(i, "label").unwrap() != table.get(i, "label").unwrap();
+            prop_assert_eq!(label_changed, report.is_affected(i));
+            // Other columns untouched.
+            prop_assert_eq!(dirty.get(i, "x").unwrap(), table.get(i, "x").unwrap());
+            prop_assert_eq!(dirty.get(i, "group").unwrap(), table.get(i, "group").unwrap());
+        }
+        let mut vocab: Vec<String> = (0..table.num_rows())
+            .map(|i| table.get(i, "label").unwrap().to_string())
+            .collect();
+        vocab.sort();
+        vocab.dedup();
+        if vocab.len() < 2 {
+            // Single-label tables have nothing to flip to.
+            prop_assert_eq!(report.count(), 0);
+        } else {
+            let expected = ((table.num_rows() as f64) * fraction).round() as usize;
+            prop_assert_eq!(report.count(), expected.min(table.num_rows()));
+        }
+    }
+
+    /// inject_missing: exactly the reported cells are nulled; count follows
+    /// the fraction of non-null candidates.
+    #[test]
+    fn missing_report_is_exact(
+        table in arb_table(),
+        fraction in 0.0f64..1.0,
+        seed in any::<u64>(),
+        mnar in any::<bool>(),
+    ) {
+        let mechanism = if mnar { Mechanism::Mnar } else { Mechanism::Mcar };
+        let (dirty, report) = inject_missing(&table, "x", fraction, mechanism, seed).unwrap();
+        for i in 0..table.num_rows() {
+            let nulled = dirty.column("x").unwrap().is_null(i);
+            prop_assert_eq!(nulled, report.is_affected(i));
+        }
+        let expected = ((table.num_rows() as f64) * fraction).round() as usize;
+        prop_assert_eq!(report.count(), expected);
+    }
+
+    /// Outliers and invalid values corrupt exactly the reported rows.
+    #[test]
+    fn cell_corruptions_match_reports(table in arb_table(), seed in any::<u64>()) {
+        let (out, rep) = inject_outliers(&table, "x", 0.3, 6.0, seed).unwrap();
+        for i in 0..table.num_rows() {
+            let changed = out.get(i, "x").unwrap() != table.get(i, "x").unwrap();
+            prop_assert_eq!(changed, rep.is_affected(i));
+        }
+        let (inv, rep) = inject_invalid(&table, "group", 0.3, seed).unwrap();
+        for &i in &rep.affected {
+            let cell = inv.get(i, "group").unwrap();
+            prop_assert_eq!(cell.as_str(), Some("N/A"));
+        }
+    }
+
+    /// Selection bias: output = input minus exactly the reported rows, in
+    /// order.
+    #[test]
+    fn selection_bias_is_a_subsequence(table in arb_table(), p in 0.0f64..1.0, seed in any::<u64>()) {
+        let (biased, report) = selection_bias(&table, "group", "a", p, seed).unwrap();
+        prop_assert_eq!(biased.num_rows() + report.count(), table.num_rows());
+        let dropped: std::collections::HashSet<usize> =
+            report.affected.iter().copied().collect();
+        let kept: Vec<usize> =
+            (0..table.num_rows()).filter(|i| !dropped.contains(i)).collect();
+        prop_assert_eq!(biased, table.take(&kept).unwrap());
+    }
+
+    /// Duplicates: originals untouched, appended rows reported.
+    #[test]
+    fn duplicates_preserve_originals(table in arb_table(), n_dup in 0usize..10, seed in any::<u64>()) {
+        let (out, report) = inject_duplicates(&table, n_dup, 0.05, seed).unwrap();
+        prop_assert_eq!(out.num_rows(), table.num_rows() + n_dup);
+        prop_assert_eq!(report.count(), n_dup);
+        for i in 0..table.num_rows() {
+            prop_assert_eq!(out.row_values(i).unwrap(), table.row_values(i).unwrap());
+        }
+    }
+
+    /// All injectors are deterministic in the seed.
+    #[test]
+    fn injectors_are_deterministic(table in arb_table(), seed in any::<u64>()) {
+        let a = flip_labels(&table, "label", 0.4, seed).unwrap();
+        let b = flip_labels(&table, "label", 0.4, seed).unwrap();
+        prop_assert_eq!(a, b);
+        let a = inject_missing(&table, "x", 0.4, Mechanism::Mnar, seed).unwrap();
+        let b = inject_missing(&table, "x", 0.4, Mechanism::Mnar, seed).unwrap();
+        prop_assert_eq!(a, b);
+    }
+}

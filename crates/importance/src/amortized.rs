@@ -1,0 +1,98 @@
+//! Stochastic amortization (Covert et al. 2024): fit a cheap regression
+//! model from example features to *noisy* attribution estimates computed on
+//! a labeled subsample, then predict attributions for the whole dataset —
+//! one of the survey's answers to the cost of exact valuation.
+
+use nde_learners::dataset::{ClassDataset, RegDataset};
+use nde_learners::models::linear::LinearRegression;
+use nde_learners::{LearnError, Result};
+
+/// Amortizes attribution scores: `labeled` pairs each sampled example index
+/// with its (noisy) attribution estimate; the returned vector predicts a
+/// score for *every* example from its features (and label, appended as an
+/// extra feature so same-location/different-label points can diverge).
+pub fn amortize_scores(
+    data: &ClassDataset,
+    labeled: &[(usize, f64)],
+    l2: f64,
+) -> Result<Vec<f64>> {
+    if labeled.is_empty() {
+        return Err(LearnError::EmptyDataset);
+    }
+    if let Some(&(bad, _)) = labeled.iter().find(|(i, _)| *i >= data.len()) {
+        return Err(LearnError::DimensionMismatch {
+            detail: format!("labeled index {bad} out of range for {} examples", data.len()),
+        });
+    }
+    let featurize = |i: usize| -> Vec<f64> {
+        let mut row = data.x.row(i).to_vec();
+        // One-hot label features let the surrogate separate the classes.
+        for k in 0..data.n_classes {
+            row.push(f64::from(u8::from(data.y[i] == k)));
+        }
+        row
+    };
+    let rows: Vec<Vec<f64>> = labeled.iter().map(|&(i, _)| featurize(i)).collect();
+    let targets: Vec<f64> = labeled.iter().map(|&(_, s)| s).collect();
+    let train = RegDataset::new(nde_learners::Matrix::from_rows(&rows)?, targets)?;
+    let model = LinearRegression::new(l2.max(1e-8)).fit(&train)?;
+    Ok((0..data.len()).map(|i| model.predict(&featurize(i))).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nde_learners::Matrix;
+
+    fn dataset() -> ClassDataset {
+        let rows: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![i as f64 / 10.0, ((i * 7) % 11) as f64 / 11.0])
+            .collect();
+        let y: Vec<usize> = (0..40).map(|i| i % 2).collect();
+        ClassDataset::new(Matrix::from_rows(&rows).unwrap(), y, 2).unwrap()
+    }
+
+    #[test]
+    fn recovers_linear_attribution_structure() {
+        let data = dataset();
+        // Ground-truth attribution is a linear function of the features.
+        let truth: Vec<f64> = (0..data.len())
+            .map(|i| 2.0 * data.x.get(i, 0) - 1.0 * data.x.get(i, 1) + 0.3)
+            .collect();
+        // Label half the points with noiseless scores.
+        let labeled: Vec<(usize, f64)> =
+            (0..data.len()).step_by(2).map(|i| (i, truth[i])).collect();
+        let predicted = amortize_scores(&data, &labeled, 1e-8).unwrap();
+        for (p, t) in predicted.iter().zip(&truth) {
+            assert!((p - t).abs() < 1e-4, "{p} vs {t}");
+        }
+    }
+
+    #[test]
+    fn smooths_noise_toward_signal() {
+        let data = dataset();
+        let truth: Vec<f64> = (0..data.len()).map(|i| data.x.get(i, 0)).collect();
+        // Alternating ±0.5 noise on the labeled scores.
+        let labeled: Vec<(usize, f64)> = (0..data.len())
+            .map(|i| (i, truth[i] + if i % 2 == 0 { 0.5 } else { -0.5 }))
+            .collect();
+        let predicted = amortize_scores(&data, &labeled, 1e-4).unwrap();
+        let mse_pred: f64 = predicted
+            .iter()
+            .zip(&truth)
+            .map(|(p, t)| (p - t) * (p - t))
+            .sum::<f64>()
+            / truth.len() as f64;
+        // The noisy labels themselves have MSE 0.25; the surrogate must
+        // improve on them substantially (the noise correlates with label
+        // parity, which the surrogate can partly absorb — still < 0.25).
+        assert!(mse_pred < 0.25, "mse {mse_pred}");
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let data = dataset();
+        assert!(amortize_scores(&data, &[], 1e-4).is_err());
+        assert!(amortize_scores(&data, &[(999, 0.0)], 1e-4).is_err());
+    }
+}

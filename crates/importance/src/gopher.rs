@@ -1,0 +1,202 @@
+//! Fairness-oriented subset explanations in the spirit of Gopher
+//! (Pradhan, Zhu, Glavic & Salimi, SIGMOD 2022): find compact, predicate-
+//! described subsets of the training data whose removal most reduces a
+//! fairness violation, ranked by per-tuple improvement ("interestingness").
+
+use nde_tabular::{Table, Value};
+
+/// A conjunction of equality predicates over table columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pattern {
+    /// `(column, value)` equality conjuncts.
+    pub predicates: Vec<(String, Value)>,
+}
+
+impl Pattern {
+    /// Whether row `i` of `table` satisfies every conjunct.
+    pub fn matches(&self, table: &Table, i: usize) -> bool {
+        self.predicates.iter().all(|(col, val)| {
+            table
+                .get(i, col)
+                .map(|cell| &cell == val)
+                .unwrap_or(false)
+        })
+    }
+
+    /// All matching row indices.
+    pub fn support(&self, table: &Table) -> Vec<usize> {
+        (0..table.num_rows()).filter(|&i| self.matches(table, i)).collect()
+    }
+}
+
+impl std::fmt::Display for Pattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let parts: Vec<String> = self
+            .predicates
+            .iter()
+            .map(|(c, v)| format!("{c}={v}"))
+            .collect();
+        write!(f, "{}", parts.join(" ∧ "))
+    }
+}
+
+/// One ranked explanation.
+#[derive(Debug, Clone)]
+pub struct PatternExplanation {
+    /// The removal pattern.
+    pub pattern: Pattern,
+    /// Number of training rows it removes.
+    pub support: usize,
+    /// Reduction of the fairness violation when the subset is removed
+    /// (positive = removal helps).
+    pub violation_reduction: f64,
+    /// Reduction per removed tuple — Gopher's interestingness score.
+    pub interestingness: f64,
+}
+
+/// Enumerates candidate patterns (single conjuncts and pairs over the given
+/// categorical columns), scores each by retraining without its support via
+/// `violation_of`, and returns explanations sorted by interestingness.
+///
+/// `violation_of(removed_rows)` must return the fairness violation (lower =
+/// fairer) of the model trained on `table` minus `removed_rows`.
+pub fn fairness_explanations(
+    table: &Table,
+    candidate_cols: &[&str],
+    max_conjuncts: usize,
+    min_support: usize,
+    violation_of: &dyn Fn(&[usize]) -> f64,
+) -> nde_tabular::Result<Vec<PatternExplanation>> {
+    let baseline = violation_of(&[]);
+    let mut patterns: Vec<Pattern> = Vec::new();
+
+    // Distinct values per candidate column.
+    let mut column_values: Vec<(String, Vec<Value>)> = Vec::new();
+    for &col in candidate_cols {
+        let column = table.column(col)?;
+        let mut vals: Vec<Value> = Vec::new();
+        for v in column.iter().filter(|v| !v.is_null()) {
+            if !vals.contains(&v) {
+                vals.push(v);
+            }
+        }
+        column_values.push((col.to_owned(), vals));
+    }
+
+    // Single-conjunct patterns.
+    for (col, vals) in &column_values {
+        for v in vals {
+            patterns.push(Pattern { predicates: vec![(col.clone(), v.clone())] });
+        }
+    }
+    // Two-conjunct patterns across distinct columns.
+    if max_conjuncts >= 2 {
+        for a in 0..column_values.len() {
+            for b in (a + 1)..column_values.len() {
+                let (ca, va) = &column_values[a];
+                let (cb, vb) = &column_values[b];
+                for x in va {
+                    for y in vb {
+                        patterns.push(Pattern {
+                            predicates: vec![(ca.clone(), x.clone()), (cb.clone(), y.clone())],
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    let mut explanations: Vec<PatternExplanation> = Vec::new();
+    for pattern in patterns {
+        let support = pattern.support(table);
+        if support.len() < min_support || support.len() == table.num_rows() {
+            continue;
+        }
+        let violation = violation_of(&support);
+        let reduction = baseline - violation;
+        explanations.push(PatternExplanation {
+            interestingness: reduction / support.len() as f64,
+            violation_reduction: reduction,
+            support: support.len(),
+            pattern,
+        });
+    }
+    explanations.sort_by(|a, b| b.interestingness.total_cmp(&a.interestingness));
+    Ok(explanations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Table {
+        Table::builder()
+            .str("sex", ["f", "f", "m", "m", "f", "m"])
+            .str("degree", ["bsc", "msc", "bsc", "msc", "bsc", "bsc"])
+            .int("id", [0, 1, 2, 3, 4, 5])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn pattern_matching_and_support() {
+        let t = demo();
+        let p = Pattern { predicates: vec![("sex".into(), Value::from("f"))] };
+        assert_eq!(p.support(&t), vec![0, 1, 4]);
+        let p2 = Pattern {
+            predicates: vec![
+                ("sex".into(), Value::from("m")),
+                ("degree".into(), Value::from("bsc")),
+            ],
+        };
+        assert_eq!(p2.support(&t), vec![2, 5]);
+        assert_eq!(p2.to_string(), "sex=m ∧ degree=bsc");
+    }
+
+    #[test]
+    fn explanations_rank_the_responsible_subset_first() {
+        let t = demo();
+        // Synthetic violation: entirely caused by rows {2, 5} (m ∧ bsc);
+        // removing them zeroes the violation, removing anything else
+        // doesn't help.
+        let violation = |removed: &[usize]| {
+            let has2 = removed.contains(&2);
+            let has5 = removed.contains(&5);
+            match (has2, has5) {
+                (true, true) => 0.0,
+                (true, false) | (false, true) => 0.5,
+                (false, false) => 1.0,
+            }
+        };
+        let ex = fairness_explanations(&t, &["sex", "degree"], 2, 1, &violation).unwrap();
+        let top = &ex[0];
+        assert_eq!(top.pattern.to_string(), "sex=m ∧ degree=bsc");
+        assert_eq!(top.support, 2);
+        assert!((top.violation_reduction - 1.0).abs() < 1e-12);
+        assert!((top.interestingness - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_support_filters_tiny_patterns() {
+        let t = demo();
+        let ex = fairness_explanations(&t, &["sex", "degree"], 2, 3, &|_| 0.0).unwrap();
+        for e in &ex {
+            assert!(e.support >= 3);
+        }
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let t = demo();
+        assert!(fairness_explanations(&t, &["nope"], 1, 1, &|_| 0.0).is_err());
+    }
+
+    #[test]
+    fn full_table_pattern_excluded() {
+        // A single-valued column would match all rows; such patterns are
+        // not explanations and must be skipped.
+        let t = Table::builder().str("g", ["a", "a", "a"]).build().unwrap();
+        let ex = fairness_explanations(&t, &["g"], 1, 1, &|_| 0.0).unwrap();
+        assert!(ex.is_empty());
+    }
+}

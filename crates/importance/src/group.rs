@@ -1,0 +1,116 @@
+//! Group Shapley: valuation over a *partition* of the training data
+//! (batches, sources, annotators) instead of single examples — the standard
+//! trick for scaling valuation to large data, and the building block for
+//! source-level debugging over pipelines.
+
+use crate::semivalue::{exact_shapley, tmc_shapley, ImportanceError, McConfig};
+use crate::utility::Utility;
+
+/// A utility over groups, induced by a base utility and a partition:
+/// `v_G(T) = v(⋃_{g∈T} group_g)`.
+pub struct GroupUtility<'a> {
+    base: &'a dyn Utility,
+    groups: &'a [Vec<usize>],
+}
+
+impl<'a> GroupUtility<'a> {
+    /// Wraps `base` over the given `groups` (disjointness is the caller's
+    /// responsibility; duplicate members would be double-counted).
+    pub fn new(base: &'a dyn Utility, groups: &'a [Vec<usize>]) -> Self {
+        GroupUtility { base, groups }
+    }
+}
+
+impl Utility for GroupUtility<'_> {
+    fn n(&self) -> usize {
+        self.groups.len()
+    }
+
+    fn eval(&self, subset: &[usize]) -> f64 {
+        let members: Vec<usize> = subset
+            .iter()
+            .flat_map(|&g| self.groups[g].iter().copied())
+            .collect();
+        self.base.eval(&members)
+    }
+}
+
+/// Monte Carlo group Shapley values (one value per group).
+pub fn group_shapley_mc(
+    base: &dyn Utility,
+    groups: &[Vec<usize>],
+    cfg: &McConfig,
+) -> Vec<f64> {
+    let util = GroupUtility::new(base, groups);
+    tmc_shapley(&util, cfg)
+}
+
+/// Exact group Shapley values (≤ 20 groups).
+pub fn group_shapley_exact(
+    base: &dyn Utility,
+    groups: &[Vec<usize>],
+) -> Result<Vec<f64>, ImportanceError> {
+    let util = GroupUtility::new(base, groups);
+    exact_shapley(&util)
+}
+
+/// Partitions `0..n` into `k` contiguous groups of near-equal size.
+pub fn contiguous_groups(n: usize, k: usize) -> Vec<Vec<usize>> {
+    let k = k.max(1);
+    let n_groups = k.min(n.max(1));
+    let mut groups = vec![Vec::new(); n_groups];
+    for i in 0..n {
+        groups[i * n_groups / n.max(1)].push(i);
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::utility::test_util::AdditiveUtility;
+
+    #[test]
+    fn group_value_of_additive_game_is_group_sum() {
+        let base = AdditiveUtility { weights: vec![1.0, 2.0, 3.0, 4.0] };
+        let groups = vec![vec![0, 1], vec![2, 3]];
+        let phi = group_shapley_exact(&base, &groups).unwrap();
+        assert!((phi[0] - 3.0).abs() < 1e-12);
+        assert!((phi[1] - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mc_matches_exact_for_groups() {
+        let base = AdditiveUtility { weights: vec![1.0, -1.0, 0.5, 0.5, 2.0] };
+        let groups = vec![vec![0], vec![1, 2], vec![3, 4]];
+        let exact = group_shapley_exact(&base, &groups).unwrap();
+        let mc = group_shapley_mc(&base, &groups, &McConfig::new(2000, 3));
+        for (e, m) in exact.iter().zip(&mc) {
+            assert!((e - m).abs() < 0.2, "{exact:?} vs {mc:?}");
+        }
+    }
+
+    #[test]
+    fn contiguous_groups_partition_everything() {
+        let groups = contiguous_groups(10, 3);
+        assert_eq!(groups.len(), 3);
+        let all: Vec<usize> = groups.iter().flatten().copied().collect();
+        let mut sorted = all.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..10).collect::<Vec<_>>());
+        // Near-equal sizes.
+        for g in &groups {
+            assert!(g.len() >= 3 && g.len() <= 4);
+        }
+    }
+
+    #[test]
+    fn contiguous_groups_edge_cases() {
+        assert_eq!(contiguous_groups(0, 3).iter().flatten().count(), 0);
+        let one = contiguous_groups(5, 1);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].len(), 5);
+        let more_groups_than_items = contiguous_groups(2, 10);
+        assert_eq!(more_groups_than_items.iter().flatten().count(), 2);
+    }
+}

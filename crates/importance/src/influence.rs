@@ -1,0 +1,203 @@
+//! Gradient-based influence functions (Koh & Liang 2017) for binary
+//! logistic regression — the survey's "gradient-based methods" family.
+//!
+//! The influence of *removing* training point `z` on the validation loss is
+//! approximated (to first order) by `φ(z) = ∇L_valᵀ H⁻¹ ∇ℓ(z)`, where `H`
+//! is the training-loss Hessian at the optimum. A point whose removal
+//! *increases* validation loss is valuable (`φ > 0`); harmful (e.g.
+//! mislabeled) points get `φ < 0` — matching this crate's lower-is-worse
+//! convention.
+
+use nde_learners::dataset::ClassDataset;
+use nde_learners::matrix::{dot, Matrix};
+use nde_learners::{LearnError, Result};
+
+/// Configuration for influence computation.
+#[derive(Debug, Clone)]
+pub struct InfluenceConfig {
+    /// Gradient-descent learning rate for the internal logistic fit.
+    pub learning_rate: f64,
+    /// Gradient-descent epochs.
+    pub epochs: usize,
+    /// L2 regularization (also damps the Hessian, keeping it invertible).
+    pub l2: f64,
+}
+
+impl Default for InfluenceConfig {
+    fn default() -> Self {
+        InfluenceConfig { learning_rate: 0.5, epochs: 300, l2: 1e-3 }
+    }
+}
+
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+/// Trains binary logistic regression by full-batch GD; returns the
+/// parameter vector `θ = (w₁..w_d, b)`.
+fn fit_binary(data: &ClassDataset, cfg: &InfluenceConfig) -> Vec<f64> {
+    let (n, d) = (data.len(), data.n_features());
+    let mut theta = vec![0.0f64; d + 1];
+    let inv_n = 1.0 / n.max(1) as f64;
+    let mut grad = vec![0.0f64; d + 1];
+    for _ in 0..cfg.epochs {
+        grad.iter_mut().for_each(|g| *g = 0.0);
+        for i in 0..n {
+            let xi = data.x.row(i);
+            let p = sigmoid(dot(&theta[..d], xi) + theta[d]);
+            let err = p - data.y[i] as f64;
+            for (g, &x) in grad[..d].iter_mut().zip(xi) {
+                *g += err * x;
+            }
+            grad[d] += err;
+        }
+        for j in 0..d {
+            theta[j] -= cfg.learning_rate * (grad[j] * inv_n + cfg.l2 * theta[j]);
+        }
+        theta[d] -= cfg.learning_rate * grad[d] * inv_n;
+    }
+    theta
+}
+
+/// Per-example gradient of the logistic loss at `θ`: `(p − y)·x̃`.
+fn point_gradient(theta: &[f64], x: &[f64], y: usize) -> Vec<f64> {
+    let d = x.len();
+    let p = sigmoid(dot(&theta[..d], x) + theta[d]);
+    let err = p - y as f64;
+    let mut g: Vec<f64> = x.iter().map(|&xi| err * xi).collect();
+    g.push(err);
+    g
+}
+
+/// Influence-function importance scores for every training point.
+///
+/// Returns [`LearnError::InvalidParameter`] for non-binary datasets.
+pub fn influence_scores(
+    train: &ClassDataset,
+    valid: &ClassDataset,
+    cfg: &InfluenceConfig,
+) -> Result<Vec<f64>> {
+    if train.n_classes != 2 || valid.n_classes != 2 {
+        return Err(LearnError::InvalidParameter {
+            detail: "influence functions are implemented for binary classification".into(),
+        });
+    }
+    if train.is_empty() {
+        return Ok(Vec::new());
+    }
+    let d = train.n_features();
+    let theta = fit_binary(train, cfg);
+
+    // Hessian of the (regularized) training loss:
+    // H = (1/n) Σ p(1-p) x̃x̃ᵀ + λ·diag(1,…,1,0).
+    let dim = d + 1;
+    let mut h = Matrix::zeros(dim, dim);
+    for i in 0..train.len() {
+        let xi = train.x.row(i);
+        let p = sigmoid(dot(&theta[..d], xi) + theta[d]);
+        let w = p * (1.0 - p) / train.len() as f64;
+        let mut xt: Vec<f64> = xi.to_vec();
+        xt.push(1.0);
+        for a in 0..dim {
+            if xt[a] == 0.0 {
+                continue;
+            }
+            for b in 0..dim {
+                let v = h.get(a, b) + w * xt[a] * xt[b];
+                h.set(a, b, v);
+            }
+        }
+    }
+    for j in 0..d {
+        h.set(j, j, h.get(j, j) + cfg.l2);
+    }
+    // Damping keeps H invertible even for separable data.
+    h.add_ridge(1e-6);
+
+    // Mean validation gradient.
+    let mut g_val = vec![0.0f64; dim];
+    for v in 0..valid.len() {
+        let g = point_gradient(&theta, valid.x.row(v), valid.y[v]);
+        for (a, b) in g_val.iter_mut().zip(g) {
+            *a += b;
+        }
+    }
+    g_val.iter_mut().for_each(|g| *g /= valid.len().max(1) as f64);
+
+    // s = H⁻¹ g_val, then φᵢ = s · ∇ℓᵢ.
+    let s = h.solve(&g_val)?;
+    Ok((0..train.len())
+        .map(|i| dot(&s, &point_gradient(&theta, train.x.row(i), train.y[i])))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nde_learners::matrix::Matrix;
+
+    fn blobs_with_mislabeled(flip: &[usize]) -> (ClassDataset, ClassDataset) {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..20 {
+            let jitter = (i % 5) as f64 * 0.05;
+            rows.push(vec![-1.0 - jitter]);
+            y.push(0);
+            rows.push(vec![1.0 + jitter]);
+            y.push(1);
+        }
+        for &i in flip {
+            y[i] = 1 - y[i];
+        }
+        let train = ClassDataset::new(Matrix::from_rows(&rows).unwrap(), y, 2).unwrap();
+        let valid = ClassDataset::new(
+            Matrix::from_rows(&[vec![-1.1], vec![-0.9], vec![0.9], vec![1.1]]).unwrap(),
+            vec![0, 0, 1, 1],
+            2,
+        )
+        .unwrap();
+        (train, valid)
+    }
+
+    #[test]
+    fn mislabeled_points_rank_lowest() {
+        let flipped = [0usize, 7];
+        let (train, valid) = blobs_with_mislabeled(&flipped);
+        let phi = influence_scores(&train, &valid, &InfluenceConfig::default()).unwrap();
+        let ranking = crate::rank::rank_ascending(&phi);
+        let worst_two: std::collections::HashSet<usize> = ranking[..2].iter().copied().collect();
+        assert!(worst_two.contains(&0) && worst_two.contains(&7), "{ranking:?}");
+        assert!(phi[0] < 0.0 && phi[7] < 0.0);
+    }
+
+    #[test]
+    fn clean_points_score_nonnegative_on_average() {
+        let (train, valid) = blobs_with_mislabeled(&[]);
+        let phi = influence_scores(&train, &valid, &InfluenceConfig::default()).unwrap();
+        let mean: f64 = phi.iter().sum::<f64>() / phi.len() as f64;
+        assert!(mean > -1e-6, "mean influence {mean}");
+    }
+
+    #[test]
+    fn multiclass_rejected() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0]]).unwrap();
+        let data = ClassDataset::new(x, vec![0, 1, 2], 3).unwrap();
+        assert!(influence_scores(&data, &data, &InfluenceConfig::default()).is_err());
+    }
+
+    #[test]
+    fn empty_training_set() {
+        let (train, valid) = blobs_with_mislabeled(&[]);
+        let empty = train.subset(&[]);
+        let phi = influence_scores(&empty, &valid, &InfluenceConfig::default()).unwrap();
+        assert!(phi.is_empty());
+    }
+
+    #[test]
+    fn deterministic() {
+        let (train, valid) = blobs_with_mislabeled(&[3]);
+        let a = influence_scores(&train, &valid, &InfluenceConfig::default()).unwrap();
+        let b = influence_scores(&train, &valid, &InfluenceConfig::default()).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,300 @@
+//! Exact KNN-Shapley (Jia et al., "Efficient task-specific data valuation
+//! for nearest neighbor algorithms", 2019) — the tutorial's main tool
+//! (`nde.knn_shapley_values` in Figure 2, the engine inside Datascope in
+//! Figure 3).
+//!
+//! For the K-NN utility (the fraction of the K nearest neighbors of a
+//! validation point that vote for its true label), Shapley values admit a
+//! closed-form recursion over training points sorted by distance, so the
+//! *exact* values cost `O(n log n)` per validation point instead of an
+//! exponential sum.
+
+use nde_learners::dataset::ClassDataset;
+use nde_learners::matrix::sq_dist;
+
+/// Exact Shapley values of every training point under the K-NN utility,
+/// averaged over all validation points. Lower = more harmful; mislabeled
+/// points that sit close to validation points get negative values.
+///
+/// ```
+/// use nde_importance::knn_shapley::knn_shapley;
+/// use nde_learners::{ClassDataset, Matrix};
+///
+/// // Two blobs; the point at x = 0.1 is mislabeled.
+/// let train = ClassDataset::new(
+///     Matrix::from_rows(&[vec![0.0], vec![0.2], vec![5.0], vec![0.1]]).unwrap(),
+///     vec![0, 0, 1, 1],
+///     2,
+/// ).unwrap();
+/// let valid = ClassDataset::new(
+///     Matrix::from_rows(&[vec![0.05], vec![0.15]]).unwrap(),
+///     vec![0, 0],
+///     2,
+/// ).unwrap();
+/// let phi = knn_shapley(&train, &valid, 1);
+/// let worst = (0..4).min_by(|&a, &b| phi[a].total_cmp(&phi[b])).unwrap();
+/// assert_eq!(worst, 3); // the mislabeled point
+/// assert!(phi[3] < 0.0);
+/// ```
+pub fn knn_shapley(train: &ClassDataset, valid: &ClassDataset, k: usize) -> Vec<f64> {
+    let n = train.len();
+    if n == 0 || valid.is_empty() {
+        return vec![0.0; n];
+    }
+    let k = k.max(1);
+    let mut scores = vec![0.0f64; n];
+    let mut order: Vec<usize> = (0..n).collect();
+    for v in 0..valid.len() {
+        let (xv, yv) = (valid.x.row(v), valid.y[v]);
+        // Sort training indices by distance to the validation point
+        // (ties by index, for determinism).
+        order.sort_by(|&a, &b| {
+            sq_dist(train.x.row(a), xv)
+                .total_cmp(&sq_dist(train.x.row(b), xv))
+                .then(a.cmp(&b))
+        });
+        // Backward recursion of Jia et al. (Theorem 1), 1-indexed positions.
+        // The base case uses min(K, N): when the training set is smaller
+        // than K, the farthest point still occupies a guaranteed vote slot.
+        let matches = |i: usize| f64::from(u8::from(train.y[i] == yv));
+        let mut s_next =
+            matches(order[n - 1]) * k.min(n) as f64 / (k as f64 * n as f64);
+        scores[order[n - 1]] += s_next;
+        for j in (1..n).rev() {
+            // position j (1-indexed) is order[j-1]; its successor is order[j].
+            let i = order[j - 1];
+            let s = s_next
+                + (matches(i) - matches(order[j])) / k as f64 * (k.min(j) as f64 / j as f64);
+            scores[i] += s;
+            s_next = s;
+        }
+    }
+    // Average contribution per validation point.
+    scores.iter_mut().for_each(|s| *s /= valid.len() as f64);
+    scores
+}
+
+/// Multi-threaded [`knn_shapley`]: validation points are embarrassingly
+/// parallel, so the scores are split across `threads` workers and summed.
+/// Produces exactly the same values as the serial version (addition order
+/// per training point is preserved by summing per-worker partials in
+/// worker order).
+pub fn knn_shapley_parallel(
+    train: &ClassDataset,
+    valid: &ClassDataset,
+    k: usize,
+    threads: usize,
+) -> Vec<f64> {
+    let threads = threads.max(1);
+    if threads == 1 || valid.len() < 2 * threads {
+        return knn_shapley(train, valid, k);
+    }
+    let n = train.len();
+    if n == 0 || valid.is_empty() {
+        return vec![0.0; n];
+    }
+    let chunk = valid.len().div_ceil(threads);
+    let mut partials: Vec<Vec<f64>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                scope.spawn(move || {
+                    let lo = t * chunk;
+                    let hi = ((t + 1) * chunk).min(valid.len());
+                    if lo >= hi {
+                        return vec![0.0; n];
+                    }
+                    let idx: Vec<usize> = (lo..hi).collect();
+                    let sub = valid.subset(&idx);
+                    // Undo the per-point averaging so partials are sums.
+                    let mut scores = knn_shapley(train, &sub, k);
+                    let weight = sub.len() as f64;
+                    scores.iter_mut().for_each(|s| *s *= weight);
+                    scores
+                })
+            })
+            .collect();
+        for handle in handles {
+            partials.push(handle.join().expect("knn-shapley worker panicked"));
+        }
+    });
+    let mut total = vec![0.0f64; n];
+    for partial in partials {
+        for (acc, v) in total.iter_mut().zip(partial) {
+            *acc += v;
+        }
+    }
+    total.iter_mut().for_each(|s| *s /= valid.len() as f64);
+    total
+}
+
+/// The K-NN utility this Shapley value decomposes: the mean, over
+/// validation points, of the fraction of each point's K nearest training
+/// neighbors whose label matches (Jia et al.'s probabilistic K-NN accuracy).
+pub fn knn_utility(train: &ClassDataset, valid: &ClassDataset, k: usize) -> f64 {
+    let n = train.len();
+    if n == 0 || valid.is_empty() {
+        return 0.0;
+    }
+    let k = k.max(1);
+    let mut total = 0.0;
+    let mut order: Vec<usize> = (0..n).collect();
+    for v in 0..valid.len() {
+        let (xv, yv) = (valid.x.row(v), valid.y[v]);
+        order.sort_by(|&a, &b| {
+            sq_dist(train.x.row(a), xv)
+                .total_cmp(&sq_dist(train.x.row(b), xv))
+                .then(a.cmp(&b))
+        });
+        let kk = k.min(n);
+        let correct = order[..kk].iter().filter(|&&i| train.y[i] == yv).count();
+        total += correct as f64 / k as f64;
+    }
+    total / valid.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semivalue::exact_shapley;
+    use crate::utility::Utility;
+    use nde_learners::matrix::Matrix;
+
+    fn dataset(points: &[(f64, usize)]) -> ClassDataset {
+        let rows: Vec<Vec<f64>> = points.iter().map(|&(x, _)| vec![x]).collect();
+        let y: Vec<usize> = points.iter().map(|&(_, y)| y).collect();
+        ClassDataset::new(Matrix::from_rows(&rows).unwrap(), y, 2).unwrap()
+    }
+
+    /// Brute-force oracle: the K-NN utility as a cooperative game, handed to
+    /// the exponential exact-Shapley enumerator.
+    struct KnnGame<'a> {
+        train: &'a ClassDataset,
+        valid: &'a ClassDataset,
+        k: usize,
+    }
+
+    impl Utility for KnnGame<'_> {
+        fn n(&self) -> usize {
+            self.train.len()
+        }
+
+        fn eval(&self, subset: &[usize]) -> f64 {
+            if subset.is_empty() {
+                return 0.0;
+            }
+            let sub = self.train.subset(subset);
+            knn_utility(&sub, self.valid, self.k)
+        }
+    }
+
+    #[test]
+    fn closed_form_matches_brute_force_enumeration() {
+        let train = dataset(&[(0.0, 0), (1.0, 1), (2.0, 0), (3.0, 1), (4.0, 0), (0.5, 1)]);
+        let valid = dataset(&[(0.2, 0), (3.5, 1)]);
+        for k in [1usize, 2, 3] {
+            let fast = knn_shapley(&train, &valid, k);
+            let game = KnnGame { train: &train, valid: &valid, k };
+            let slow = exact_shapley(&game).unwrap();
+            for (f, s) in fast.iter().zip(&slow) {
+                assert!((f - s).abs() < 1e-10, "k={k}: {fast:?} vs {slow:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn efficiency_sums_to_utility() {
+        let train = dataset(&[(0.0, 0), (0.3, 0), (5.0, 1), (5.5, 1), (2.0, 1)]);
+        let valid = dataset(&[(0.1, 0), (5.2, 1), (2.5, 0)]);
+        for k in [1usize, 3] {
+            let phi = knn_shapley(&train, &valid, k);
+            let total: f64 = phi.iter().sum();
+            let util = knn_utility(&train, &valid, k);
+            assert!((total - util).abs() < 1e-10, "k={k}: Σφ={total}, v(D)={util}");
+        }
+    }
+
+    #[test]
+    fn mislabeled_neighbor_gets_most_negative_score() {
+        // Blob 0 around x=0, blob 1 around x=5; a point at x=0.1 labeled 1
+        // is mislabeled and adjacent to validation points of class 0.
+        let train = dataset(&[(0.0, 0), (0.2, 0), (5.0, 1), (5.2, 1), (0.1, 1)]);
+        let valid = dataset(&[(0.05, 0), (0.15, 0)]);
+        let phi = knn_shapley(&train, &valid, 1);
+        let worst = phi
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert_eq!(worst, 4, "phi = {phi:?}");
+        assert!(phi[4] < 0.0);
+    }
+
+    #[test]
+    fn helpful_points_score_positive() {
+        let train = dataset(&[(0.0, 0), (5.0, 1)]);
+        let valid = dataset(&[(0.1, 0), (4.9, 1)]);
+        let phi = knn_shapley(&train, &valid, 1);
+        assert!(phi.iter().all(|&p| p > 0.0), "{phi:?}");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let train = dataset(&[(0.0, 0)]);
+        let empty = train.subset(&[]);
+        assert!(knn_shapley(&empty, &train, 1).is_empty());
+        assert_eq!(knn_shapley(&train, &empty, 1), vec![0.0]);
+        assert_eq!(knn_utility(&empty, &train, 1), 0.0);
+    }
+
+    #[test]
+    fn k_larger_than_n_is_well_defined() {
+        let train = dataset(&[(0.0, 0), (1.0, 1)]);
+        let valid = dataset(&[(0.1, 0)]);
+        let phi = knn_shapley(&train, &valid, 10);
+        let total: f64 = phi.iter().sum();
+        assert!((total - knn_utility(&train, &valid, 10)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let train = dataset(&[
+            (0.0, 0),
+            (0.5, 1),
+            (1.0, 0),
+            (2.0, 1),
+            (3.0, 0),
+            (4.0, 1),
+            (5.0, 0),
+        ]);
+        let valid = dataset(&[
+            (0.2, 0),
+            (1.5, 1),
+            (2.5, 0),
+            (3.5, 1),
+            (4.5, 0),
+            (0.9, 1),
+            (2.2, 0),
+            (3.8, 1),
+        ]);
+        for k in [1usize, 3] {
+            let serial = knn_shapley(&train, &valid, k);
+            for threads in [2usize, 3, 8] {
+                let parallel = knn_shapley_parallel(&train, &valid, k, threads);
+                for (s, p) in serial.iter().zip(&parallel) {
+                    assert!((s - p).abs() < 1e-12, "k={k}, threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_under_distance_ties() {
+        let train = dataset(&[(1.0, 0), (1.0, 1), (1.0, 0)]);
+        let valid = dataset(&[(1.0, 0)]);
+        let a = knn_shapley(&train, &valid, 2);
+        let b = knn_shapley(&train, &valid, 2);
+        assert_eq!(a, b);
+    }
+}

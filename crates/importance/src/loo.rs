@@ -1,0 +1,71 @@
+//! Leave-one-out importance — the simplest data-importance score the
+//! survey starts from: `φᵢ = v(D) − v(D∖{i})`.
+
+use crate::utility::Utility;
+
+/// Exact leave-one-out scores (`n + 1` utility evaluations).
+pub fn leave_one_out(util: &dyn Utility) -> Vec<f64> {
+    let n = util.n();
+    let all: Vec<usize> = (0..n).collect();
+    let full = util.eval(&all);
+    let mut without = Vec::with_capacity(n.saturating_sub(1));
+    (0..n)
+        .map(|i| {
+            without.clear();
+            without.extend(all.iter().copied().filter(|&j| j != i));
+            full - util.eval(&without)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::utility::test_util::AdditiveUtility;
+    use crate::utility::{ModelUtility, UtilityMetric};
+    use nde_learners::dataset::ClassDataset;
+    use nde_learners::matrix::Matrix;
+    use nde_learners::models::knn::KnnClassifier;
+
+    #[test]
+    fn additive_game_loo_is_weights() {
+        let util = AdditiveUtility { weights: vec![3.0, -1.0, 0.0] };
+        assert_eq!(leave_one_out(&util), vec![3.0, -1.0, 0.0]);
+    }
+
+    #[test]
+    fn empty_game() {
+        let util = AdditiveUtility { weights: vec![] };
+        assert!(leave_one_out(&util).is_empty());
+    }
+
+    #[test]
+    fn mislabeled_point_has_negative_loo() {
+        // 1-NN: a mislabeled training point flips the validation point
+        // nearest to it.
+        let train = ClassDataset::new(
+            Matrix::from_rows(&[vec![0.0], vec![0.2], vec![5.0], vec![5.2], vec![0.1]]).unwrap(),
+            vec![0, 0, 1, 1, 1], // last point is mislabeled (sits in blob 0)
+            2,
+        )
+        .unwrap();
+        let valid = ClassDataset::new(
+            Matrix::from_rows(&[vec![0.05], vec![0.15], vec![5.1]]).unwrap(),
+            vec![0, 0, 1],
+            2,
+        )
+        .unwrap();
+        let learner = KnnClassifier::new(1);
+        let util = ModelUtility::new(&learner, &train, &valid, UtilityMetric::Accuracy);
+        let loo = leave_one_out(&util);
+        // The mislabeled point (index 4) is the unique most harmful one.
+        let min_idx = loo
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert_eq!(min_idx, 4, "loo = {loo:?}");
+        assert!(loo[4] < 0.0);
+    }
+}

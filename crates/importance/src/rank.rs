@@ -1,0 +1,104 @@
+//! Ranking helpers shared by the experiments.
+
+/// Indices sorted by ascending score — "most harmful first" under this
+/// crate's lower-is-more-harmful convention. Ties break by index, so
+/// rankings are deterministic.
+pub fn rank_ascending(scores: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]).then(a.cmp(&b)));
+    idx
+}
+
+/// Indices sorted by descending score.
+pub fn rank_descending(scores: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
+    idx
+}
+
+/// Spearman rank correlation between two score vectors (used by the
+/// proxy-model-bias ablation). Returns 0 for degenerate inputs.
+pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    if a.len() != b.len() || a.len() < 2 {
+        return 0.0;
+    }
+    let ra = ranks(a);
+    let rb = ranks(b);
+    pearson(&ra, &rb)
+}
+
+fn ranks(scores: &[f64]) -> Vec<f64> {
+    let order = rank_ascending(scores);
+    let mut r = vec![0.0; scores.len()];
+    // Average ranks over ties.
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0;
+        for &idx in &order[i..=j] {
+            r[idx] = avg;
+        }
+        i = j + 1;
+    }
+    r
+}
+
+fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let (mut va, mut vb) = (0.0, 0.0);
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va < 1e-15 || vb < 1e-15 {
+        0.0
+    } else {
+        cov / (va.sqrt() * vb.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascending_puts_most_negative_first() {
+        assert_eq!(rank_ascending(&[0.5, -1.0, 0.0]), vec![1, 2, 0]);
+        assert_eq!(rank_descending(&[0.5, -1.0, 0.0]), vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn ties_break_by_index() {
+        assert_eq!(rank_ascending(&[1.0, 1.0, 0.0]), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn spearman_of_identical_ranking_is_one() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 20.0, 30.0, 40.0];
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_of_reversed_ranking_is_minus_one() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [9.0, 5.0, 1.0];
+        assert!((spearman(&a, &b) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_handles_ties_and_degenerates() {
+        let a = [1.0, 1.0, 2.0];
+        let b = [1.0, 1.0, 2.0];
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-12);
+        assert_eq!(spearman(&[1.0], &[1.0]), 0.0);
+        assert_eq!(spearman(&[1.0, 2.0], &[5.0, 5.0]), 0.0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Property-based tests for the valuation framework: the cooperative-game
+//! axioms (efficiency, symmetry, dummy, linearity) on the exact
+//! enumerators, estimator consistency, and KNN-Shapley structure.
+
+use nde_importance::knn_shapley::{knn_shapley, knn_utility};
+use nde_importance::rank::rank_ascending;
+use nde_importance::semivalue::{banzhaf_msr, exact_banzhaf, exact_shapley, tmc_shapley, McConfig};
+use nde_importance::utility::Utility;
+use nde_learners::dataset::ClassDataset;
+use nde_learners::matrix::Matrix;
+use proptest::prelude::*;
+
+/// A synthetic game given by an arbitrary per-subset value function built
+/// from weights and a superadditivity knob.
+#[derive(Debug)]
+struct SynthGame {
+    weights: Vec<f64>,
+    bonus: f64,
+}
+
+impl Utility for SynthGame {
+    fn n(&self) -> usize {
+        self.weights.len()
+    }
+
+    fn eval(&self, subset: &[usize]) -> f64 {
+        let base: f64 = subset.iter().map(|&i| self.weights[i]).sum();
+        // A smooth non-additive term that keeps the game symmetric in
+        // subset size only.
+        base + self.bonus * (subset.len() as f64).sqrt()
+    }
+}
+
+fn arb_game() -> impl Strategy<Value = SynthGame> {
+    (
+        prop::collection::vec(-3.0f64..3.0, 2..7),
+        -1.0f64..1.0,
+    )
+        .prop_map(|(weights, bonus)| SynthGame { weights, bonus })
+}
+
+proptest! {
+    /// Efficiency: Σφᵢ = v(D) − v(∅), for any game.
+    #[test]
+    fn shapley_efficiency(game in arb_game()) {
+        let phi = exact_shapley(&game).unwrap();
+        let all: Vec<usize> = (0..game.n()).collect();
+        let expected = game.eval(&all) - game.eval(&[]);
+        let total: f64 = phi.iter().sum();
+        prop_assert!((total - expected).abs() < 1e-9, "{total} vs {expected}");
+    }
+
+    /// Symmetry: players with identical weights in an additive game have
+    /// identical Shapley and Banzhaf values.
+    #[test]
+    fn symmetry_of_identical_players(w in -5.0f64..5.0, n in 2usize..7) {
+        let game = SynthGame { weights: vec![w; n], bonus: 0.3 };
+        let phi = exact_shapley(&game).unwrap();
+        let bz = exact_banzhaf(&game).unwrap();
+        for i in 1..n {
+            prop_assert!((phi[i] - phi[0]).abs() < 1e-9);
+            prop_assert!((bz[i] - bz[0]).abs() < 1e-9);
+        }
+    }
+
+    /// Dummy player: a player that never changes the value gets 0.
+    #[test]
+    fn dummy_player_gets_zero(weights in prop::collection::vec(-3.0f64..3.0, 2..6)) {
+        // Append a zero-weight player to a purely additive game.
+        let mut w = weights;
+        w.push(0.0);
+        let game = SynthGame { weights: w.clone(), bonus: 0.0 };
+        let phi = exact_shapley(&game).unwrap();
+        prop_assert!(phi[w.len() - 1].abs() < 1e-12);
+        let bz = exact_banzhaf(&game).unwrap();
+        prop_assert!(bz[w.len() - 1].abs() < 1e-12);
+    }
+
+    /// Linearity: Shapley of (v + w) equals Shapley(v) + Shapley(w) for
+    /// additive combinations (checked on additive games).
+    #[test]
+    fn linearity(
+        a in prop::collection::vec(-2.0f64..2.0, 3..6),
+        b_scale in -2.0f64..2.0,
+    ) {
+        let b: Vec<f64> = a.iter().map(|x| x * b_scale + 0.5).collect();
+        let ga = SynthGame { weights: a.clone(), bonus: 0.0 };
+        let gb = SynthGame { weights: b.clone(), bonus: 0.0 };
+        let sum_weights: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        let gsum = SynthGame { weights: sum_weights, bonus: 0.0 };
+        let pa = exact_shapley(&ga).unwrap();
+        let pb = exact_shapley(&gb).unwrap();
+        let ps = exact_shapley(&gsum).unwrap();
+        for i in 0..a.len() {
+            prop_assert!((ps[i] - pa[i] - pb[i]).abs() < 1e-9);
+        }
+    }
+
+    /// TMC estimates converge toward the exact values (loose statistical
+    /// tolerance; deterministic seed keeps this stable).
+    #[test]
+    fn tmc_consistency(game in arb_game()) {
+        let exact = exact_shapley(&game).unwrap();
+        let mc = tmc_shapley(&game, &McConfig::new(4000, 7));
+        for (e, m) in exact.iter().zip(&mc) {
+            prop_assert!((e - m).abs() < 0.3, "{exact:?} vs {mc:?}");
+        }
+    }
+
+    /// Banzhaf MSR converges toward exact Banzhaf.
+    #[test]
+    fn banzhaf_consistency(game in arb_game()) {
+        let exact = exact_banzhaf(&game).unwrap();
+        let mc = banzhaf_msr(&game, &McConfig::new(8000, 11));
+        for (e, m) in exact.iter().zip(&mc) {
+            prop_assert!((e - m).abs() < 0.3, "{exact:?} vs {mc:?}");
+        }
+    }
+
+    /// KNN-Shapley efficiency: scores sum to the K-NN utility of the full
+    /// set, for arbitrary 1-D datasets.
+    #[test]
+    fn knn_shapley_efficiency(
+        points in prop::collection::vec((-50.0f64..50.0, 0usize..2), 2..20),
+        queries in prop::collection::vec((-50.0f64..50.0, 0usize..2), 1..6),
+        k in 1usize..5,
+    ) {
+        let train = ClassDataset::new(
+            Matrix::from_rows(&points.iter().map(|&(x, _)| vec![x]).collect::<Vec<_>>()).unwrap(),
+            points.iter().map(|&(_, y)| y).collect(),
+            2,
+        ).unwrap();
+        let valid = ClassDataset::new(
+            Matrix::from_rows(&queries.iter().map(|&(x, _)| vec![x]).collect::<Vec<_>>()).unwrap(),
+            queries.iter().map(|&(_, y)| y).collect(),
+            2,
+        ).unwrap();
+        let phi = knn_shapley(&train, &valid, k);
+        let total: f64 = phi.iter().sum();
+        let util = knn_utility(&train, &valid, k);
+        prop_assert!((total - util).abs() < 1e-9, "Σφ={total} vs v(D)={util}");
+    }
+
+    /// rank_ascending is a permutation ordered by score.
+    #[test]
+    fn ranking_is_sorted_permutation(scores in prop::collection::vec(-10.0f64..10.0, 0..30)) {
+        let order = rank_ascending(&scores);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..scores.len()).collect::<Vec<_>>());
+        for w in order.windows(2) {
+            prop_assert!(scores[w[0]] <= scores[w[1]]);
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Feature-matrix datasets for classification and regression.
+
+use crate::error::LearnError;
+use crate::matrix::Matrix;
+use crate::Result;
+
+/// A classification dataset: a feature matrix plus integer class labels in
+/// `0..n_classes`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassDataset {
+    /// Feature matrix, one row per example.
+    pub x: Matrix,
+    /// Class label per example.
+    pub y: Vec<usize>,
+    /// Number of classes (labels are `0..n_classes`).
+    pub n_classes: usize,
+}
+
+impl ClassDataset {
+    /// Creates a dataset, validating shapes and label range.
+    pub fn new(x: Matrix, y: Vec<usize>, n_classes: usize) -> Result<Self> {
+        if x.nrows() != y.len() {
+            return Err(LearnError::DimensionMismatch {
+                detail: format!("{} feature rows vs {} labels", x.nrows(), y.len()),
+            });
+        }
+        if n_classes == 0 {
+            return Err(LearnError::InvalidParameter { detail: "n_classes must be > 0".into() });
+        }
+        if let Some(&bad) = y.iter().find(|&&l| l >= n_classes) {
+            return Err(LearnError::UnknownLabel { label: bad, n_classes });
+        }
+        Ok(ClassDataset { x, y, n_classes })
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// Whether the dataset has no examples.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Number of features.
+    pub fn n_features(&self) -> usize {
+        self.x.ncols()
+    }
+
+    /// The subset of examples at `indices` (duplicates allowed).
+    pub fn subset(&self, indices: &[usize]) -> ClassDataset {
+        ClassDataset {
+            x: self.x.take_rows(indices),
+            y: indices.iter().map(|&i| self.y[i]).collect(),
+            n_classes: self.n_classes,
+        }
+    }
+
+    /// Per-class example counts.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_classes];
+        for &label in &self.y {
+            counts[label] += 1;
+        }
+        counts
+    }
+
+    /// The most frequent class (ties broken by lowest label), or `None` for
+    /// an empty dataset.
+    pub fn majority_class(&self) -> Option<usize> {
+        if self.is_empty() {
+            return None;
+        }
+        let counts = self.class_counts();
+        counts
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .map(|(label, _)| label)
+    }
+}
+
+/// A regression dataset: a feature matrix plus real-valued targets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegDataset {
+    /// Feature matrix, one row per example.
+    pub x: Matrix,
+    /// Target per example.
+    pub y: Vec<f64>,
+}
+
+impl RegDataset {
+    /// Creates a dataset, validating shapes.
+    pub fn new(x: Matrix, y: Vec<f64>) -> Result<Self> {
+        if x.nrows() != y.len() {
+            return Err(LearnError::DimensionMismatch {
+                detail: format!("{} feature rows vs {} targets", x.nrows(), y.len()),
+            });
+        }
+        Ok(RegDataset { x, y })
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// Whether the dataset has no examples.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Number of features.
+    pub fn n_features(&self) -> usize {
+        self.x.ncols()
+    }
+
+    /// The subset of examples at `indices` (duplicates allowed).
+    pub fn subset(&self, indices: &[usize]) -> RegDataset {
+        RegDataset {
+            x: self.x.take_rows(indices),
+            y: indices.iter().map(|&i| self.y[i]).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> ClassDataset {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]).unwrap();
+        ClassDataset::new(x, vec![0, 0, 1, 0], 2).unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        let x = Matrix::from_rows(&[vec![1.0]]).unwrap();
+        assert!(ClassDataset::new(x.clone(), vec![0, 1], 2).is_err());
+        assert!(ClassDataset::new(x.clone(), vec![5], 2).is_err());
+        assert!(ClassDataset::new(x.clone(), vec![0], 0).is_err());
+        assert!(RegDataset::new(x, vec![1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn subset_with_duplicates() {
+        let d = demo();
+        let s = d.subset(&[2, 2, 0]);
+        assert_eq!(s.y, vec![1, 1, 0]);
+        assert_eq!(s.x.row(0), &[2.0]);
+    }
+
+    #[test]
+    fn class_statistics() {
+        let d = demo();
+        assert_eq!(d.class_counts(), vec![3, 1]);
+        assert_eq!(d.majority_class(), Some(0));
+        assert_eq!(d.subset(&[]).majority_class(), None);
+    }
+
+    #[test]
+    fn majority_tie_breaks_low() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0]]).unwrap();
+        let d = ClassDataset::new(x, vec![1, 0], 2).unwrap();
+        assert_eq!(d.majority_class(), Some(0));
+    }
+}

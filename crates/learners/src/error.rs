@@ -1,0 +1,63 @@
+//! Error type for the ML substrate.
+
+use std::fmt;
+
+/// Errors produced by dataset construction, training and prediction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LearnError {
+    /// A dataset or matrix had inconsistent dimensions.
+    DimensionMismatch {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// An operation that needs at least one example received none.
+    EmptyDataset,
+    /// A linear system was singular (e.g. in the normal equations).
+    SingularMatrix,
+    /// A hyperparameter was out of its valid range.
+    InvalidParameter {
+        /// Which parameter and why.
+        detail: String,
+    },
+    /// A label index was outside `0..n_classes`.
+    UnknownLabel {
+        /// The offending label.
+        label: usize,
+        /// The number of classes.
+        n_classes: usize,
+    },
+    /// Encoding a table into features failed.
+    Encoding {
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for LearnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LearnError::DimensionMismatch { detail } => write!(f, "dimension mismatch: {detail}"),
+            LearnError::EmptyDataset => f.write_str("empty dataset"),
+            LearnError::SingularMatrix => f.write_str("singular matrix"),
+            LearnError::InvalidParameter { detail } => write!(f, "invalid parameter: {detail}"),
+            LearnError::UnknownLabel { label, n_classes } => {
+                write!(f, "label {label} out of range for {n_classes} classes")
+            }
+            LearnError::Encoding { detail } => write!(f, "encoding error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for LearnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = LearnError::UnknownLabel { label: 5, n_classes: 2 };
+        assert!(e.to_string().contains("label 5"));
+        assert!(LearnError::EmptyDataset.to_string().contains("empty"));
+    }
+}

@@ -1,0 +1,43 @@
+#![deny(missing_docs)]
+//! # nde-learners
+//!
+//! The machine-learning substrate of the reproduction — the role scikit-learn
+//! plays in the paper's hands-on session. It provides:
+//!
+//! - dense [`Matrix`] / [`ClassDataset`] / [`RegDataset`] containers,
+//! - classical models (k-NN, logistic regression, naive Bayes, CART decision
+//!   trees, linear SVM, bagging ensembles, linear regression),
+//! - quality metrics, including the fairness metrics from the paper's
+//!   Figure 1 (equalized odds, predictive parity, demographic parity),
+//! - preprocessing (scalers, one-hot, imputers, text vectorizers, and a
+//!   table-to-features encoder used by pipeline `Encode` operators),
+//! - deterministic train/validation/test splitting and cross-validation.
+//!
+//! All training is deterministic given the model's seed parameters, which the
+//! data-valuation methods in `nde-importance` rely on: the Shapley utility
+//! of a subset must be a pure function of that subset.
+
+pub mod dataset;
+pub mod error;
+pub mod matrix;
+pub mod metrics;
+pub mod models;
+pub mod preprocessing;
+pub mod split;
+pub mod traits;
+pub mod tuning;
+
+pub use dataset::{ClassDataset, RegDataset};
+pub use error::LearnError;
+pub use matrix::Matrix;
+pub use models::bagging::BaggingClassifier;
+pub use models::knn::KnnClassifier;
+pub use models::linear::LinearRegression;
+pub use models::logistic::LogisticRegression;
+pub use models::naive_bayes::GaussianNb;
+pub use models::svm::LinearSvm;
+pub use models::tree::DecisionTree;
+pub use traits::{ConstantModel, Learner, Model};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, LearnError>;

@@ -1,0 +1,132 @@
+//! Calibration metrics — Figure 1's predictive-query-processing stage
+//! lists calibration among the post-model steps; these metrics quantify
+//! whether predicted probabilities mean what they say.
+
+/// One bin of a reliability diagram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReliabilityBin {
+    /// Lower edge of the confidence bin (upper edge is `lo + width`).
+    pub lo: f64,
+    /// Mean predicted confidence of examples in this bin.
+    pub mean_confidence: f64,
+    /// Empirical accuracy of examples in this bin.
+    pub accuracy: f64,
+    /// Number of examples in the bin.
+    pub count: usize,
+}
+
+/// Builds an equal-width reliability diagram from predicted class-1
+/// probabilities and true binary labels. Empty bins are omitted.
+pub fn reliability_diagram(
+    y_true: &[usize],
+    prob_pos: &[f64],
+    n_bins: usize,
+) -> Vec<ReliabilityBin> {
+    debug_assert_eq!(y_true.len(), prob_pos.len());
+    let n_bins = n_bins.max(1);
+    let width = 1.0 / n_bins as f64;
+    let mut conf_sum = vec![0.0f64; n_bins];
+    let mut correct = vec![0usize; n_bins];
+    let mut count = vec![0usize; n_bins];
+    for (&y, &p) in y_true.iter().zip(prob_pos) {
+        let p = p.clamp(0.0, 1.0);
+        // Prediction implied by the probability; confidence is the
+        // probability of the predicted class.
+        let (pred, conf) = if p >= 0.5 { (1usize, p) } else { (0usize, 1.0 - p) };
+        let bin = ((conf / width) as usize).min(n_bins - 1);
+        conf_sum[bin] += conf;
+        correct[bin] += usize::from(pred == y);
+        count[bin] += 1;
+    }
+    (0..n_bins)
+        .filter(|&b| count[b] > 0)
+        .map(|b| ReliabilityBin {
+            lo: b as f64 * width,
+            mean_confidence: conf_sum[b] / count[b] as f64,
+            accuracy: correct[b] as f64 / count[b] as f64,
+            count: count[b],
+        })
+        .collect()
+}
+
+/// Expected calibration error: the count-weighted mean absolute gap
+/// between confidence and accuracy over the reliability bins.
+pub fn expected_calibration_error(y_true: &[usize], prob_pos: &[f64], n_bins: usize) -> f64 {
+    let bins = reliability_diagram(y_true, prob_pos, n_bins);
+    let total: usize = bins.iter().map(|b| b.count).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    bins.iter()
+        .map(|b| (b.count as f64 / total as f64) * (b.mean_confidence - b.accuracy).abs())
+        .sum()
+}
+
+/// Brier score: mean squared error of the class-1 probability against the
+/// binary outcome (lower is better; 0.25 for a constant 0.5 predictor).
+pub fn brier_score(y_true: &[usize], prob_pos: &[f64]) -> f64 {
+    debug_assert_eq!(y_true.len(), prob_pos.len());
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    y_true
+        .iter()
+        .zip(prob_pos)
+        .map(|(&y, &p)| {
+            let e = p - y as f64;
+            e * e
+        })
+        .sum::<f64>()
+        / y_true.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_calibrated_has_zero_ece() {
+        // Confidence 1.0 and always right.
+        let y = vec![1, 1, 0, 0];
+        let p = vec![1.0, 1.0, 0.0, 0.0];
+        assert_eq!(expected_calibration_error(&y, &p, 10), 0.0);
+        assert_eq!(brier_score(&y, &p), 0.0);
+    }
+
+    #[test]
+    fn overconfident_wrong_predictions_raise_ece() {
+        // Confident and always wrong.
+        let y = vec![0, 0, 1, 1];
+        let p = vec![0.99, 0.99, 0.01, 0.01];
+        let ece = expected_calibration_error(&y, &p, 10);
+        assert!(ece > 0.9, "ece {ece}");
+        assert!(brier_score(&y, &p) > 0.9);
+    }
+
+    #[test]
+    fn constant_half_predictor_brier() {
+        let y = vec![0, 1, 0, 1];
+        let p = vec![0.5; 4];
+        assert!((brier_score(&y, &p) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reliability_bins_aggregate() {
+        let y = vec![1, 0, 1, 1];
+        let p = vec![0.9, 0.85, 0.6, 0.55];
+        let bins = reliability_diagram(&y, &p, 5);
+        let total: usize = bins.iter().map(|b| b.count).sum();
+        assert_eq!(total, 4);
+        for b in &bins {
+            assert!((0.0..=1.0).contains(&b.accuracy));
+            assert!(b.mean_confidence >= 0.5 - 1e-12); // confidence ≥ 0.5 by construction
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(expected_calibration_error(&[], &[], 10), 0.0);
+        assert_eq!(brier_score(&[], &[]), 0.0);
+        assert!(reliability_diagram(&[], &[], 10).is_empty());
+    }
+}

@@ -1,0 +1,192 @@
+//! Correctness and stability metrics.
+
+/// Fraction of predictions equal to the true labels. Empty input is `0.0`.
+pub fn accuracy(y_true: &[usize], y_pred: &[usize]) -> f64 {
+    debug_assert_eq!(y_true.len(), y_pred.len());
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    let correct = y_true.iter().zip(y_pred).filter(|(a, b)| a == b).count();
+    correct as f64 / y_true.len() as f64
+}
+
+/// Confusion matrix `m[true][pred]` over `n_classes`.
+pub fn confusion_matrix(y_true: &[usize], y_pred: &[usize], n_classes: usize) -> Vec<Vec<usize>> {
+    let mut m = vec![vec![0usize; n_classes]; n_classes];
+    for (&t, &p) in y_true.iter().zip(y_pred) {
+        m[t][p] += 1;
+    }
+    m
+}
+
+/// Precision of `positive` (0 when that class is never predicted).
+pub fn precision(y_true: &[usize], y_pred: &[usize], positive: usize) -> f64 {
+    let predicted = y_pred.iter().filter(|&&p| p == positive).count();
+    if predicted == 0 {
+        return 0.0;
+    }
+    let tp = y_true
+        .iter()
+        .zip(y_pred)
+        .filter(|&(&t, &p)| t == positive && p == positive)
+        .count();
+    tp as f64 / predicted as f64
+}
+
+/// Recall of `positive` (0 when that class never occurs).
+pub fn recall(y_true: &[usize], y_pred: &[usize], positive: usize) -> f64 {
+    let actual = y_true.iter().filter(|&&t| t == positive).count();
+    if actual == 0 {
+        return 0.0;
+    }
+    let tp = y_true
+        .iter()
+        .zip(y_pred)
+        .filter(|&(&t, &p)| t == positive && p == positive)
+        .count();
+    tp as f64 / actual as f64
+}
+
+/// F1 of `positive` (harmonic mean of precision and recall; 0 when both are 0).
+pub fn f1_score(y_true: &[usize], y_pred: &[usize], positive: usize) -> f64 {
+    let p = precision(y_true, y_pred, positive);
+    let r = recall(y_true, y_pred, positive);
+    if p + r == 0.0 {
+        0.0
+    } else {
+        2.0 * p * r / (p + r)
+    }
+}
+
+/// Unweighted mean of per-class F1 scores.
+pub fn macro_f1(y_true: &[usize], y_pred: &[usize], n_classes: usize) -> f64 {
+    if n_classes == 0 {
+        return 0.0;
+    }
+    (0..n_classes).map(|c| f1_score(y_true, y_pred, c)).sum::<f64>() / n_classes as f64
+}
+
+/// Cross-entropy of predicted probabilities against true labels, with
+/// probability clamping for numerical safety.
+pub fn log_loss(y_true: &[usize], probs: &[Vec<f64>]) -> f64 {
+    debug_assert_eq!(y_true.len(), probs.len());
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    let eps = 1e-15;
+    let total: f64 = y_true
+        .iter()
+        .zip(probs)
+        .map(|(&t, p)| -(p[t].clamp(eps, 1.0 - eps)).ln())
+        .sum();
+    total / y_true.len() as f64
+}
+
+/// Area under the ROC curve for binary labels, computed rank-wise
+/// (Mann–Whitney). `scores` are the class-1 probabilities. Ties are handled
+/// with half-counts; degenerate inputs (one class only) return 0.5.
+pub fn roc_auc(y_true: &[usize], scores: &[f64]) -> f64 {
+    debug_assert_eq!(y_true.len(), scores.len());
+    let n_pos = y_true.iter().filter(|&&t| t == 1).count();
+    let n_neg = y_true.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    let mut wins = 0.0f64;
+    for (&ti, &si) in y_true.iter().zip(scores) {
+        if ti != 1 {
+            continue;
+        }
+        for (&tj, &sj) in y_true.iter().zip(scores) {
+            if tj != 0 {
+                continue;
+            }
+            if si > sj {
+                wins += 1.0;
+            } else if si == sj {
+                wins += 0.5;
+            }
+        }
+    }
+    wins / (n_pos as f64 * n_neg as f64)
+}
+
+/// Mean Shannon entropy (nats) of predicted probability vectors — the
+/// "stability metric: entropy" of the paper's Figure 1. Lower is more
+/// confident/stable.
+pub fn prediction_entropy(probs: &[Vec<f64>]) -> f64 {
+    if probs.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = probs
+        .iter()
+        .map(|p| {
+            -p.iter()
+                .filter(|&&v| v > 0.0)
+                .map(|&v| v * v.ln())
+                .sum::<f64>()
+        })
+        .sum();
+    total / probs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basics() {
+        assert_eq!(accuracy(&[0, 1, 1], &[0, 1, 0]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn confusion_matrix_counts() {
+        let m = confusion_matrix(&[0, 0, 1, 1], &[0, 1, 1, 1], 2);
+        assert_eq!(m, vec![vec![1, 1], vec![0, 2]]);
+    }
+
+    #[test]
+    fn precision_recall_f1() {
+        let (t, p) = (&[1, 1, 0, 0], &[1, 0, 1, 0]);
+        assert_eq!(precision(t, p, 1), 0.5);
+        assert_eq!(recall(t, p, 1), 0.5);
+        assert_eq!(f1_score(t, p, 1), 0.5);
+        // Never-predicted class.
+        assert_eq!(precision(&[1, 1], &[0, 0], 1), 0.0);
+        assert_eq!(f1_score(&[1, 1], &[0, 0], 1), 0.0);
+    }
+
+    #[test]
+    fn macro_f1_averages_classes() {
+        let t = &[0, 0, 1, 1];
+        let p = &[0, 0, 1, 1];
+        assert_eq!(macro_f1(t, p, 2), 1.0);
+        assert!(macro_f1(t, &[1, 1, 0, 0], 2) < 0.5);
+    }
+
+    #[test]
+    fn log_loss_rewards_confidence() {
+        let confident = log_loss(&[1], &[vec![0.1, 0.9]]);
+        let unsure = log_loss(&[1], &[vec![0.5, 0.5]]);
+        let wrong = log_loss(&[1], &[vec![0.9, 0.1]]);
+        assert!(confident < unsure && unsure < wrong);
+        // Clamping prevents infinities.
+        assert!(log_loss(&[1], &[vec![1.0, 0.0]]).is_finite());
+    }
+
+    #[test]
+    fn auc_perfect_and_random() {
+        assert_eq!(roc_auc(&[0, 0, 1, 1], &[0.1, 0.2, 0.8, 0.9]), 1.0);
+        assert_eq!(roc_auc(&[0, 1], &[0.5, 0.5]), 0.5);
+        assert_eq!(roc_auc(&[0, 0, 1, 1], &[0.9, 0.8, 0.2, 0.1]), 0.0);
+        assert_eq!(roc_auc(&[1, 1], &[0.5, 0.9]), 0.5); // degenerate
+    }
+
+    #[test]
+    fn entropy_of_certainty_is_zero() {
+        assert_eq!(prediction_entropy(&[vec![1.0, 0.0]]), 0.0);
+        let uniform = prediction_entropy(&[vec![0.5, 0.5]]);
+        assert!((uniform - 0.5f64.ln().abs() * 1.0 * 2.0 * 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,132 @@
+//! Group-fairness metrics (binary classification, binary protected group),
+//! matching the fairness panel of the paper's Figure 1 and the quantities
+//! that Gopher-style fairness debugging explains.
+
+/// Per-group confusion rates for a binary classifier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroupRates {
+    /// P(ŷ=1) within the group.
+    pub positive_rate: f64,
+    /// True positive rate P(ŷ=1 | y=1).
+    pub tpr: f64,
+    /// False positive rate P(ŷ=1 | y=0).
+    pub fpr: f64,
+    /// Positive predictive value P(y=1 | ŷ=1).
+    pub ppv: f64,
+    /// Group size.
+    pub n: usize,
+}
+
+/// Computes confusion rates for the examples where `group[i] == which`.
+/// Undefined rates (empty denominators) are reported as 0.
+pub fn group_rates(y_true: &[usize], y_pred: &[usize], group: &[usize], which: usize) -> GroupRates {
+    let mut n = 0usize;
+    let (mut pred_pos, mut pos, mut tp, mut neg, mut fp) = (0usize, 0usize, 0usize, 0usize, 0usize);
+    for ((&t, &p), &g) in y_true.iter().zip(y_pred).zip(group) {
+        if g != which {
+            continue;
+        }
+        n += 1;
+        if p == 1 {
+            pred_pos += 1;
+        }
+        if t == 1 {
+            pos += 1;
+            if p == 1 {
+                tp += 1;
+            }
+        } else {
+            neg += 1;
+            if p == 1 {
+                fp += 1;
+            }
+        }
+    }
+    let div = |a: usize, b: usize| if b == 0 { 0.0 } else { a as f64 / b as f64 };
+    GroupRates {
+        positive_rate: div(pred_pos, n),
+        tpr: div(tp, pos),
+        fpr: div(fp, neg),
+        ppv: div(tp, pred_pos),
+        n,
+    }
+}
+
+/// |P(ŷ=1 | g=0) − P(ŷ=1 | g=1)| — demographic (statistical) parity gap.
+pub fn demographic_parity_difference(y_true: &[usize], y_pred: &[usize], group: &[usize]) -> f64 {
+    let a = group_rates(y_true, y_pred, group, 0);
+    let b = group_rates(y_true, y_pred, group, 1);
+    (a.positive_rate - b.positive_rate).abs()
+}
+
+/// Equalized-odds gap: max of the TPR gap and the FPR gap between groups.
+pub fn equalized_odds_difference(y_true: &[usize], y_pred: &[usize], group: &[usize]) -> f64 {
+    let a = group_rates(y_true, y_pred, group, 0);
+    let b = group_rates(y_true, y_pred, group, 1);
+    (a.tpr - b.tpr).abs().max((a.fpr - b.fpr).abs())
+}
+
+/// |PPV(g=0) − PPV(g=1)| — predictive parity (calibration-at-1) gap.
+pub fn predictive_parity_difference(y_true: &[usize], y_pred: &[usize], group: &[usize]) -> f64 {
+    let a = group_rates(y_true, y_pred, group, 0);
+    let b = group_rates(y_true, y_pred, group, 1);
+    (a.ppv - b.ppv).abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_fair_classifier_has_zero_gaps() {
+        // Both groups: same labels, same predictions.
+        let y_true = &[1, 0, 1, 0];
+        let y_pred = &[1, 0, 1, 0];
+        let group = &[0, 0, 1, 1];
+        assert_eq!(demographic_parity_difference(y_true, y_pred, group), 0.0);
+        assert_eq!(equalized_odds_difference(y_true, y_pred, group), 0.0);
+        assert_eq!(predictive_parity_difference(y_true, y_pred, group), 0.0);
+    }
+
+    #[test]
+    fn biased_classifier_has_parity_gap() {
+        // Group 0 always predicted positive, group 1 never.
+        let y_true = &[1, 0, 1, 0];
+        let y_pred = &[1, 1, 0, 0];
+        let group = &[0, 0, 1, 1];
+        assert_eq!(demographic_parity_difference(y_true, y_pred, group), 1.0);
+        assert_eq!(equalized_odds_difference(y_true, y_pred, group), 1.0);
+    }
+
+    #[test]
+    fn group_rates_computation() {
+        let y_true = &[1, 1, 0, 0];
+        let y_pred = &[1, 0, 1, 0];
+        let group = &[0, 0, 0, 0];
+        let r = group_rates(y_true, y_pred, group, 0);
+        assert_eq!(r.n, 4);
+        assert_eq!(r.positive_rate, 0.5);
+        assert_eq!(r.tpr, 0.5);
+        assert_eq!(r.fpr, 0.5);
+        assert_eq!(r.ppv, 0.5);
+    }
+
+    #[test]
+    fn empty_group_rates_are_zero() {
+        let r = group_rates(&[1], &[1], &[0], 1);
+        assert_eq!(r.n, 0);
+        assert_eq!(r.tpr, 0.0);
+        assert_eq!(r.ppv, 0.0);
+    }
+
+    #[test]
+    fn predictive_parity_detects_calibration_gap() {
+        // Group 0: predictions perfectly precise. Group 1: half the positive
+        // predictions are wrong.
+        let y_true = &[1, 1, 1, 0];
+        let y_pred = &[1, 1, 1, 1];
+        let group = &[0, 0, 1, 1];
+        let gap = predictive_parity_difference(y_true, y_pred, group);
+        assert!((gap - 0.5).abs() < 1e-12);
+    }
+}

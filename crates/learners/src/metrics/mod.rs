@@ -1,0 +1,17 @@
+//! Quality metrics — the "Quality Evaluation" box of the paper's Figure 1:
+//! correctness metrics (accuracy, F1), fairness metrics (equalized odds,
+//! predictive parity, demographic parity), and stability metrics (entropy).
+
+pub mod calibration;
+pub mod classification;
+pub mod fairness;
+
+pub use calibration::{brier_score, expected_calibration_error, reliability_diagram};
+pub use classification::{
+    accuracy, confusion_matrix, f1_score, log_loss, macro_f1, precision, prediction_entropy,
+    recall, roc_auc,
+};
+pub use fairness::{
+    demographic_parity_difference, equalized_odds_difference, predictive_parity_difference,
+    GroupRates,
+};

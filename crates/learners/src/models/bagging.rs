@@ -1,0 +1,201 @@
+//! Bagging ensembles, including the *disjoint-partition* mode that yields
+//! certified robustness against training-data poisoning (Jia et al. 2021,
+//! "Intrinsic certified robustness of bagging against data poisoning"),
+//! covered in the survey's third pillar.
+
+use crate::dataset::ClassDataset;
+use crate::models::knn::argmax;
+use crate::traits::{ConstantModel, Learner, Model};
+use crate::Result;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// How each base model's training set is drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BaggingMode {
+    /// Classic bootstrap: sample `n` examples with replacement.
+    Bootstrap,
+    /// Deterministic hash-partition of the data into `n_estimators` disjoint
+    /// folds; each base model sees one fold. A single poisoned training
+    /// example can then influence at most one vote, which is what the
+    /// certification argument counts.
+    DisjointPartition,
+}
+
+/// Bagging learner configuration.
+pub struct BaggingClassifier {
+    /// The base learner cloned into each ensemble member.
+    pub base: Arc<dyn Learner>,
+    /// Number of base models.
+    pub n_estimators: usize,
+    /// Sampling mode.
+    pub mode: BaggingMode,
+    /// RNG seed (bootstrap mode only).
+    pub seed: u64,
+}
+
+impl BaggingClassifier {
+    /// Creates a bootstrap bagging ensemble.
+    pub fn bootstrap(base: Arc<dyn Learner>, n_estimators: usize, seed: u64) -> Self {
+        BaggingClassifier { base, n_estimators, mode: BaggingMode::Bootstrap, seed }
+    }
+
+    /// Creates a disjoint-partition ensemble for certified robustness.
+    pub fn partitioned(base: Arc<dyn Learner>, n_estimators: usize) -> Self {
+        BaggingClassifier {
+            base,
+            n_estimators,
+            mode: BaggingMode::DisjointPartition,
+            seed: 0,
+        }
+    }
+
+    /// Trains the ensemble and returns the concrete type (with vote access,
+    /// needed by the robustness certification in `nde-uncertain`).
+    pub fn fit_ensemble(&self, data: &ClassDataset) -> Result<FittedBagging> {
+        let m = self.n_estimators.max(1);
+        let mut members: Vec<Box<dyn Model>> = Vec::with_capacity(m);
+        match self.mode {
+            BaggingMode::Bootstrap => {
+                let mut rng = StdRng::seed_from_u64(self.seed);
+                for _ in 0..m {
+                    let idx: Vec<usize> = if data.is_empty() {
+                        Vec::new()
+                    } else {
+                        (0..data.len()).map(|_| rng.random_range(0..data.len())).collect()
+                    };
+                    members.push(self.base.fit(&data.subset(&idx))?);
+                }
+            }
+            BaggingMode::DisjointPartition => {
+                // Deterministic assignment: example i -> partition i mod m.
+                // (The certification only needs *data-independent* assignment.)
+                for part in 0..m {
+                    let idx: Vec<usize> =
+                        (0..data.len()).filter(|&i| i % m == part).collect();
+                    members.push(self.base.fit(&data.subset(&idx))?);
+                }
+            }
+        }
+        if members.is_empty() {
+            members.push(Box::new(ConstantModel::new(0, data.n_classes)));
+        }
+        Ok(FittedBagging { members, n_classes: data.n_classes })
+    }
+}
+
+impl Learner for BaggingClassifier {
+    fn fit(&self, data: &ClassDataset) -> Result<Box<dyn Model>> {
+        Ok(Box::new(self.fit_ensemble(data)?))
+    }
+
+    fn name(&self) -> &'static str {
+        "bagging"
+    }
+}
+
+/// A fitted bagging ensemble that predicts by majority vote.
+pub struct FittedBagging {
+    members: Vec<Box<dyn Model>>,
+    n_classes: usize,
+}
+
+impl FittedBagging {
+    /// Per-class vote counts for one input.
+    pub fn votes(&self, x: &[f64]) -> Vec<usize> {
+        let mut votes = vec![0usize; self.n_classes];
+        for m in &self.members {
+            votes[m.predict(x)] += 1;
+        }
+        votes
+    }
+
+    /// Number of ensemble members.
+    pub fn n_members(&self) -> usize {
+        self.members.len()
+    }
+}
+
+impl Model for FittedBagging {
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    fn predict(&self, x: &[f64]) -> usize {
+        let votes = self.votes(x);
+        let as_f: Vec<f64> = votes.iter().map(|&v| v as f64).collect();
+        argmax(&as_f)
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        let votes = self.votes(x);
+        let total = self.members.len().max(1) as f64;
+        votes.into_iter().map(|v| v as f64 / total).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+    use crate::models::tree::DecisionTree;
+
+    fn blobs() -> ClassDataset {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..20 {
+            let offset = (i % 5) as f64 * 0.01;
+            rows.push(vec![offset, offset]);
+            labels.push(0);
+            rows.push(vec![3.0 + offset, 3.0 + offset]);
+            labels.push(1);
+        }
+        ClassDataset::new(Matrix::from_rows(&rows).unwrap(), labels, 2).unwrap()
+    }
+
+    #[test]
+    fn bootstrap_ensemble_classifies() {
+        let bag = BaggingClassifier::bootstrap(Arc::new(DecisionTree::default()), 9, 7);
+        let m = bag.fit_ensemble(&blobs()).unwrap();
+        assert_eq!(m.n_members(), 9);
+        assert_eq!(m.predict(&[0.0, 0.0]), 0);
+        assert_eq!(m.predict(&[3.0, 3.0]), 1);
+    }
+
+    #[test]
+    fn partitioned_votes_sum_to_members() {
+        let bag = BaggingClassifier::partitioned(Arc::new(DecisionTree::default()), 5);
+        let m = bag.fit_ensemble(&blobs()).unwrap();
+        let votes = m.votes(&[0.0, 0.0]);
+        assert_eq!(votes.iter().sum::<usize>(), 5);
+        assert_eq!(m.predict(&[0.0, 0.0]), 0);
+    }
+
+    #[test]
+    fn bootstrap_is_seed_deterministic() {
+        let data = blobs();
+        let a = BaggingClassifier::bootstrap(Arc::new(DecisionTree::default()), 5, 42)
+            .fit_ensemble(&data)
+            .unwrap();
+        let b = BaggingClassifier::bootstrap(Arc::new(DecisionTree::default()), 5, 42)
+            .fit_ensemble(&data)
+            .unwrap();
+        assert_eq!(a.votes(&[1.5, 1.5]), b.votes(&[1.5, 1.5]));
+    }
+
+    #[test]
+    fn proba_is_vote_share() {
+        let bag = BaggingClassifier::partitioned(Arc::new(DecisionTree::default()), 4);
+        let m = bag.fit_ensemble(&blobs()).unwrap();
+        let p = m.predict_proba(&[0.0, 0.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_data_still_predicts() {
+        let bag = BaggingClassifier::bootstrap(Arc::new(DecisionTree::default()), 3, 0);
+        let m = bag.fit_ensemble(&blobs().subset(&[])).unwrap();
+        assert_eq!(m.predict(&[9.0, 9.0]), 0);
+    }
+}

@@ -1,0 +1,232 @@
+//! A k-d tree for exact nearest-neighbor queries — the indexing structure
+//! that keeps the tutorial's k-NN machinery (prediction, KNN-Shapley,
+//! CPClean) scalable beyond brute-force scans (§2.4's scalability theme).
+//!
+//! Queries return exactly the same neighbors as a brute-force scan,
+//! including the deterministic distance-then-index tie-breaking the rest
+//! of the workspace relies on.
+
+use crate::matrix::{sq_dist, Matrix};
+
+/// A node: either a leaf of point indices or a split.
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        points: Vec<usize>,
+    },
+    Split {
+        axis: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// An immutable k-d tree over the rows of a matrix.
+#[derive(Debug, Clone)]
+pub struct KdTree {
+    data: Matrix,
+    root: Node,
+    leaf_size: usize,
+}
+
+/// A bounded max-"heap" of the current best (distance, index) candidates,
+/// ordered so the worst candidate is cheap to inspect. Kept as a sorted
+/// vector: k is small in every use here.
+struct BestK {
+    k: usize,
+    items: Vec<(f64, usize)>, // sorted ascending by (distance, index)
+}
+
+impl BestK {
+    fn new(k: usize) -> Self {
+        BestK { k, items: Vec::with_capacity(k + 1) }
+    }
+
+    fn worst_distance(&self) -> f64 {
+        if self.items.len() < self.k {
+            f64::INFINITY
+        } else {
+            self.items.last().map(|&(d, _)| d).unwrap_or(f64::INFINITY)
+        }
+    }
+
+    fn offer(&mut self, distance: f64, index: usize) {
+        let candidate = (distance, index);
+        let pos = self
+            .items
+            .partition_point(|&(d, i)| (d, i) < (candidate.0, candidate.1));
+        self.items.insert(pos, candidate);
+        if self.items.len() > self.k {
+            self.items.pop();
+        }
+    }
+}
+
+impl KdTree {
+    /// Builds a tree over the rows of `data` (median splits, cycling axes).
+    pub fn build(data: Matrix) -> Self {
+        Self::with_leaf_size(data, 16)
+    }
+
+    /// Builds with a custom leaf size (mostly for tests).
+    pub fn with_leaf_size(data: Matrix, leaf_size: usize) -> Self {
+        let leaf_size = leaf_size.max(1);
+        let indices: Vec<usize> = (0..data.nrows()).collect();
+        let root = build_node(&data, indices, 0, leaf_size);
+        KdTree { data, root, leaf_size }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.data.nrows()
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.nrows() == 0
+    }
+
+    /// The configured leaf size.
+    pub fn leaf_size(&self) -> usize {
+        self.leaf_size
+    }
+
+    /// The indices of the `k` nearest rows to `query`, ordered by
+    /// increasing distance with ties broken by index — identical to a
+    /// brute-force scan.
+    pub fn nearest(&self, query: &[f64], k: usize) -> Vec<usize> {
+        if self.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        let mut best = BestK::new(k.min(self.len()));
+        search(&self.data, &self.root, query, &mut best);
+        best.items.into_iter().map(|(_, i)| i).collect()
+    }
+}
+
+fn build_node(data: &Matrix, mut indices: Vec<usize>, depth: usize, leaf_size: usize) -> Node {
+    if indices.len() <= leaf_size || data.ncols() == 0 {
+        return Node::Leaf { points: indices };
+    }
+    let axis = depth % data.ncols();
+    indices.sort_by(|&a, &b| {
+        data.get(a, axis)
+            .total_cmp(&data.get(b, axis))
+            .then(a.cmp(&b))
+    });
+    let mid = indices.len() / 2;
+    let threshold = data.get(indices[mid], axis);
+    // Guard against all-equal coordinates on this axis: if the split would
+    // be empty on one side, fall back to a leaf.
+    if data.get(indices[0], axis) == data.get(*indices.last().expect("non-empty"), axis) {
+        return Node::Leaf { points: indices };
+    }
+    let right: Vec<usize> = indices.split_off(mid);
+    Node::Split {
+        axis,
+        threshold,
+        left: Box::new(build_node(data, indices, depth + 1, leaf_size)),
+        right: Box::new(build_node(data, right, depth + 1, leaf_size)),
+    }
+}
+
+fn search(data: &Matrix, node: &Node, query: &[f64], best: &mut BestK) {
+    match node {
+        Node::Leaf { points } => {
+            for &i in points {
+                best.offer(sq_dist(data.row(i), query), i);
+            }
+        }
+        Node::Split { axis, threshold, left, right } => {
+            let diff = query[*axis] - threshold;
+            let (near, far) = if diff < 0.0 { (left, right) } else { (right, left) };
+            search(data, near, query, best);
+            // Prune the far side when even its closest possible point is
+            // farther than the current worst candidate.
+            if diff * diff <= best.worst_distance() {
+                search(data, far, query, best);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_force(data: &Matrix, query: &[f64], k: usize) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..data.nrows()).collect();
+        order.sort_by(|&a, &b| {
+            sq_dist(data.row(a), query)
+                .total_cmp(&sq_dist(data.row(b), query))
+                .then(a.cmp(&b))
+        });
+        order.truncate(k.min(data.nrows()));
+        order
+    }
+
+    fn grid_data(n: usize, d: usize) -> Matrix {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..d).map(|j| ((i * 37 + j * 13) % 101) as f64 / 7.0).collect())
+            .collect();
+        Matrix::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn matches_brute_force_exactly() {
+        let data = grid_data(300, 3);
+        let tree = KdTree::with_leaf_size(data.clone(), 4);
+        for qi in 0..20 {
+            let query: Vec<f64> = vec![qi as f64, (qi * 2) as f64 % 13.0, 3.5];
+            for k in [1usize, 3, 10] {
+                assert_eq!(
+                    tree.nearest(&query, k),
+                    brute_force(&data, &query, k),
+                    "query {qi}, k {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn handles_duplicate_points_with_index_tiebreak() {
+        let rows = vec![vec![1.0, 1.0]; 10];
+        let data = Matrix::from_rows(&rows).unwrap();
+        let tree = KdTree::with_leaf_size(data, 2);
+        assert_eq!(tree.nearest(&[1.0, 1.0], 3), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn k_exceeding_size_returns_everything() {
+        let data = grid_data(5, 2);
+        let tree = KdTree::build(data.clone());
+        let all = tree.nearest(&[0.0, 0.0], 100);
+        assert_eq!(all.len(), 5);
+        assert_eq!(all, brute_force(&data, &[0.0, 0.0], 100));
+    }
+
+    #[test]
+    fn empty_and_zero_k() {
+        let tree = KdTree::build(Matrix::zeros(0, 2));
+        assert!(tree.nearest(&[0.0, 0.0], 3).is_empty());
+        assert!(tree.is_empty());
+        let tree = KdTree::build(grid_data(5, 2));
+        assert!(tree.nearest(&[0.0, 0.0], 0).is_empty());
+    }
+
+    #[test]
+    fn single_dimension_and_single_point() {
+        let data = Matrix::from_rows(&[vec![5.0]]).unwrap();
+        let tree = KdTree::build(data);
+        assert_eq!(tree.nearest(&[0.0], 1), vec![0]);
+    }
+
+    #[test]
+    fn high_dimension_queries() {
+        let data = grid_data(200, 16);
+        let tree = KdTree::with_leaf_size(data.clone(), 8);
+        let query = vec![3.0; 16];
+        assert_eq!(tree.nearest(&query, 7), brute_force(&data, &query, 7));
+    }
+}

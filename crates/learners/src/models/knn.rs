@@ -1,0 +1,222 @@
+//! K-nearest-neighbor classification.
+//!
+//! k-NN is the workhorse of the tutorial: besides being a model in its own
+//! right, it is the *proxy model* that makes exact Shapley values tractable
+//! (KNN-Shapley [Jia et al. 2019], Datascope [Karlaš et al. 2023]) and the
+//! model for which certain predictions over incomplete data are computable
+//! (CPClean [Karlaš et al. 2020]).
+
+use crate::dataset::ClassDataset;
+use crate::matrix::{sq_dist, Matrix};
+use crate::traits::{ConstantModel, Learner, Model};
+use crate::Result;
+
+/// k-NN learner configuration.
+#[derive(Debug, Clone)]
+pub struct KnnClassifier {
+    /// Number of neighbors.
+    pub k: usize,
+    /// Build a k-d tree index at fit time: identical results, sublinear
+    /// queries on low-dimensional data (§2.4's scalability concern).
+    pub use_kdtree: bool,
+}
+
+impl KnnClassifier {
+    /// Creates a brute-force k-NN learner with `k` neighbors.
+    pub fn new(k: usize) -> Self {
+        KnnClassifier { k: k.max(1), use_kdtree: false }
+    }
+
+    /// Creates a k-d-tree-indexed k-NN learner with `k` neighbors.
+    pub fn indexed(k: usize) -> Self {
+        KnnClassifier { k: k.max(1), use_kdtree: true }
+    }
+}
+
+impl Default for KnnClassifier {
+    fn default() -> Self {
+        KnnClassifier::new(1)
+    }
+}
+
+impl Learner for KnnClassifier {
+    fn fit(&self, data: &ClassDataset) -> Result<Box<dyn Model>> {
+        if data.is_empty() {
+            return Ok(Box::new(ConstantModel::new(0, data.n_classes)));
+        }
+        let index = self
+            .use_kdtree
+            .then(|| crate::models::kdtree::KdTree::build(data.x.clone()));
+        Ok(Box::new(FittedKnn {
+            x: data.x.clone(),
+            y: data.y.clone(),
+            n_classes: data.n_classes,
+            k: self.k,
+            index,
+        }))
+    }
+
+    fn name(&self) -> &'static str {
+        "knn"
+    }
+}
+
+/// A fitted k-NN model (stores the training set, optionally indexed).
+#[derive(Debug, Clone)]
+pub struct FittedKnn {
+    x: Matrix,
+    y: Vec<usize>,
+    n_classes: usize,
+    k: usize,
+    index: Option<crate::models::kdtree::KdTree>,
+}
+
+impl FittedKnn {
+    /// Returns the training-set indices of the `k` nearest neighbors of
+    /// `query`, ordered by increasing distance (ties broken by index so the
+    /// result is deterministic). The k-d-tree path returns exactly the same
+    /// neighbors as the brute-force scan.
+    pub fn neighbors(&self, query: &[f64]) -> Vec<usize> {
+        if let Some(tree) = &self.index {
+            return tree.nearest(query, self.k);
+        }
+        let mut order: Vec<(f64, usize)> = (0..self.x.nrows())
+            .map(|i| (sq_dist(self.x.row(i), query), i))
+            .collect();
+        order.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        order.truncate(self.k.min(order.len()));
+        order.into_iter().map(|(_, i)| i).collect()
+    }
+
+    /// The effective number of neighbors.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl Model for FittedKnn {
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    fn predict(&self, x: &[f64]) -> usize {
+        let probs = self.predict_proba(x);
+        argmax(&probs)
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        let neigh = self.neighbors(x);
+        let mut probs = vec![0.0; self.n_classes];
+        if neigh.is_empty() {
+            probs[0] = 1.0;
+            return probs;
+        }
+        let w = 1.0 / neigh.len() as f64;
+        for i in neigh {
+            probs[self.y[i]] += w;
+        }
+        probs
+    }
+}
+
+/// Index of the maximum value (first on ties).
+pub fn argmax(values: &[f64]) -> usize {
+    values
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1).then(b.0.cmp(&a.0)))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    fn blob_dataset() -> ClassDataset {
+        // Two well-separated 1-D blobs.
+        let x = Matrix::from_rows(&[
+            vec![0.0],
+            vec![0.1],
+            vec![0.2],
+            vec![5.0],
+            vec![5.1],
+            vec![5.2],
+        ])
+        .unwrap();
+        ClassDataset::new(x, vec![0, 0, 0, 1, 1, 1], 2).unwrap()
+    }
+
+    #[test]
+    fn knn_separates_blobs() {
+        let model = KnnClassifier::new(3).fit(&blob_dataset()).unwrap();
+        assert_eq!(model.predict(&[0.05]), 0);
+        assert_eq!(model.predict(&[5.05]), 1);
+    }
+
+    #[test]
+    fn proba_reflects_neighborhood_mix() {
+        let model = KnnClassifier::new(6).fit(&blob_dataset()).unwrap();
+        let p = model.predict_proba(&[2.5]);
+        assert!((p[0] - 0.5).abs() < 1e-12);
+        assert!((p[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_larger_than_dataset_uses_all_points() {
+        let model = KnnClassifier::new(100).fit(&blob_dataset()).unwrap();
+        let p = model.predict_proba(&[0.0]);
+        assert!((p[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_training_set_gives_constant_model() {
+        let data = blob_dataset().subset(&[]);
+        let model = KnnClassifier::new(1).fit(&data).unwrap();
+        assert_eq!(model.predict(&[1.0]), 0);
+    }
+
+    #[test]
+    fn neighbor_ties_break_by_index() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![1.0], vec![1.0]]).unwrap();
+        let data = ClassDataset::new(x, vec![0, 1, 0], 2).unwrap();
+        let learner = KnnClassifier::new(2);
+        let boxed = learner.fit(&data).unwrap();
+        // Reach the concrete type to check neighbor ordering.
+        let fitted = KnnClassifier::new(2).fit(&data).unwrap();
+        assert_eq!(fitted.predict(&[1.0]), 0);
+        drop(boxed);
+        let model = FittedKnn {
+            x: data.x.clone(),
+            y: data.y.clone(),
+            n_classes: 2,
+            k: 2,
+            index: None,
+        };
+        assert_eq!(model.neighbors(&[1.0]), vec![0, 1]);
+    }
+
+    #[test]
+    fn indexed_knn_matches_brute_force() {
+        let rows: Vec<Vec<f64>> = (0..200)
+            .map(|i| vec![((i * 7) % 31) as f64, ((i * 13) % 17) as f64])
+            .collect();
+        let y: Vec<usize> = (0..200).map(|i| i % 2).collect();
+        let data = ClassDataset::new(Matrix::from_rows(&rows).unwrap(), y, 2).unwrap();
+        let brute = KnnClassifier::new(5).fit(&data).unwrap();
+        let indexed = KnnClassifier::indexed(5).fit(&data).unwrap();
+        for q in 0..30 {
+            let query = [q as f64, (q * 3 % 15) as f64];
+            assert_eq!(brute.predict(&query), indexed.predict(&query));
+            assert_eq!(brute.predict_proba(&query), indexed.predict_proba(&query));
+        }
+    }
+
+    #[test]
+    fn argmax_first_on_ties() {
+        assert_eq!(argmax(&[0.5, 0.5]), 0);
+        assert_eq!(argmax(&[0.1, 0.9, 0.2]), 1);
+        assert_eq!(argmax(&[]), 0);
+    }
+}

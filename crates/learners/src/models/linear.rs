@@ -1,0 +1,172 @@
+//! Ridge linear regression via the normal equations — the model family for
+//! which Zorro, dataset multiplicity, and certain-model reasoning are
+//! defined in the paper's third pillar.
+
+use crate::dataset::RegDataset;
+use crate::matrix::{dot, Matrix};
+use crate::Result;
+
+/// Linear-regression trainer (ridge-regularized least squares).
+#[derive(Debug, Clone)]
+pub struct LinearRegression {
+    /// Ridge strength; `0.0` is ordinary least squares. A small positive
+    /// value also guards against singular Gram matrices.
+    pub l2: f64,
+    /// Whether to fit an intercept term.
+    pub fit_intercept: bool,
+}
+
+impl Default for LinearRegression {
+    fn default() -> Self {
+        LinearRegression { l2: 1e-6, fit_intercept: true }
+    }
+}
+
+impl LinearRegression {
+    /// Creates a trainer with the given ridge strength and an intercept.
+    pub fn new(l2: f64) -> Self {
+        LinearRegression { l2, fit_intercept: true }
+    }
+
+    /// Solves `(XᵀX + λI) w = Xᵀy`.
+    pub fn fit(&self, data: &RegDataset) -> Result<FittedLinear> {
+        if data.is_empty() {
+            return Ok(FittedLinear { weights: vec![0.0; data.n_features()], intercept: 0.0 });
+        }
+        let (x, y) = if self.fit_intercept {
+            // Augment with a constant column.
+            let mut rows = Vec::with_capacity(data.len());
+            for i in 0..data.len() {
+                let mut r = data.x.row(i).to_vec();
+                r.push(1.0);
+                rows.push(r);
+            }
+            (Matrix::from_rows(&rows)?, data.y.clone())
+        } else {
+            (data.x.clone(), data.y.clone())
+        };
+        let mut gram = x.gram();
+        if self.fit_intercept {
+            // Do not regularize the intercept coordinate.
+            let d = gram.ncols();
+            gram.add_ridge(self.l2);
+            let last = d - 1;
+            let v = gram.get(last, last) - self.l2;
+            gram.set(last, last, v);
+        } else {
+            gram.add_ridge(self.l2);
+        }
+        let xty = x.transpose().matvec(&y)?;
+        let sol = match gram.solve(&xty) {
+            Ok(sol) => sol,
+            Err(_) => {
+                // Fall back to a slightly stronger ridge on singularity.
+                let mut g2 = x.gram();
+                g2.add_ridge(self.l2.max(1e-8) * 100.0);
+                g2.solve(&xty)?
+            }
+        };
+        if self.fit_intercept {
+            let (intercept, weights) = sol.split_last().expect("at least the intercept");
+            Ok(FittedLinear { weights: weights.to_vec(), intercept: *intercept })
+        } else {
+            Ok(FittedLinear { weights: sol, intercept: 0.0 })
+        }
+    }
+}
+
+/// A fitted linear model `y = w·x + b`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FittedLinear {
+    /// Feature weights.
+    pub weights: Vec<f64>,
+    /// Intercept.
+    pub intercept: f64,
+}
+
+impl FittedLinear {
+    /// Predicts the target for one feature vector.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        dot(&self.weights, x) + self.intercept
+    }
+
+    /// Mean squared error on a dataset.
+    pub fn mse(&self, data: &RegDataset) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = (0..data.len())
+            .map(|i| {
+                let e = self.predict(data.x.row(i)) - data.y[i];
+                e * e
+            })
+            .sum();
+        sum / data.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_data() -> RegDataset {
+        // y = 2x + 1 exactly.
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]).unwrap();
+        RegDataset::new(x, vec![1.0, 3.0, 5.0, 7.0]).unwrap()
+    }
+
+    #[test]
+    fn recovers_exact_line() {
+        let m = LinearRegression::new(0.0).fit(&line_data()).unwrap();
+        assert!((m.weights[0] - 2.0).abs() < 1e-8);
+        assert!((m.intercept - 1.0).abs() < 1e-8);
+        assert!(m.mse(&line_data()) < 1e-12);
+    }
+
+    #[test]
+    fn without_intercept() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0]]).unwrap();
+        let data = RegDataset::new(x, vec![3.0, 6.0]).unwrap();
+        let trainer = LinearRegression { l2: 0.0, fit_intercept: false };
+        let m = trainer.fit(&data).unwrap();
+        assert!((m.weights[0] - 3.0).abs() < 1e-10);
+        assert_eq!(m.intercept, 0.0);
+    }
+
+    #[test]
+    fn ridge_shrinks_weights() {
+        let ols = LinearRegression::new(0.0).fit(&line_data()).unwrap();
+        let ridge = LinearRegression::new(10.0).fit(&line_data()).unwrap();
+        assert!(ridge.weights[0].abs() < ols.weights[0].abs());
+    }
+
+    #[test]
+    fn empty_dataset_gives_zero_model() {
+        let data = line_data().subset(&[]);
+        let m = LinearRegression::default().fit(&data).unwrap();
+        assert_eq!(m.predict(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn collinear_features_fall_back_to_ridge() {
+        // Duplicate feature makes XtX singular under pure OLS.
+        let x = Matrix::from_rows(&[
+            vec![1.0, 1.0],
+            vec![2.0, 2.0],
+            vec![3.0, 3.0],
+        ])
+        .unwrap();
+        let data = RegDataset::new(x, vec![2.0, 4.0, 6.0]).unwrap();
+        let m = LinearRegression::new(0.0).fit(&data).unwrap();
+        // Predictions are still accurate even though weights are not unique.
+        assert!((m.predict(&[2.0, 2.0]) - 4.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn mse_measures_fit() {
+        let m = FittedLinear { weights: vec![0.0], intercept: 0.0 };
+        let data = line_data();
+        // Mean of squared targets: (1 + 9 + 25 + 49) / 4 = 21.
+        assert!((m.mse(&data) - 21.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,10 @@
+//! Model implementations.
+
+pub mod bagging;
+pub mod kdtree;
+pub mod knn;
+pub mod linear;
+pub mod logistic;
+pub mod naive_bayes;
+pub mod svm;
+pub mod tree;

@@ -1,0 +1,171 @@
+//! Gaussian naive Bayes.
+
+use crate::dataset::ClassDataset;
+use crate::models::knn::argmax;
+use crate::traits::{ConstantModel, Learner, Model};
+use crate::Result;
+
+/// Gaussian naive Bayes learner.
+#[derive(Debug, Clone)]
+pub struct GaussianNb {
+    /// Variance floor added to every per-feature variance for stability.
+    pub var_smoothing: f64,
+}
+
+impl Default for GaussianNb {
+    fn default() -> Self {
+        GaussianNb { var_smoothing: 1e-9 }
+    }
+}
+
+impl Learner for GaussianNb {
+    fn fit(&self, data: &ClassDataset) -> Result<Box<dyn Model>> {
+        if data.is_empty() {
+            return Ok(Box::new(ConstantModel::new(0, data.n_classes)));
+        }
+        let (n, d, c) = (data.len(), data.n_features(), data.n_classes);
+        let counts = data.class_counts();
+        let mut means = vec![vec![0.0f64; d]; c];
+        let mut vars = vec![vec![0.0f64; d]; c];
+        for i in 0..n {
+            let (xi, yi) = (data.x.row(i), data.y[i]);
+            for (m, &x) in means[yi].iter_mut().zip(xi) {
+                *m += x;
+            }
+        }
+        for k in 0..c {
+            if counts[k] > 0 {
+                for m in means[k].iter_mut() {
+                    *m /= counts[k] as f64;
+                }
+            }
+        }
+        for i in 0..n {
+            let (xi, yi) = (data.x.row(i), data.y[i]);
+            for ((v, &m), &x) in vars[yi].iter_mut().zip(&means[yi]).zip(xi) {
+                *v += (x - m) * (x - m);
+            }
+        }
+        // Global variance scale for smoothing, as scikit-learn does.
+        let max_var = vars
+            .iter()
+            .flatten()
+            .copied()
+            .fold(0.0f64, f64::max)
+            .max(1.0);
+        for k in 0..c {
+            for v in vars[k].iter_mut() {
+                *v = if counts[k] > 0 { *v / counts[k] as f64 } else { 0.0 };
+                *v += self.var_smoothing * max_var + 1e-12;
+            }
+        }
+        let priors: Vec<f64> = counts
+            .iter()
+            .map(|&ck| {
+                if ck == 0 {
+                    f64::NEG_INFINITY
+                } else {
+                    (ck as f64 / n as f64).ln()
+                }
+            })
+            .collect();
+        Ok(Box::new(FittedGaussianNb { means, vars, log_priors: priors, n_classes: c }))
+    }
+
+    fn name(&self) -> &'static str {
+        "gaussian_nb"
+    }
+}
+
+/// Fitted Gaussian naive Bayes model.
+#[derive(Debug, Clone)]
+pub struct FittedGaussianNb {
+    means: Vec<Vec<f64>>,
+    vars: Vec<Vec<f64>>,
+    log_priors: Vec<f64>,
+    n_classes: usize,
+}
+
+impl FittedGaussianNb {
+    fn log_likelihood(&self, k: usize, x: &[f64]) -> f64 {
+        if self.log_priors[k].is_infinite() {
+            return f64::NEG_INFINITY;
+        }
+        let mut ll = self.log_priors[k];
+        for ((&m, &v), &xi) in self.means[k].iter().zip(&self.vars[k]).zip(x) {
+            ll += -0.5 * ((2.0 * std::f64::consts::PI * v).ln() + (xi - m) * (xi - m) / v);
+        }
+        ll
+    }
+}
+
+impl Model for FittedGaussianNb {
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    fn predict(&self, x: &[f64]) -> usize {
+        let lls: Vec<f64> = (0..self.n_classes).map(|k| self.log_likelihood(k, x)).collect();
+        argmax(&lls)
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        let lls: Vec<f64> = (0..self.n_classes).map(|k| self.log_likelihood(k, x)).collect();
+        crate::models::logistic::softmax(&lls)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    fn blobs() -> ClassDataset {
+        let x = Matrix::from_rows(&[
+            vec![0.0, 0.1],
+            vec![0.2, -0.1],
+            vec![-0.1, 0.0],
+            vec![4.0, 4.1],
+            vec![4.2, 3.9],
+            vec![3.9, 4.0],
+        ])
+        .unwrap();
+        ClassDataset::new(x, vec![0, 0, 0, 1, 1, 1], 2).unwrap()
+    }
+
+    #[test]
+    fn classifies_blobs() {
+        let m = GaussianNb::default().fit(&blobs()).unwrap();
+        assert_eq!(m.predict(&[0.0, 0.0]), 0);
+        assert_eq!(m.predict(&[4.0, 4.0]), 1);
+    }
+
+    #[test]
+    fn proba_sums_to_one() {
+        let m = GaussianNb::default().fit(&blobs()).unwrap();
+        let p = m.predict_proba(&[2.0, 2.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn absent_class_never_predicted() {
+        let data = blobs().subset(&[0, 1, 2]);
+        let m = GaussianNb::default().fit(&data).unwrap();
+        assert_eq!(m.predict(&[100.0, 100.0]), 0);
+    }
+
+    #[test]
+    fn empty_dataset_constant_model() {
+        let m = GaussianNb::default().fit(&blobs().subset(&[])).unwrap();
+        assert_eq!(m.predict(&[1.0, 1.0]), 0);
+    }
+
+    #[test]
+    fn zero_variance_features_are_smoothed() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![1.0], vec![2.0], vec![2.0]]).unwrap();
+        let data = ClassDataset::new(x, vec![0, 0, 1, 1], 2).unwrap();
+        let m = GaussianNb::default().fit(&data).unwrap();
+        assert_eq!(m.predict(&[1.0]), 0);
+        assert_eq!(m.predict(&[2.0]), 1);
+    }
+}

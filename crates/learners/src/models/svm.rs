@@ -1,0 +1,153 @@
+//! Linear SVM (binary, hinge loss) trained with deterministic subgradient
+//! descent (Pegasos-style schedule without random sampling).
+
+use crate::dataset::ClassDataset;
+use crate::matrix::dot;
+use crate::traits::{ConstantModel, Learner, Model};
+use crate::{LearnError, Result};
+
+/// Linear SVM learner configuration (binary classification).
+#[derive(Debug, Clone)]
+pub struct LinearSvm {
+    /// Regularization strength λ.
+    pub lambda: f64,
+    /// Number of full passes over the data.
+    pub epochs: usize,
+}
+
+impl Default for LinearSvm {
+    fn default() -> Self {
+        LinearSvm { lambda: 1e-2, epochs: 100 }
+    }
+}
+
+impl Learner for LinearSvm {
+    fn fit(&self, data: &ClassDataset) -> Result<Box<dyn Model>> {
+        if data.n_classes != 2 {
+            return Err(LearnError::InvalidParameter {
+                detail: format!("LinearSvm is binary; got {} classes", data.n_classes),
+            });
+        }
+        if data.is_empty() {
+            return Ok(Box::new(ConstantModel::new(0, 2)));
+        }
+        let counts = data.class_counts();
+        if counts[0] == 0 || counts[1] == 0 {
+            return Ok(Box::new(ConstantModel::new(
+                data.majority_class().expect("non-empty"),
+                2,
+            )));
+        }
+        let (n, d) = (data.len(), data.n_features());
+        let mut w = vec![0.0f64; d];
+        let mut b = 0.0f64;
+        let mut t = 0usize;
+        for _ in 0..self.epochs {
+            for i in 0..n {
+                t += 1;
+                let eta = 1.0 / (self.lambda * t as f64);
+                let xi = data.x.row(i);
+                let yi = if data.y[i] == 1 { 1.0 } else { -1.0 };
+                let margin = yi * (dot(&w, xi) + b);
+                // Subgradient step on λ/2 ||w||² + hinge.
+                for wj in w.iter_mut() {
+                    *wj *= 1.0 - eta * self.lambda;
+                }
+                if margin < 1.0 {
+                    for (wj, &xj) in w.iter_mut().zip(xi) {
+                        *wj += eta * yi * xj;
+                    }
+                    b += eta * yi;
+                }
+            }
+        }
+        Ok(Box::new(FittedSvm { w, b }))
+    }
+
+    fn name(&self) -> &'static str {
+        "linear_svm"
+    }
+}
+
+/// Fitted binary linear SVM.
+#[derive(Debug, Clone)]
+pub struct FittedSvm {
+    w: Vec<f64>,
+    b: f64,
+}
+
+impl FittedSvm {
+    /// Signed decision value `w·x + b`; positive means class 1.
+    pub fn decision(&self, x: &[f64]) -> f64 {
+        dot(&self.w, x) + self.b
+    }
+}
+
+impl Model for FittedSvm {
+    fn n_classes(&self) -> usize {
+        2
+    }
+
+    fn predict(&self, x: &[f64]) -> usize {
+        usize::from(self.decision(x) > 0.0)
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        // Platt-style squashing of the margin.
+        let p1 = 1.0 / (1.0 + (-self.decision(x)).exp());
+        vec![1.0 - p1, p1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    fn separable() -> ClassDataset {
+        let x = Matrix::from_rows(&[
+            vec![-2.0, 0.0],
+            vec![-1.5, 0.5],
+            vec![-1.8, -0.2],
+            vec![2.0, 0.0],
+            vec![1.5, -0.5],
+            vec![1.8, 0.2],
+        ])
+        .unwrap();
+        ClassDataset::new(x, vec![0, 0, 0, 1, 1, 1], 2).unwrap()
+    }
+
+    #[test]
+    fn separates_margin_data() {
+        let m = LinearSvm::default().fit(&separable()).unwrap();
+        assert_eq!(m.predict(&[-2.0, 0.0]), 0);
+        assert_eq!(m.predict(&[2.0, 0.0]), 1);
+    }
+
+    #[test]
+    fn rejects_multiclass() {
+        let x = Matrix::from_rows(&[vec![0.0]]).unwrap();
+        let data = ClassDataset::new(x, vec![2], 3).unwrap();
+        assert!(LinearSvm::default().fit(&data).is_err());
+    }
+
+    #[test]
+    fn degenerate_subsets_fall_back() {
+        let d = separable();
+        let one_class = d.subset(&[0, 1, 2]);
+        let m = LinearSvm::default().fit(&one_class).unwrap();
+        assert_eq!(m.predict(&[100.0, 0.0]), 0);
+        let empty = d.subset(&[]);
+        let m = LinearSvm::default().fit(&empty).unwrap();
+        assert_eq!(m.predict(&[0.0, 0.0]), 0);
+    }
+
+    #[test]
+    fn proba_is_monotone_in_margin() {
+        let m = FittedSvm { w: vec![1.0], b: 0.0 };
+        let p_far = m.predict_proba(&[3.0])[1];
+        let p_near = m.predict_proba(&[0.5])[1];
+        assert!(p_far > p_near);
+        assert!((m.predict_proba(&[0.0])[1] - 0.5).abs() < 1e-12);
+    }
+}

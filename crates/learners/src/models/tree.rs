@@ -1,0 +1,270 @@
+//! CART decision trees (Gini impurity, axis-aligned splits).
+//!
+//! Trees are the model family for which robustness to *programmable data
+//! bias* is certified in the survey's third pillar (Meyer et al. 2021), and
+//! a common "real model" against which proxy-based importance is compared.
+
+use crate::dataset::ClassDataset;
+use crate::models::knn::argmax;
+use crate::traits::{ConstantModel, Learner, Model};
+use crate::Result;
+
+/// Decision-tree learner configuration.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum number of examples to attempt a split.
+    pub min_samples_split: usize,
+}
+
+impl Default for DecisionTree {
+    fn default() -> Self {
+        DecisionTree { max_depth: 8, min_samples_split: 2 }
+    }
+}
+
+impl DecisionTree {
+    /// Creates a learner with the given maximum depth.
+    pub fn with_depth(max_depth: usize) -> Self {
+        DecisionTree { max_depth, ..DecisionTree::default() }
+    }
+}
+
+/// A tree node.
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        /// Class-probability vector at this leaf.
+        probs: Vec<f64>,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// Gini impurity of a label multiset given per-class counts.
+fn gini(counts: &[usize], total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let t = total as f64;
+    1.0 - counts
+        .iter()
+        .map(|&c| {
+            let p = c as f64 / t;
+            p * p
+        })
+        .sum::<f64>()
+}
+
+fn class_probs(data: &ClassDataset, rows: &[usize]) -> Vec<f64> {
+    let mut counts = vec![0usize; data.n_classes];
+    for &i in rows {
+        counts[data.y[i]] += 1;
+    }
+    let total = rows.len().max(1) as f64;
+    counts.into_iter().map(|c| c as f64 / total).collect()
+}
+
+fn best_split(data: &ClassDataset, rows: &[usize]) -> Option<(usize, f64, f64)> {
+    let parent_counts = {
+        let mut c = vec![0usize; data.n_classes];
+        for &i in rows {
+            c[data.y[i]] += 1;
+        }
+        c
+    };
+    let parent_gini = gini(&parent_counts, rows.len());
+    if parent_gini == 0.0 {
+        return None;
+    }
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
+    let n = rows.len() as f64;
+    for feature in 0..data.n_features() {
+        // Sort row ids by this feature.
+        let mut order: Vec<usize> = rows.to_vec();
+        order.sort_by(|&a, &b| data.x.get(a, feature).total_cmp(&data.x.get(b, feature)));
+        let mut left_counts = vec![0usize; data.n_classes];
+        let mut right_counts = parent_counts.clone();
+        for (pos, &i) in order.iter().enumerate().take(order.len() - 1) {
+            left_counts[data.y[i]] += 1;
+            right_counts[data.y[i]] -= 1;
+            let (a, b) = (data.x.get(i, feature), data.x.get(order[pos + 1], feature));
+            if a == b {
+                continue; // cannot split between equal values
+            }
+            let threshold = 0.5 * (a + b);
+            let nl = (pos + 1) as f64;
+            let nr = n - nl;
+            let weighted = (nl / n) * gini(&left_counts, pos + 1)
+                + (nr / n) * gini(&right_counts, rows.len() - pos - 1);
+            // Accept zero-gain splits (like scikit-learn's CART): XOR-style
+            // concepts need them, and recursion still terminates because the
+            // partition is strictly smaller on both sides.
+            let gain = parent_gini - weighted;
+            if best.map_or(true, |(_, _, g)| gain > g) {
+                best = Some((feature, threshold, gain));
+            }
+        }
+    }
+    best
+}
+
+fn grow(data: &ClassDataset, rows: &[usize], depth: usize, cfg: &DecisionTree) -> Node {
+    let probs = class_probs(data, rows);
+    if depth >= cfg.max_depth || rows.len() < cfg.min_samples_split {
+        return Node::Leaf { probs };
+    }
+    let Some((feature, threshold, _)) = best_split(data, rows) else {
+        return Node::Leaf { probs };
+    };
+    let (left_rows, right_rows): (Vec<usize>, Vec<usize>) = rows
+        .iter()
+        .partition(|&&i| data.x.get(i, feature) <= threshold);
+    if left_rows.is_empty() || right_rows.is_empty() {
+        return Node::Leaf { probs };
+    }
+    Node::Split {
+        feature,
+        threshold,
+        left: Box::new(grow(data, &left_rows, depth + 1, cfg)),
+        right: Box::new(grow(data, &right_rows, depth + 1, cfg)),
+    }
+}
+
+impl Learner for DecisionTree {
+    fn fit(&self, data: &ClassDataset) -> Result<Box<dyn Model>> {
+        if data.is_empty() {
+            return Ok(Box::new(ConstantModel::new(0, data.n_classes)));
+        }
+        let rows: Vec<usize> = (0..data.len()).collect();
+        let root = grow(data, &rows, 0, self);
+        Ok(Box::new(FittedTree { root, n_classes: data.n_classes }))
+    }
+
+    fn name(&self) -> &'static str {
+        "decision_tree"
+    }
+}
+
+/// A fitted CART tree.
+#[derive(Debug, Clone)]
+pub struct FittedTree {
+    root: Node,
+    n_classes: usize,
+}
+
+impl FittedTree {
+    /// Number of leaves (diagnostic).
+    pub fn n_leaves(&self) -> usize {
+        fn count(node: &Node) -> usize {
+            match node {
+                Node::Leaf { .. } => 1,
+                Node::Split { left, right, .. } => count(left) + count(right),
+            }
+        }
+        count(&self.root)
+    }
+}
+
+impl Model for FittedTree {
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    fn predict(&self, x: &[f64]) -> usize {
+        argmax(&self.predict_proba(x))
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { probs } => return probs.clone(),
+                Node::Split { feature, threshold, left, right } => {
+                    node = if x[*feature] <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    fn xor_dataset() -> ClassDataset {
+        // XOR is not linearly separable but trivially tree-separable.
+        let x = Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ])
+        .unwrap();
+        ClassDataset::new(x, vec![0, 1, 1, 0], 2).unwrap()
+    }
+
+    #[test]
+    fn learns_xor() {
+        let data = xor_dataset();
+        let model = DecisionTree::default().fit(&data).unwrap();
+        for i in 0..data.len() {
+            assert_eq!(model.predict(data.x.row(i)), data.y[i]);
+        }
+    }
+
+    #[test]
+    fn depth_zero_is_a_leaf() {
+        let model = DecisionTree::with_depth(0).fit(&xor_dataset()).unwrap();
+        // Majority (tied → class 0 by argmax convention), constant everywhere.
+        assert_eq!(model.predict(&[0.0, 0.0]), model.predict(&[1.0, 0.0]));
+    }
+
+    #[test]
+    fn pure_node_stops_splitting() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]).unwrap();
+        let data = ClassDataset::new(x, vec![0, 0, 0], 1).unwrap();
+        let model = DecisionTree::default().fit(&data).unwrap();
+        assert_eq!(model.predict(&[5.0]), 0);
+    }
+
+    #[test]
+    fn gini_bounds() {
+        assert_eq!(gini(&[4, 0], 4), 0.0);
+        assert!((gini(&[2, 2], 4) - 0.5).abs() < 1e-12);
+        assert_eq!(gini(&[], 0), 0.0);
+    }
+
+    #[test]
+    fn identical_features_cannot_split() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![1.0]]).unwrap();
+        let data = ClassDataset::new(x, vec![0, 1], 2).unwrap();
+        let model = DecisionTree::default().fit(&data).unwrap();
+        // Falls back to a single leaf with a 50/50 distribution.
+        let p = model.predict_proba(&[1.0]);
+        assert!((p[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leaf_count_matches_structure() {
+        let data = xor_dataset();
+        let learner = DecisionTree::default();
+        let boxed = learner.fit(&data).unwrap();
+        drop(boxed);
+        let rows: Vec<usize> = (0..data.len()).collect();
+        let tree = FittedTree { root: grow(&data, &rows, 0, &learner), n_classes: 2 };
+        assert!(tree.n_leaves() >= 3);
+    }
+
+    #[test]
+    fn empty_dataset_constant() {
+        let model = DecisionTree::default().fit(&xor_dataset().subset(&[])).unwrap();
+        assert_eq!(model.predict(&[0.0, 0.0]), 0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Missing-value imputation over table columns — the baseline repair that
+//! the paper's third pillar compares uncertainty-aware learning against.
+
+use nde_tabular::{Column, Table, Value};
+
+use crate::{LearnError, Result};
+
+/// How to fill missing cells.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ImputeStrategy {
+    /// Mean of the non-null numeric cells.
+    Mean,
+    /// Median of the non-null numeric cells.
+    Median,
+    /// Most frequent value (any column type; ties by first occurrence).
+    Mode,
+    /// A fixed value.
+    Constant(Value),
+}
+
+/// Column imputer: learns a fill value from one table and applies it to
+/// (possibly different) tables, scikit-learn style.
+#[derive(Debug, Clone)]
+pub struct Imputer {
+    strategy: ImputeStrategy,
+}
+
+impl Imputer {
+    /// Creates an imputer with the given strategy.
+    pub fn new(strategy: ImputeStrategy) -> Self {
+        Imputer { strategy }
+    }
+
+    /// Computes the fill value for `column` of `table`.
+    pub fn fit(&self, table: &Table, column: &str) -> Result<Value> {
+        let col = table
+            .column(column)
+            .map_err(|e| LearnError::Encoding { detail: e.to_string() })?;
+        let fill = match &self.strategy {
+            ImputeStrategy::Constant(v) => v.clone(),
+            ImputeStrategy::Mean => {
+                let mean = col.mean().ok_or(LearnError::EmptyDataset)?;
+                Value::Float(mean)
+            }
+            ImputeStrategy::Median => {
+                let mut vals: Vec<f64> = col
+                    .to_f64()
+                    .map_err(|e| LearnError::Encoding { detail: e.to_string() })?
+                    .into_iter()
+                    .flatten()
+                    .collect();
+                if vals.is_empty() {
+                    return Err(LearnError::EmptyDataset);
+                }
+                vals.sort_by(f64::total_cmp);
+                let mid = vals.len() / 2;
+                let median = if vals.len() % 2 == 1 {
+                    vals[mid]
+                } else {
+                    0.5 * (vals[mid - 1] + vals[mid])
+                };
+                Value::Float(median)
+            }
+            ImputeStrategy::Mode => mode_value(col).ok_or(LearnError::EmptyDataset)?,
+        };
+        Ok(fill)
+    }
+
+    /// Returns `table` with nulls in `column` replaced by the fitted value.
+    pub fn fit_transform(&self, table: &Table, column: &str) -> Result<Table> {
+        let fill = self.fit(table, column)?;
+        apply_fill(table, column, &fill)
+    }
+
+    /// Applies a precomputed fill value.
+    pub fn transform(&self, table: &Table, column: &str, fill: &Value) -> Result<Table> {
+        apply_fill(table, column, fill)
+    }
+}
+
+fn apply_fill(table: &Table, column: &str, fill: &Value) -> Result<Table> {
+    table
+        .map_column(column, |v| if v.is_null() { fill.clone() } else { v })
+        .map_err(|e| LearnError::Encoding { detail: e.to_string() })
+}
+
+/// Most frequent non-null value of a column (first occurrence wins ties).
+fn mode_value(col: &Column) -> Option<Value> {
+    let mut counts: Vec<(Value, usize)> = Vec::new();
+    for v in col.iter().filter(|v| !v.is_null()) {
+        match counts.iter_mut().find(|(u, _)| u == &v) {
+            Some((_, c)) => *c += 1,
+            None => counts.push((v, 1)),
+        }
+    }
+    counts
+        .into_iter()
+        .max_by(|a, b| a.1.cmp(&b.1).then(std::cmp::Ordering::Greater))
+        .map(|(v, _)| v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Table {
+        Table::builder()
+            .float("x", [Some(1.0), None, Some(3.0), Some(100.0)])
+            .str_opt(
+                "cat",
+                vec![Some("a".into()), Some("a".into()), None, Some("b".into())],
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn mean_imputation() {
+        let t = Imputer::new(ImputeStrategy::Mean).fit_transform(&demo(), "x").unwrap();
+        let mean = (1.0 + 3.0 + 100.0) / 3.0;
+        assert_eq!(t.get(1, "x").unwrap().as_float(), Some(mean));
+        assert_eq!(t.null_count(), 1); // "cat" untouched
+    }
+
+    #[test]
+    fn median_is_robust_to_outlier() {
+        let t = Imputer::new(ImputeStrategy::Median).fit_transform(&demo(), "x").unwrap();
+        assert_eq!(t.get(1, "x").unwrap().as_float(), Some(3.0));
+    }
+
+    #[test]
+    fn mode_for_categoricals() {
+        let t = Imputer::new(ImputeStrategy::Mode).fit_transform(&demo(), "cat").unwrap();
+        assert_eq!(t.get(2, "cat").unwrap(), Value::from("a"));
+    }
+
+    #[test]
+    fn constant_fill() {
+        let imp = Imputer::new(ImputeStrategy::Constant(Value::Float(-1.0)));
+        let t = imp.fit_transform(&demo(), "x").unwrap();
+        assert_eq!(t.get(1, "x").unwrap(), Value::Float(-1.0));
+    }
+
+    #[test]
+    fn all_null_numeric_column_errors() {
+        let t = Table::builder().float("x", [None::<f64>, None]).build().unwrap();
+        assert!(Imputer::new(ImputeStrategy::Mean).fit(&t, "x").is_err());
+        assert!(Imputer::new(ImputeStrategy::Mode).fit(&t, "x").is_err());
+    }
+
+    #[test]
+    fn missing_column_errors() {
+        assert!(Imputer::new(ImputeStrategy::Mean).fit(&demo(), "nope").is_err());
+    }
+
+    #[test]
+    fn fit_then_transform_other_table() {
+        let imp = Imputer::new(ImputeStrategy::Mean);
+        let fill = imp.fit(&demo(), "x").unwrap();
+        let other = Table::builder().float("x", [None::<f64>]).build().unwrap();
+        let out = imp.transform(&other, "x", &fill).unwrap();
+        assert!(!out.column("x").unwrap().is_null(0));
+    }
+}

@@ -1,0 +1,163 @@
+//! Column-wise feature scaling over [`Matrix`].
+
+use crate::matrix::Matrix;
+use crate::{LearnError, Result};
+
+/// Standardizes columns to zero mean and unit variance.
+#[derive(Debug, Clone, Default)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fits means and standard deviations per column.
+    pub fn fit(x: &Matrix) -> Result<Self> {
+        if x.nrows() == 0 {
+            return Err(LearnError::EmptyDataset);
+        }
+        let (n, d) = (x.nrows(), x.ncols());
+        let mut means = vec![0.0; d];
+        for i in 0..n {
+            for (m, &v) in means.iter_mut().zip(x.row(i)) {
+                *m += v;
+            }
+        }
+        means.iter_mut().for_each(|m| *m /= n as f64);
+        let mut vars = vec![0.0; d];
+        for i in 0..n {
+            for ((s, &m), &v) in vars.iter_mut().zip(&means).zip(x.row(i)) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        let stds: Vec<f64> = vars
+            .into_iter()
+            .map(|v| {
+                let s = (v / n as f64).sqrt();
+                if s < 1e-12 {
+                    1.0 // constant columns pass through unscaled
+                } else {
+                    s
+                }
+            })
+            .collect();
+        Ok(StandardScaler { means, stds })
+    }
+
+    /// Applies the fitted scaling.
+    pub fn transform(&self, x: &Matrix) -> Result<Matrix> {
+        if x.ncols() != self.means.len() {
+            return Err(LearnError::DimensionMismatch {
+                detail: format!("scaler fitted on {} cols, got {}", self.means.len(), x.ncols()),
+            });
+        }
+        let mut out = x.clone();
+        for i in 0..out.nrows() {
+            let row = out.row_mut(i);
+            for ((v, &m), &s) in row.iter_mut().zip(&self.means).zip(&self.stds) {
+                *v = (*v - m) / s;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Fit and transform in one call.
+    pub fn fit_transform(x: &Matrix) -> Result<(Self, Matrix)> {
+        let scaler = Self::fit(x)?;
+        let out = scaler.transform(x)?;
+        Ok((scaler, out))
+    }
+}
+
+/// Scales columns into `[0, 1]` by min/max.
+#[derive(Debug, Clone, Default)]
+pub struct MinMaxScaler {
+    mins: Vec<f64>,
+    ranges: Vec<f64>,
+}
+
+impl MinMaxScaler {
+    /// Fits column minima and ranges.
+    pub fn fit(x: &Matrix) -> Result<Self> {
+        if x.nrows() == 0 {
+            return Err(LearnError::EmptyDataset);
+        }
+        let d = x.ncols();
+        let mut mins = vec![f64::INFINITY; d];
+        let mut maxs = vec![f64::NEG_INFINITY; d];
+        for i in 0..x.nrows() {
+            for ((lo, hi), &v) in mins.iter_mut().zip(maxs.iter_mut()).zip(x.row(i)) {
+                *lo = lo.min(v);
+                *hi = hi.max(v);
+            }
+        }
+        let ranges: Vec<f64> = mins
+            .iter()
+            .zip(&maxs)
+            .map(|(&lo, &hi)| if hi - lo < 1e-12 { 1.0 } else { hi - lo })
+            .collect();
+        Ok(MinMaxScaler { mins, ranges })
+    }
+
+    /// Applies the fitted scaling.
+    pub fn transform(&self, x: &Matrix) -> Result<Matrix> {
+        if x.ncols() != self.mins.len() {
+            return Err(LearnError::DimensionMismatch {
+                detail: format!("scaler fitted on {} cols, got {}", self.mins.len(), x.ncols()),
+            });
+        }
+        let mut out = x.clone();
+        for i in 0..out.nrows() {
+            let row = out.row_mut(i);
+            for ((v, &lo), &r) in row.iter_mut().zip(&self.mins).zip(&self.ranges) {
+                *v = (*v - lo) / r;
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Matrix {
+        Matrix::from_rows(&[vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 30.0]]).unwrap()
+    }
+
+    #[test]
+    fn standard_scaler_centers_and_scales() {
+        let (_, scaled) = StandardScaler::fit_transform(&demo()).unwrap();
+        for j in 0..2 {
+            let mean: f64 = (0..3).map(|i| scaled.get(i, j)).sum::<f64>() / 3.0;
+            assert!(mean.abs() < 1e-12);
+            let var: f64 = (0..3).map(|i| scaled.get(i, j).powi(2)).sum::<f64>() / 3.0;
+            assert!((var - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn constant_columns_pass_through() {
+        let x = Matrix::from_rows(&[vec![5.0], vec![5.0]]).unwrap();
+        let (_, s) = StandardScaler::fit_transform(&x).unwrap();
+        assert_eq!(s.get(0, 0), 0.0);
+        assert_eq!(s.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn minmax_maps_to_unit_interval() {
+        let scaler = MinMaxScaler::fit(&demo()).unwrap();
+        let s = scaler.transform(&demo()).unwrap();
+        assert_eq!(s.get(0, 0), 0.0);
+        assert_eq!(s.get(2, 0), 1.0);
+        assert_eq!(s.get(1, 1), 0.5);
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let scaler = StandardScaler::fit(&demo()).unwrap();
+        let narrow = Matrix::from_rows(&[vec![1.0]]).unwrap();
+        assert!(scaler.transform(&narrow).is_err());
+        assert!(StandardScaler::fit(&Matrix::zeros(0, 2)).is_err());
+    }
+}

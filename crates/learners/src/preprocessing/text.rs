@@ -1,0 +1,193 @@
+//! Text featurization.
+//!
+//! The paper's pipeline uses a `SentenceBertTransformer`. A 100M-parameter
+//! transformer is out of scope for a self-contained substrate, so this
+//! module provides two deterministic substitutes that exercise the same
+//! downstream code paths (dense, fixed-width, semantically clustered
+//! vectors):
+//!
+//! - [`HashingVectorizer`] — classic feature hashing of token counts,
+//! - [`SentenceEmbedder`] — every token is mapped to a pseudo-random unit
+//!   vector derived from its hash; a sentence embeds as the L2-normalized
+//!   sum. Sentences sharing words land close in cosine space, which is the
+//!   property the tutorial's sentiment task relies on.
+
+/// FNV-1a hash of a token (stable across runs and platforms).
+fn fnv1a(token: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in token.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Lowercases and splits on non-alphanumeric characters.
+pub fn tokenize(text: &str) -> Vec<String> {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(|t| t.to_lowercase())
+        .collect()
+}
+
+/// Feature-hashing bag-of-words vectorizer.
+#[derive(Debug, Clone)]
+pub struct HashingVectorizer {
+    /// Output dimensionality.
+    pub dims: usize,
+}
+
+impl HashingVectorizer {
+    /// Creates a vectorizer with `dims` output buckets.
+    pub fn new(dims: usize) -> Self {
+        HashingVectorizer { dims: dims.max(1) }
+    }
+
+    /// Encodes text as L2-normalized hashed token counts (signed hashing to
+    /// reduce collision bias).
+    pub fn embed(&self, text: &str) -> Vec<f64> {
+        let mut v = vec![0.0f64; self.dims];
+        for token in tokenize(text) {
+            let h = fnv1a(&token);
+            let bucket = (h % self.dims as u64) as usize;
+            let sign = if (h >> 32) & 1 == 0 { 1.0 } else { -1.0 };
+            v[bucket] += sign;
+        }
+        l2_normalize(&mut v);
+        v
+    }
+}
+
+/// Deterministic pseudo-sentence-embedding (SentenceBERT substitute).
+#[derive(Debug, Clone)]
+pub struct SentenceEmbedder {
+    /// Output dimensionality.
+    pub dims: usize,
+}
+
+impl SentenceEmbedder {
+    /// Creates an embedder with `dims` dimensions.
+    pub fn new(dims: usize) -> Self {
+        SentenceEmbedder { dims: dims.max(1) }
+    }
+
+    /// Pseudo-random unit vector for one token, derived from its hash via
+    /// SplitMix64 expansion and an approximate inverse-normal transform.
+    fn token_vector(&self, token: &str) -> Vec<f64> {
+        let mut state = fnv1a(token);
+        let mut v = Vec::with_capacity(self.dims);
+        for _ in 0..self.dims {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            // Map to roughly standard normal via a sum of uniforms.
+            let u1 = (z & 0xFFFF_FFFF) as f64 / 4294967296.0;
+            let u2 = (z >> 32) as f64 / 4294967296.0;
+            v.push(u1 + u2 - 1.0);
+        }
+        l2_normalize(&mut v);
+        v
+    }
+
+    /// Embeds a sentence: normalized sum of token vectors. Empty text maps
+    /// to the zero vector.
+    pub fn embed(&self, text: &str) -> Vec<f64> {
+        let mut acc = vec![0.0f64; self.dims];
+        let tokens = tokenize(text);
+        if tokens.is_empty() {
+            return acc;
+        }
+        for token in tokens {
+            for (a, t) in acc.iter_mut().zip(self.token_vector(&token)) {
+                *a += t;
+            }
+        }
+        l2_normalize(&mut acc);
+        acc
+    }
+}
+
+fn l2_normalize(v: &mut [f64]) {
+    let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm > 1e-12 {
+        v.iter_mut().for_each(|x| *x /= norm);
+    }
+}
+
+/// Cosine similarity of two equal-length vectors (0 for zero vectors).
+pub fn cosine(a: &[f64], b: &[f64]) -> f64 {
+    let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if na < 1e-12 || nb < 1e-12 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizer_lowercases_and_splits() {
+        assert_eq!(tokenize("Hello, World! 42"), vec!["hello", "world", "42"]);
+        assert!(tokenize("...").is_empty());
+    }
+
+    #[test]
+    fn embeddings_are_deterministic() {
+        let e = SentenceEmbedder::new(32);
+        assert_eq!(e.embed("the quick brown fox"), e.embed("the quick brown fox"));
+    }
+
+    #[test]
+    fn shared_words_increase_similarity() {
+        let e = SentenceEmbedder::new(64);
+        let a = e.embed("excellent outstanding brilliant work");
+        let b = e.embed("excellent outstanding brilliant effort");
+        let c = e.embed("terrible awful poor performance");
+        assert!(cosine(&a, &b) > cosine(&a, &c));
+    }
+
+    #[test]
+    fn embeddings_are_unit_norm() {
+        let e = SentenceEmbedder::new(16);
+        let v = e.embed("some words here");
+        let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_text_is_zero_vector() {
+        let e = SentenceEmbedder::new(8);
+        assert_eq!(e.embed(""), vec![0.0; 8]);
+        let h = HashingVectorizer::new(8);
+        assert_eq!(h.embed("!!!"), vec![0.0; 8]);
+    }
+
+    #[test]
+    fn hashing_vectorizer_counts_tokens() {
+        let h = HashingVectorizer::new(128);
+        let v1 = h.embed("apple apple banana");
+        let v2 = h.embed("apple banana");
+        // Same support, different weights.
+        assert!(cosine(&v1, &v2) > 0.8);
+        assert!(cosine(&v1, &v2) < 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn word_order_is_ignored() {
+        let e = SentenceEmbedder::new(32);
+        assert_eq!(e.embed("alpha beta"), e.embed("beta alpha"));
+    }
+
+    #[test]
+    fn cosine_edge_cases() {
+        assert_eq!(cosine(&[0.0], &[1.0]), 0.0);
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,139 @@
+//! Deterministic dataset splitting and cross-validation.
+
+use crate::dataset::ClassDataset;
+use crate::{LearnError, Result};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Splits `data` into (train, test) with `test_fraction` of the examples in
+/// the test split, shuffled deterministically by `seed`.
+pub fn train_test_split(
+    data: &ClassDataset,
+    test_fraction: f64,
+    seed: u64,
+) -> Result<(ClassDataset, ClassDataset)> {
+    if !(0.0..=1.0).contains(&test_fraction) {
+        return Err(LearnError::InvalidParameter {
+            detail: format!("test_fraction must be in [0,1], got {test_fraction}"),
+        });
+    }
+    let mut idx: Vec<usize> = (0..data.len()).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    let n_test = ((data.len() as f64) * test_fraction).round() as usize;
+    let (test_idx, train_idx) = idx.split_at(n_test.min(data.len()));
+    Ok((data.subset(train_idx), data.subset(test_idx)))
+}
+
+/// Splits into (train, validation, test) fractions that must sum to ≤ 1;
+/// the remainder goes to train.
+pub fn three_way_split(
+    data: &ClassDataset,
+    valid_fraction: f64,
+    test_fraction: f64,
+    seed: u64,
+) -> Result<(ClassDataset, ClassDataset, ClassDataset)> {
+    if valid_fraction < 0.0 || test_fraction < 0.0 || valid_fraction + test_fraction > 1.0 {
+        return Err(LearnError::InvalidParameter {
+            detail: "fractions must be non-negative and sum to at most 1".into(),
+        });
+    }
+    let mut idx: Vec<usize> = (0..data.len()).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    let n = data.len() as f64;
+    let n_valid = (n * valid_fraction).round() as usize;
+    let n_test = (n * test_fraction).round() as usize;
+    let (valid_idx, rest) = idx.split_at(n_valid.min(idx.len()));
+    let (test_idx, train_idx) = rest.split_at(n_test.min(rest.len()));
+    Ok((data.subset(train_idx), data.subset(valid_idx), data.subset(test_idx)))
+}
+
+/// Yields `k` (train, test) folds for cross-validation, shuffled by `seed`.
+pub fn k_fold(data: &ClassDataset, k: usize, seed: u64) -> Result<Vec<(ClassDataset, ClassDataset)>> {
+    if k < 2 || k > data.len().max(1) {
+        return Err(LearnError::InvalidParameter {
+            detail: format!("k must be in 2..={}, got {k}", data.len()),
+        });
+    }
+    let mut idx: Vec<usize> = (0..data.len()).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    let mut folds = Vec::with_capacity(k);
+    for fold in 0..k {
+        let test_idx: Vec<usize> = idx.iter().copied().skip(fold).step_by(k).collect();
+        let test_set: std::collections::HashSet<usize> = test_idx.iter().copied().collect();
+        let train_idx: Vec<usize> = idx.iter().copied().filter(|i| !test_set.contains(i)).collect();
+        folds.push((data.subset(&train_idx), data.subset(&test_idx)));
+    }
+    Ok(folds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    fn demo(n: usize) -> ClassDataset {
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64]).collect();
+        let y: Vec<usize> = (0..n).map(|i| i % 2).collect();
+        ClassDataset::new(Matrix::from_rows(&rows).unwrap(), y, 2).unwrap()
+    }
+
+    #[test]
+    fn split_sizes_and_determinism() {
+        let d = demo(100);
+        let (train, test) = train_test_split(&d, 0.2, 1).unwrap();
+        assert_eq!(test.len(), 20);
+        assert_eq!(train.len(), 80);
+        let (train2, _) = train_test_split(&d, 0.2, 1).unwrap();
+        assert_eq!(train.y, train2.y);
+    }
+
+    #[test]
+    fn split_partitions_data() {
+        let d = demo(50);
+        let (train, test) = train_test_split(&d, 0.3, 9).unwrap();
+        let mut all: Vec<f64> = train
+            .x
+            .data()
+            .iter()
+            .chain(test.x.data())
+            .copied()
+            .collect();
+        all.sort_by(f64::total_cmp);
+        let expected: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn invalid_fraction_rejected() {
+        assert!(train_test_split(&demo(10), 1.5, 0).is_err());
+        assert!(train_test_split(&demo(10), -0.1, 0).is_err());
+    }
+
+    #[test]
+    fn three_way_covers_everything() {
+        let d = demo(100);
+        let (train, valid, test) = three_way_split(&d, 0.2, 0.1, 3).unwrap();
+        assert_eq!(valid.len(), 20);
+        assert_eq!(test.len(), 10);
+        assert_eq!(train.len(), 70);
+        assert!(three_way_split(&d, 0.7, 0.7, 0).is_err());
+    }
+
+    #[test]
+    fn k_fold_covers_each_example_once() {
+        let d = demo(20);
+        let folds = k_fold(&d, 4, 5).unwrap();
+        assert_eq!(folds.len(), 4);
+        let total_test: usize = folds.iter().map(|(_, t)| t.len()).sum();
+        assert_eq!(total_test, 20);
+        for (train, test) in &folds {
+            assert_eq!(train.len() + test.len(), 20);
+        }
+        assert!(k_fold(&d, 1, 0).is_err());
+        assert!(k_fold(&d, 50, 0).is_err());
+    }
+}

@@ -1,0 +1,90 @@
+//! The `Learner`/`Model` abstraction shared by every data-valuation and
+//! debugging method in the workspace.
+
+use crate::dataset::ClassDataset;
+use crate::Result;
+
+/// A trained classifier.
+pub trait Model: Send + Sync {
+    /// Number of classes this model distinguishes.
+    fn n_classes(&self) -> usize;
+
+    /// Predicts a class label for one feature vector.
+    fn predict(&self, x: &[f64]) -> usize;
+
+    /// Predicts class probabilities (length `n_classes`, sums to 1).
+    ///
+    /// The default implementation puts all mass on [`Model::predict`].
+    fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        let mut probs = vec![0.0; self.n_classes()];
+        probs[self.predict(x)] = 1.0;
+        probs
+    }
+
+    /// Predicts labels for a batch of rows.
+    fn predict_batch(&self, x: &crate::Matrix) -> Vec<usize> {
+        (0..x.nrows()).map(|i| self.predict(x.row(i))).collect()
+    }
+}
+
+/// A training algorithm that produces a [`Model`].
+///
+/// Learners must be deterministic: the same dataset must always produce the
+/// same model (seeded internally), because data-valuation utilities are
+/// defined as pure functions of the training subset. Learners must tolerate
+/// *degenerate* subsets (empty, or single-class) by falling back to a
+/// constant/prior model rather than erroring — the Shapley permutation walk
+/// feeds them every prefix of the dataset, starting from the empty set.
+pub trait Learner: Send + Sync {
+    /// Trains a model on `data`.
+    fn fit(&self, data: &ClassDataset) -> Result<Box<dyn Model>>;
+
+    /// A short human-readable name for reports.
+    fn name(&self) -> &'static str {
+        "learner"
+    }
+}
+
+/// A model that always predicts the same class — the fallback for degenerate
+/// training subsets, and the `v(∅)` baseline of the valuation methods.
+#[derive(Debug, Clone)]
+pub struct ConstantModel {
+    class: usize,
+    n_classes: usize,
+}
+
+impl ConstantModel {
+    /// Creates a constant model predicting `class` out of `n_classes`.
+    pub fn new(class: usize, n_classes: usize) -> Self {
+        ConstantModel { class, n_classes: n_classes.max(1) }
+    }
+}
+
+impl Model for ConstantModel {
+    fn predict(&self, _x: &[f64]) -> usize {
+        self.class
+    }
+
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_model_predicts_constant() {
+        let m = ConstantModel::new(1, 3);
+        assert_eq!(m.predict(&[0.0]), 1);
+        assert_eq!(m.predict_proba(&[0.0]), vec![0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn predict_batch_maps_rows() {
+        let m = ConstantModel::new(0, 2);
+        let x = crate::Matrix::from_rows(&[vec![1.0], vec![2.0]]).unwrap();
+        assert_eq!(m.predict_batch(&x), vec![0, 0]);
+    }
+}

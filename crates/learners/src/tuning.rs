@@ -1,0 +1,164 @@
+//! Model selection: cross-validated grid search — the "model selection,
+//! architecture search, hyperparameter tuning" box of the paper's Figure 1
+//! training stage, needed so experiments can tune fairly on dirty vs clean
+//! data.
+
+use crate::dataset::ClassDataset;
+use crate::metrics::accuracy;
+use crate::split::k_fold;
+use crate::traits::Learner;
+use crate::Result;
+
+/// One evaluated grid candidate.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// Human-readable parameter description.
+    pub params: String,
+    /// Mean cross-validated accuracy.
+    pub mean_accuracy: f64,
+    /// Per-fold accuracies.
+    pub fold_accuracies: Vec<f64>,
+}
+
+/// The outcome of a grid search: every candidate, best first.
+#[derive(Debug, Clone)]
+pub struct GridSearchResult {
+    /// Candidates sorted by descending mean accuracy (ties by first
+    /// occurrence, so earlier grid entries win — deterministic).
+    pub candidates: Vec<Candidate>,
+}
+
+impl GridSearchResult {
+    /// The winning candidate.
+    pub fn best(&self) -> &Candidate {
+        &self.candidates[0]
+    }
+
+    /// Index of the winning candidate in the original grid.
+    pub fn best_index(&self, grid_names: &[String]) -> Option<usize> {
+        grid_names.iter().position(|n| n == &self.best().params)
+    }
+}
+
+/// Cross-validates each `(name, learner)` candidate with `folds`-fold CV
+/// and returns all results sorted best-first. The grid must be non-empty.
+pub fn grid_search(
+    grid: &[(String, Box<dyn Learner>)],
+    data: &ClassDataset,
+    folds: usize,
+    seed: u64,
+) -> Result<GridSearchResult> {
+    if grid.is_empty() {
+        return Err(crate::LearnError::InvalidParameter { detail: "empty grid".into() });
+    }
+    let splits = k_fold(data, folds, seed)?;
+    let mut candidates = Vec::with_capacity(grid.len());
+    for (name, learner) in grid {
+        let mut fold_accuracies = Vec::with_capacity(folds);
+        for (train, test) in &splits {
+            let model = learner.fit(train)?;
+            let preds = model.predict_batch(&test.x);
+            fold_accuracies.push(accuracy(&test.y, &preds));
+        }
+        let mean_accuracy =
+            fold_accuracies.iter().sum::<f64>() / fold_accuracies.len().max(1) as f64;
+        candidates.push(Candidate { params: name.clone(), mean_accuracy, fold_accuracies });
+    }
+    // Stable sort keeps grid order among ties.
+    candidates.sort_by(|a, b| b.mean_accuracy.total_cmp(&a.mean_accuracy));
+    Ok(GridSearchResult { candidates })
+}
+
+/// Convenience: tunes k-NN's `k` over `ks` and returns the winning `k`.
+pub fn tune_knn(data: &ClassDataset, ks: &[usize], folds: usize, seed: u64) -> Result<usize> {
+    let grid: Vec<(String, Box<dyn Learner>)> = ks
+        .iter()
+        .map(|&k| {
+            (format!("k={k}"), Box::new(crate::KnnClassifier::new(k)) as Box<dyn Learner>)
+        })
+        .collect();
+    let result = grid_search(&grid, data, folds, seed)?;
+    let winner = result.best().params.trim_start_matches("k=").parse::<usize>();
+    winner.map_err(|_| crate::LearnError::InvalidParameter {
+        detail: "unparsable winner".into(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+    use crate::models::tree::DecisionTree;
+    use crate::KnnClassifier;
+
+    fn noisy_blobs() -> ClassDataset {
+        // Well-separated blobs with a few mislabeled points: k=1 overfits
+        // the noise, larger k smooths it out.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..30 {
+            let j = (i % 6) as f64 * 0.1;
+            rows.push(vec![j]);
+            y.push(usize::from(i % 10 == 0)); // 3 mislabeled in blob 0
+            rows.push(vec![5.0 + j]);
+            y.push(1);
+        }
+        ClassDataset::new(Matrix::from_rows(&rows).unwrap(), y, 2).unwrap()
+    }
+
+    #[test]
+    fn grid_search_ranks_candidates() {
+        let data = noisy_blobs();
+        let grid: Vec<(String, Box<dyn Learner>)> = vec![
+            ("knn_k1".into(), Box::new(KnnClassifier::new(1))),
+            ("knn_k7".into(), Box::new(KnnClassifier::new(7))),
+            ("tree".into(), Box::new(DecisionTree::with_depth(3))),
+        ];
+        let result = grid_search(&grid, &data, 5, 3).unwrap();
+        assert_eq!(result.candidates.len(), 3);
+        // Sorted best-first.
+        for pair in result.candidates.windows(2) {
+            assert!(pair[0].mean_accuracy >= pair[1].mean_accuracy);
+        }
+        // With label noise, k=7 must beat k=1.
+        let acc_of = |name: &str| {
+            result
+                .candidates
+                .iter()
+                .find(|c| c.params == name)
+                .unwrap()
+                .mean_accuracy
+        };
+        assert!(acc_of("knn_k7") > acc_of("knn_k1"));
+    }
+
+    #[test]
+    fn tune_knn_prefers_smoothing_under_noise() {
+        let data = noisy_blobs();
+        let k = tune_knn(&data, &[1, 7], 5, 1).unwrap();
+        assert_eq!(k, 7);
+    }
+
+    #[test]
+    fn fold_accuracies_have_right_arity() {
+        let data = noisy_blobs();
+        let grid: Vec<(String, Box<dyn Learner>)> =
+            vec![("knn".into(), Box::new(KnnClassifier::new(3)))];
+        let result = grid_search(&grid, &data, 4, 9).unwrap();
+        assert_eq!(result.best().fold_accuracies.len(), 4);
+    }
+
+    #[test]
+    fn empty_grid_rejected() {
+        let data = noisy_blobs();
+        assert!(grid_search(&[], &data, 3, 0).is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let data = noisy_blobs();
+        let a = tune_knn(&data, &[1, 3, 7], 5, 42).unwrap();
+        let b = tune_knn(&data, &[1, 3, 7], 5, 42).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,98 @@
+//! Query-plan visualisation: the `nde.show_query_plan` of the paper's
+//! Figure 3, as an ASCII tree and as Graphviz DOT.
+
+use crate::plan::{Node, Plan};
+use std::fmt::Write as _;
+
+impl Plan {
+    /// Renders the plan as an indented ASCII tree (root at the top).
+    pub fn ascii(&self) -> String {
+        fn walk(node: &Node, prefix: &str, is_last: bool, out: &mut String) {
+            let connector = if prefix.is_empty() {
+                ""
+            } else if is_last {
+                "└─ "
+            } else {
+                "├─ "
+            };
+            let _ = writeln!(out, "{prefix}{connector}{}", node.label());
+            let children = node.children();
+            let child_prefix = if prefix.is_empty() {
+                String::new()
+            } else if is_last {
+                format!("{prefix}   ")
+            } else {
+                format!("{prefix}│  ")
+            };
+            for (i, child) in children.iter().enumerate() {
+                let last = i + 1 == children.len();
+                let p = if prefix.is_empty() { "  ".to_owned() } else { child_prefix.clone() };
+                walk(child, &p, last, out);
+            }
+        }
+        let mut out = String::new();
+        walk(&self.node, "", true, &mut out);
+        out
+    }
+
+    /// Renders the plan as a Graphviz DOT digraph (edges point from inputs
+    /// to consumers, matching dataflow direction).
+    pub fn dot(&self) -> String {
+        fn walk(node: &Node, next_id: &mut usize, out: &mut String) -> usize {
+            let id = *next_id;
+            *next_id += 1;
+            let label = node.label().replace('"', "'");
+            let shape = if matches!(node, Node::Source { .. }) { "box" } else { "ellipse" };
+            let _ = writeln!(out, "  n{id} [label=\"{label}\", shape={shape}];");
+            for child in node.children() {
+                let cid = walk(child, next_id, out);
+                let _ = writeln!(out, "  n{cid} -> n{id};");
+            }
+            id
+        }
+        let mut out = String::from("digraph pipeline {\n  rankdir=BT;\n");
+        let mut next_id = 0;
+        walk(&self.node, &mut next_id, &mut out);
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::plan::Plan;
+
+    fn demo() -> Plan {
+        Plan::source("train_df")
+            .join(Plan::source("jobdetail_df"), "job_id", "job_id")
+            .filter("sector == healthcare", |r| r.str("sector") == Some("healthcare"))
+    }
+
+    #[test]
+    fn ascii_contains_all_operators() {
+        let s = demo().ascii();
+        assert!(s.contains("Filter[sector == healthcare]"), "{s}");
+        assert!(s.contains("Join[inner: job_id = job_id]"));
+        assert!(s.contains("Source[train_df]"));
+        assert!(s.contains("Source[jobdetail_df]"));
+        // Tree glyphs present.
+        assert!(s.contains("└─") || s.contains("├─"));
+    }
+
+    #[test]
+    fn dot_is_well_formed() {
+        let s = demo().dot();
+        assert!(s.starts_with("digraph pipeline {"));
+        assert!(s.trim_end().ends_with('}'));
+        // 4 nodes, 3 edges.
+        assert_eq!(s.matches("label=").count(), 4);
+        assert_eq!(s.matches("->").count(), 3);
+        assert!(s.contains("shape=box"));
+    }
+
+    #[test]
+    fn single_source_plan() {
+        let s = Plan::source("t").ascii();
+        assert_eq!(s.trim(), "Source[t]");
+    }
+}

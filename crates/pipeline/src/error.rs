@@ -1,0 +1,70 @@
+//! Error type for pipeline construction and execution.
+
+use std::fmt;
+
+/// Errors from pipeline execution and the provenance-based tools.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// A plan referenced a source table that was not provided.
+    UnknownSource {
+        /// The missing source name.
+        name: String,
+    },
+    /// An underlying relational operation failed.
+    Table(nde_tabular::TableError),
+    /// Feature encoding or model training inside a tool failed.
+    Learn(nde_learners::LearnError),
+    /// A tool was invoked with invalid arguments.
+    Invalid {
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::UnknownSource { name } => write!(f, "unknown source table: {name:?}"),
+            PipelineError::Table(e) => write!(f, "table operation failed: {e}"),
+            PipelineError::Learn(e) => write!(f, "learning operation failed: {e}"),
+            PipelineError::Invalid { detail } => write!(f, "invalid argument: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Table(e) => Some(e),
+            PipelineError::Learn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<nde_tabular::TableError> for PipelineError {
+    fn from(e: nde_tabular::TableError) -> Self {
+        PipelineError::Table(e)
+    }
+}
+
+impl From<nde_learners::LearnError> for PipelineError {
+    fn from(e: nde_learners::LearnError) -> Self {
+        PipelineError::Learn(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source_chain() {
+        let e = PipelineError::UnknownSource { name: "social".into() };
+        assert!(e.to_string().contains("social"));
+        let e: PipelineError = nde_tabular::TableError::ColumnNotFound { name: "x".into() }.into();
+        assert!(e.to_string().contains('x'));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,342 @@
+//! Plan execution — plain, or traced with provenance monomials.
+
+use crate::plan::{Node, Plan, PlanJoin};
+use crate::provenance::{Monomial, ProvToken};
+use crate::{PipelineError, Result};
+use nde_tabular::{JoinType, Table};
+use std::collections::HashMap;
+
+/// Named source tables a plan executes over.
+pub type Sources = HashMap<String, Table>;
+
+/// Builds a [`Sources`] map from `(name, table)` pairs.
+pub fn sources(pairs: Vec<(&str, Table)>) -> Sources {
+    pairs.into_iter().map(|(n, t)| (n.to_owned(), t)).collect()
+}
+
+/// A pipeline output with row-level provenance: `lineage[i]` is the
+/// monomial of source rows that produced output row `i`.
+#[derive(Debug, Clone)]
+pub struct TracedTable {
+    /// The output table.
+    pub table: Table,
+    /// Per-output-row provenance monomials (same length as the table).
+    pub lineage: Vec<Monomial>,
+    /// Source-table names; `ProvToken::source` indexes into this.
+    pub source_names: Vec<String>,
+}
+
+impl TracedTable {
+    /// The token-source index of a named source table.
+    pub fn source_index(&self, name: &str) -> Option<usize> {
+        self.source_names.iter().position(|n| n == name)
+    }
+
+    /// The output rows that depend on row `row` of source `name`.
+    pub fn dependents(&self, name: &str, row: usize) -> Vec<usize> {
+        let Some(source) = self.source_index(name) else {
+            return Vec::new();
+        };
+        let token = ProvToken::new(source, row);
+        self.lineage
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.contains(token))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// An execution observer: called with every operator's label and output.
+pub(crate) type Observer<'o> = &'o mut dyn FnMut(&Node, &Table);
+
+impl Plan {
+    /// Executes the plan over `sources` without provenance bookkeeping.
+    pub fn run(&self, sources: &Sources) -> Result<Table> {
+        eval_plain(&self.node, sources)
+    }
+
+    /// Executes the plan, annotating every output row with its provenance.
+    pub fn run_traced(&self, sources: &Sources) -> Result<TracedTable> {
+        self.run_traced_observed(sources, &mut |_, _| {})
+    }
+
+    /// Traced execution with a per-operator observer (used by inspections).
+    pub(crate) fn run_traced_observed(
+        &self,
+        sources: &Sources,
+        observer: Observer<'_>,
+    ) -> Result<TracedTable> {
+        let mut source_names = Vec::new();
+        let (table, lineage) = eval(&self.node, sources, &mut source_names, observer)?;
+        Ok(TracedTable { table, lineage, source_names })
+    }
+}
+
+/// Lineage-free evaluation: the baseline the provenance-overhead ablation
+/// compares against.
+fn eval_plain(node: &Node, sources: &Sources) -> Result<Table> {
+    match node {
+        Node::Source { name } => sources
+            .get(name)
+            .cloned()
+            .ok_or_else(|| PipelineError::UnknownSource { name: name.clone() }),
+        Node::Join { left, right, left_key, right_key, how } => {
+            let lt = eval_plain(left, sources)?;
+            let rt = eval_plain(right, sources)?;
+            match how {
+                PlanJoin::Inner => Ok(lt.inner_join(&rt, left_key, right_key)?),
+                PlanJoin::Left => Ok(lt.left_join(&rt, left_key, right_key)?),
+            }
+        }
+        Node::FuzzyJoin { left, right, left_key, right_key, max_distance } => {
+            let lt = eval_plain(left, sources)?;
+            let rt = eval_plain(right, sources)?;
+            Ok(lt.fuzzy_join(&rt, left_key, right_key, *max_distance)?)
+        }
+        Node::Filter { input, pred, .. } => {
+            Ok(eval_plain(input, sources)?.filter(|r| pred(r))?)
+        }
+        Node::WithColumn { input, name, udf, .. } => {
+            Ok(eval_plain(input, sources)?.with_column(name, |r| udf(r))?)
+        }
+        Node::Project { input, columns } => {
+            let names: Vec<&str> = columns.iter().map(String::as_str).collect();
+            Ok(eval_plain(input, sources)?.select(&names)?)
+        }
+        Node::DropNulls { input, columns } => {
+            let names: Vec<&str> = columns.iter().map(String::as_str).collect();
+            Ok(eval_plain(input, sources)?.drop_nulls(&names)?)
+        }
+        Node::Concat { top, bottom } => {
+            Ok(eval_plain(top, sources)?.concat(&eval_plain(bottom, sources)?)?)
+        }
+    }
+}
+
+fn intern(source_names: &mut Vec<String>, name: &str) -> usize {
+    if let Some(i) = source_names.iter().position(|n| n == name) {
+        i
+    } else {
+        source_names.push(name.to_owned());
+        source_names.len() - 1
+    }
+}
+
+fn eval(
+    node: &Node,
+    sources: &Sources,
+    source_names: &mut Vec<String>,
+    observer: Observer<'_>,
+) -> Result<(Table, Vec<Monomial>)> {
+    let result = match node {
+        Node::Source { name } => {
+            let table = sources
+                .get(name)
+                .ok_or_else(|| PipelineError::UnknownSource { name: name.clone() })?
+                .clone();
+            let src = intern(source_names, name);
+            let lineage = (0..table.num_rows())
+                .map(|i| Monomial::of(ProvToken::new(src, i)))
+                .collect();
+            (table, lineage)
+        }
+        Node::Join { left, right, left_key, right_key, how } => {
+            let (lt, ll) = eval(left, sources, source_names, observer)?;
+            let (rt, rl) = eval(right, sources, source_names, observer)?;
+            let jt = if *how == PlanJoin::Inner { JoinType::Inner } else { JoinType::Left };
+            let (out, trace) = lt.join_traced(&rt, left_key, right_key, jt)?;
+            let lineage = trace
+                .iter()
+                .map(|&(li, rj)| match rj {
+                    Some(rj) => ll[li].times(&rl[rj]),
+                    None => ll[li].clone(),
+                })
+                .collect();
+            (out, lineage)
+        }
+        Node::FuzzyJoin { left, right, left_key, right_key, max_distance } => {
+            let (lt, ll) = eval(left, sources, source_names, observer)?;
+            let (rt, rl) = eval(right, sources, source_names, observer)?;
+            let (out, trace) = lt.fuzzy_join_traced(&rt, left_key, right_key, *max_distance)?;
+            let lineage = trace
+                .iter()
+                .map(|&(li, rj)| {
+                    let rj = rj.expect("fuzzy join is inner");
+                    ll[li].times(&rl[rj])
+                })
+                .collect();
+            (out, lineage)
+        }
+        Node::Filter { input, pred, .. } => {
+            let (t, l) = eval(input, sources, source_names, observer)?;
+            let (out, kept) = t.filter_traced(|r| pred(r))?;
+            let lineage = kept.iter().map(|&i| l[i].clone()).collect();
+            (out, lineage)
+        }
+        Node::WithColumn { input, name, udf, .. } => {
+            let (t, l) = eval(input, sources, source_names, observer)?;
+            let out = t.with_column(name, |r| udf(r))?;
+            (out, l)
+        }
+        Node::Project { input, columns } => {
+            let (t, l) = eval(input, sources, source_names, observer)?;
+            let names: Vec<&str> = columns.iter().map(String::as_str).collect();
+            (t.select(&names)?, l)
+        }
+        Node::DropNulls { input, columns } => {
+            let (t, l) = eval(input, sources, source_names, observer)?;
+            let names: Vec<&str> = columns.iter().map(String::as_str).collect();
+            let (out, kept) = t.drop_nulls_traced(&names)?;
+            let lineage = kept.iter().map(|&i| l[i].clone()).collect();
+            (out, lineage)
+        }
+        Node::Concat { top, bottom } => {
+            let (tt, tl) = eval(top, sources, source_names, observer)?;
+            let (bt, bl) = eval(bottom, sources, source_names, observer)?;
+            let out = tt.concat(&bt)?;
+            let mut lineage = tl;
+            lineage.extend(bl);
+            (out, lineage)
+        }
+    };
+    observer(node, &result.0);
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nde_tabular::Value;
+
+    fn demo_sources() -> Sources {
+        let train = Table::builder()
+            .int("person_id", [0, 1, 2, 3])
+            .int("job_id", [10, 11, 10, 12])
+            .str("name", ["ana", "bo", "cy", "di"])
+            .build()
+            .unwrap();
+        let jobs = Table::builder()
+            .int("job_id", [10, 11, 12])
+            .str("sector", ["healthcare", "finance", "healthcare"])
+            .build()
+            .unwrap();
+        let social = Table::builder()
+            .int("person_id", [0, 1, 2, 3])
+            .str_opt(
+                "twitter",
+                vec![Some("@a".into()), None, Some("@c".into()), None],
+            )
+            .build()
+            .unwrap();
+        sources(vec![("train_df", train), ("jobdetail_df", jobs), ("social_df", social)])
+    }
+
+    fn figure3_plan() -> Plan {
+        Plan::source("train_df")
+            .join(Plan::source("jobdetail_df"), "job_id", "job_id")
+            .join(Plan::source("social_df"), "person_id", "person_id")
+            .filter("sector == healthcare", |r| r.str("sector") == Some("healthcare"))
+            .with_column("has_twitter", "twitter not null", |r| {
+                Value::Bool(!r.is_null("twitter"))
+            })
+    }
+
+    #[test]
+    fn plain_execution_produces_expected_rows() {
+        let out = figure3_plan().run(&demo_sources()).unwrap();
+        // Healthcare jobs: 10 and 12 → persons 0, 2, 3.
+        assert_eq!(out.num_rows(), 3);
+        assert!(out.schema().contains("has_twitter"));
+        assert_eq!(out.get(0, "has_twitter").unwrap(), Value::Bool(true));
+        assert_eq!(out.get(2, "has_twitter").unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn lineage_tracks_all_three_sources() {
+        let traced = figure3_plan().run_traced(&demo_sources()).unwrap();
+        assert_eq!(traced.lineage.len(), 3);
+        assert_eq!(
+            traced.source_names,
+            vec!["train_df", "jobdetail_df", "social_df"]
+        );
+        // Output row 0 = person 0 ⋈ job 10 ⋈ social 0.
+        let m = &traced.lineage[0];
+        assert!(m.contains(ProvToken::new(0, 0)));
+        assert!(m.contains(ProvToken::new(1, 0)));
+        assert!(m.contains(ProvToken::new(2, 0)));
+        assert_eq!(m.tokens().len(), 3);
+    }
+
+    #[test]
+    fn dependents_inverts_lineage() {
+        let traced = figure3_plan().run_traced(&demo_sources()).unwrap();
+        // Job 10 (jobdetail row 0) feeds persons 0 and 2 → output rows 0, 1.
+        assert_eq!(traced.dependents("jobdetail_df", 0), vec![0, 1]);
+        // The finance job feeds nothing after the filter.
+        assert!(traced.dependents("jobdetail_df", 1).is_empty());
+        assert!(traced.dependents("nope", 0).is_empty());
+    }
+
+    #[test]
+    fn left_join_keeps_left_lineage_for_unmatched() {
+        let left = Table::builder().int("k", [1, 2]).build().unwrap();
+        let right = Table::builder().int("k", [1]).str("v", ["x"]).build().unwrap();
+        let plan = Plan::source("l").left_join(Plan::source("r"), "k", "k");
+        let traced = plan.run_traced(&sources(vec![("l", left), ("r", right)])).unwrap();
+        assert_eq!(traced.lineage[0].tokens().len(), 2);
+        assert_eq!(traced.lineage[1].tokens().len(), 1);
+    }
+
+    #[test]
+    fn unknown_source_is_reported() {
+        let plan = Plan::source("missing");
+        let err = plan.run(&demo_sources()).unwrap_err();
+        assert!(matches!(err, PipelineError::UnknownSource { .. }));
+    }
+
+    #[test]
+    fn concat_appends_lineage() {
+        let a = Table::builder().int("x", [1]).build().unwrap();
+        let b = Table::builder().int("x", [2, 3]).build().unwrap();
+        let plan = Plan::source("a").concat(Plan::source("b"));
+        let traced = plan.run_traced(&sources(vec![("a", a), ("b", b)])).unwrap();
+        assert_eq!(traced.lineage.len(), 3);
+        assert_eq!(traced.lineage[2].tokens()[0], ProvToken::new(1, 1));
+    }
+
+    #[test]
+    fn project_and_drop_nulls() {
+        let t = Table::builder()
+            .int("a", [Some(1), None])
+            .str("b", ["x", "y"])
+            .build()
+            .unwrap();
+        let plan = Plan::source("t").drop_nulls(&["a"]).project(&["b"]);
+        let traced = plan.run_traced(&sources(vec![("t", t)])).unwrap();
+        assert_eq!(traced.table.num_rows(), 1);
+        assert_eq!(traced.table.schema().names(), vec!["b"]);
+        assert_eq!(traced.lineage[0].tokens()[0], ProvToken::new(0, 0));
+    }
+
+    #[test]
+    fn fuzzy_join_lineage() {
+        let l = Table::builder().str("k", ["acme", "zzz"]).build().unwrap();
+        let r = Table::builder().str("k", ["acmee"]).int("v", [7]).build().unwrap();
+        let plan = Plan::source("l").fuzzy_join(Plan::source("r"), "k", "k", 1);
+        let traced = plan.run_traced(&sources(vec![("l", l), ("r", r)])).unwrap();
+        assert_eq!(traced.table.num_rows(), 1);
+        assert!(traced.lineage[0].contains(ProvToken::new(0, 0)));
+        assert!(traced.lineage[0].contains(ProvToken::new(1, 0)));
+    }
+
+    #[test]
+    fn self_concat_shares_source_tokens() {
+        let t = Table::builder().int("x", [5]).build().unwrap();
+        let plan = Plan::source("t").concat(Plan::source("t"));
+        let traced = plan.run_traced(&sources(vec![("t", t)])).unwrap();
+        // Both output rows trace to the same source row.
+        assert_eq!(traced.lineage[0], traced.lineage[1]);
+        assert_eq!(traced.source_names.len(), 1);
+    }
+}

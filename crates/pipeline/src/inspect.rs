@@ -1,0 +1,262 @@
+//! mlinspect-style pipeline inspection (Grafberger, Guha, Stoyanovich &
+//! Schelter, SIGMOD 2021; VLDB Journal 2022): lightweight inspections run
+//! alongside execution that surface, per operator, row counts, null counts
+//! and — crucially — changes in the distribution of protected groups
+//! introduced by filters and joins ("data distribution debugging").
+
+use crate::exec::Sources;
+use crate::plan::{Node, Plan};
+use crate::Result;
+use nde_tabular::Table;
+use std::collections::HashMap;
+
+/// Inspection results for one operator.
+#[derive(Debug, Clone)]
+pub struct OperatorReport {
+    /// Operator label (matches the plan display).
+    pub label: String,
+    /// Rows in the operator's output.
+    pub rows_out: usize,
+    /// Total null cells in the operator's output.
+    pub nulls_out: usize,
+    /// For each watched column present in the output: value → share of rows.
+    pub group_shares: HashMap<String, HashMap<String, f64>>,
+    /// For each watched *numeric* column present in the output:
+    /// `(mean, std)` of the non-null cells.
+    pub numeric_stats: HashMap<String, (f64, f64)>,
+}
+
+/// The full inspection: per-operator reports (post-order, matching
+/// execution order) plus distribution-change warnings.
+#[derive(Debug, Clone)]
+pub struct InspectionReport {
+    /// Per-operator reports in execution (post) order.
+    pub operators: Vec<OperatorReport>,
+    /// Human-readable warnings about group-distribution changes.
+    pub warnings: Vec<String>,
+}
+
+impl InspectionReport {
+    /// Whether no warnings were raised.
+    pub fn clean(&self) -> bool {
+        self.warnings.is_empty()
+    }
+}
+
+fn numeric_summary(table: &Table, column: &str) -> Option<(f64, f64)> {
+    let profile = table.describe_column(column).ok()?;
+    match (profile.mean, profile.std) {
+        (Some(m), Some(s)) => Some((m, s)),
+        _ => None,
+    }
+}
+
+fn shares(table: &Table, column: &str) -> Option<HashMap<String, f64>> {
+    let col = table.column(column).ok()?;
+    let cells = col.as_str()?;
+    let n = table.num_rows();
+    if n == 0 {
+        return Some(HashMap::new());
+    }
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    for cell in cells {
+        let key = cell.clone().unwrap_or_else(|| "<null>".to_owned());
+        *counts.entry(key).or_default() += 1;
+    }
+    Some(counts.into_iter().map(|(k, c)| (k, c as f64 / n as f64)).collect())
+}
+
+/// Runs the plan over `sources` with inspections attached. `watched` names
+/// (string) columns whose group distribution should be tracked; a warning
+/// is emitted whenever an operator changes some group's share by more than
+/// `shift_threshold` (absolute) relative to its first input.
+pub fn inspect(
+    plan: &Plan,
+    sources: &Sources,
+    watched: &[&str],
+    shift_threshold: f64,
+) -> Result<InspectionReport> {
+    let mut reports: Vec<OperatorReport> = Vec::new();
+    {
+        let mut observer = |node: &Node, table: &Table| {
+            let mut group_shares = HashMap::new();
+            let mut numeric_stats = HashMap::new();
+            for &col in watched {
+                if let Some(s) = shares(table, col) {
+                    group_shares.insert(col.to_owned(), s);
+                } else if let Some(stats) = numeric_summary(table, col) {
+                    numeric_stats.insert(col.to_owned(), stats);
+                }
+            }
+            reports.push(OperatorReport {
+                label: node.label(),
+                rows_out: table.num_rows(),
+                nulls_out: table.null_count(),
+                group_shares,
+                numeric_stats,
+            });
+        };
+        plan.run_traced_observed(sources, &mut observer)?;
+    }
+
+    // Recover the parent → first-child structure by re-walking the plan in
+    // the same post-order the observer fired in.
+    let mut first_child_of: Vec<Option<usize>> = Vec::new();
+    fn walk(node: &Node, order: &mut Vec<Option<usize>>) -> usize {
+        let children: Vec<usize> = node.children().iter().map(|c| walk(c, order)).collect();
+        order.push(children.first().copied());
+        order.len() - 1
+    }
+    walk(&plan.node, &mut first_child_of);
+    debug_assert_eq!(first_child_of.len(), reports.len());
+
+    let mut warnings = Vec::new();
+    for (idx, report) in reports.iter().enumerate() {
+        let Some(child_idx) = first_child_of[idx] else { continue };
+        let child = &reports[child_idx];
+        let mut cols: Vec<&String> = report.group_shares.keys().collect();
+        cols.sort();
+        for col in cols {
+            let after = &report.group_shares[col];
+            let Some(before) = child.group_shares.get(col) else { continue };
+            let mut values: Vec<&String> = before.keys().collect();
+            values.sort();
+            for value in values {
+                let share_before = before[value];
+                let share_after = after.get(value).copied().unwrap_or(0.0);
+                let delta = (share_after - share_before).abs();
+                if delta > shift_threshold {
+                    warnings.push(format!(
+                        "{}: share of {col}={value} changed {:.2} → {:.2}",
+                        report.label, share_before, share_after
+                    ));
+                }
+            }
+        }
+        // Numeric drift: mean moved by more than `shift_threshold` input
+        // standard deviations.
+        let mut cols: Vec<&String> = report.numeric_stats.keys().collect();
+        cols.sort();
+        for col in cols {
+            let (mean_after, _) = report.numeric_stats[col];
+            let Some(&(mean_before, std_before)) = child.numeric_stats.get(col) else {
+                continue;
+            };
+            let drift = (mean_after - mean_before).abs() / std_before.max(1e-9);
+            if drift > shift_threshold {
+                warnings.push(format!(
+                    "{}: mean of {col} drifted {:.2}σ ({:.2} → {:.2})",
+                    report.label, drift, mean_before, mean_after
+                ));
+            }
+        }
+    }
+    Ok(InspectionReport { operators: reports, warnings })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::sources;
+
+    fn demo_sources() -> Sources {
+        let train = Table::builder()
+            .int("id", [0, 1, 2, 3, 4, 5])
+            .str("sex", ["f", "f", "f", "m", "m", "m"])
+            .int("score", [10, 20, 30, 1, 2, 35])
+            .build()
+            .unwrap();
+        sources(vec![("train", train)])
+    }
+
+    #[test]
+    fn biased_filter_raises_warning() {
+        // score >= 10 keeps all f rows but only one m row: m share drops
+        // 0.5 → 0.25.
+        let plan = Plan::source("train").filter("score >= 10", |r| r.int("score").unwrap() >= 10);
+        let report = inspect(&plan, &demo_sources(), &["sex"], 0.1).unwrap();
+        assert!(!report.clean());
+        // Both groups' shares shift (f up, m down); warnings are sorted by
+        // group value.
+        assert!(
+            report.warnings.iter().any(|w| w.contains("sex=m")),
+            "{:?}",
+            report.warnings
+        );
+        assert_eq!(report.operators.len(), 2);
+        assert_eq!(report.operators[1].rows_out, 4);
+    }
+
+    #[test]
+    fn neutral_filter_is_clean() {
+        let plan = Plan::source("train").filter("id < 4", |r| r.int("id").unwrap() < 4);
+        // Keeps 3 f and 1 m → warning at 0.1 threshold, but clean at 0.5.
+        let report = inspect(&plan, &demo_sources(), &["sex"], 0.5).unwrap();
+        assert!(report.clean(), "{:?}", report.warnings);
+    }
+
+    #[test]
+    fn reports_track_rows_and_nulls() {
+        let t = Table::builder()
+            .int("a", [Some(1), None, Some(3)])
+            .str("g", ["x", "y", "x"])
+            .build()
+            .unwrap();
+        let plan = Plan::source("t").drop_nulls(&["a"]);
+        let report = inspect(&plan, &sources(vec![("t", t)]), &["g"], 1.0).unwrap();
+        assert_eq!(report.operators[0].rows_out, 3);
+        assert_eq!(report.operators[0].nulls_out, 1);
+        assert_eq!(report.operators[1].rows_out, 2);
+        assert_eq!(report.operators[1].nulls_out, 0);
+    }
+
+    #[test]
+    fn group_shares_are_fractions() {
+        let plan = Plan::source("train");
+        let report = inspect(&plan, &demo_sources(), &["sex"], 1.0).unwrap();
+        let shares = &report.operators[0].group_shares["sex"];
+        assert!((shares["f"] - 0.5).abs() < 1e-12);
+        assert!((shares["m"] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn join_shape_warning_structure() {
+        // A join that duplicates f rows shifts the distribution.
+        let extra = Table::builder()
+            .str("sex", ["f", "f"])
+            .int("w", [1, 2])
+            .build()
+            .unwrap();
+        let plan = Plan::source("train").join(Plan::source("extra"), "sex", "sex");
+        let mut srcs = demo_sources();
+        srcs.insert("extra".into(), extra);
+        let report = inspect(&plan, &srcs, &["sex"], 0.2).unwrap();
+        // All m rows drop out (no match) → strong distribution change.
+        assert!(!report.clean());
+    }
+
+    #[test]
+    fn numeric_drift_is_reported() {
+        // Filtering to score >= 10 raises the mean of the watched numeric
+        // column far beyond its input std.
+        let plan =
+            Plan::source("train").filter("score >= 10", |r| r.int("score").unwrap() >= 10);
+        let report = inspect(&plan, &demo_sources(), &["score"], 0.3).unwrap();
+        assert!(
+            report.warnings.iter().any(|w| w.contains("mean of score drifted")),
+            "{:?}",
+            report.warnings
+        );
+        // Stats are recorded per operator.
+        assert!(report.operators[0].numeric_stats.contains_key("score"));
+        assert!(report.operators[1].numeric_stats.contains_key("score"));
+    }
+
+    #[test]
+    fn missing_watched_column_is_ignored() {
+        let plan = Plan::source("train");
+        let report = inspect(&plan, &demo_sources(), &["nonexistent"], 0.1).unwrap();
+        assert!(report.operators[0].group_shares.is_empty());
+        assert!(report.clean());
+    }
+}

@@ -1,0 +1,318 @@
+//! Logical pipeline plans: a DAG of relational operators over named source
+//! tables, mirroring the preprocessing pipeline of the paper's Figure 3
+//! (joins, filters, UDF columns, projections) ahead of feature encoding.
+
+use nde_tabular::{RowRef, Value};
+use std::sync::Arc;
+
+/// A filter predicate (labelled for plan display).
+pub type Pred = Arc<dyn Fn(RowRef<'_>) -> bool + Send + Sync>;
+/// A user-defined column function (labelled for plan display).
+pub type Udf = Arc<dyn Fn(RowRef<'_>) -> Value + Send + Sync>;
+
+/// Join flavor at the plan level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanJoin {
+    /// Inner equi-join.
+    Inner,
+    /// Left outer equi-join.
+    Left,
+}
+
+/// Internal plan node.
+#[derive(Clone)]
+pub(crate) enum Node {
+    Source {
+        name: String,
+    },
+    Join {
+        left: Box<Node>,
+        right: Box<Node>,
+        left_key: String,
+        right_key: String,
+        how: PlanJoin,
+    },
+    FuzzyJoin {
+        left: Box<Node>,
+        right: Box<Node>,
+        left_key: String,
+        right_key: String,
+        max_distance: usize,
+    },
+    Filter {
+        input: Box<Node>,
+        label: String,
+        pred: Pred,
+    },
+    WithColumn {
+        input: Box<Node>,
+        name: String,
+        label: String,
+        udf: Udf,
+    },
+    Project {
+        input: Box<Node>,
+        columns: Vec<String>,
+    },
+    DropNulls {
+        input: Box<Node>,
+        columns: Vec<String>,
+    },
+    Concat {
+        top: Box<Node>,
+        bottom: Box<Node>,
+    },
+}
+
+impl Node {
+    /// Human-readable operator label (used by inspections and plan display).
+    pub(crate) fn label(&self) -> String {
+        match self {
+            Node::Source { name } => format!("Source[{name}]"),
+            Node::Join { left_key, right_key, how, .. } => {
+                let h = if *how == PlanJoin::Inner { "inner" } else { "left" };
+                format!("Join[{h}: {left_key} = {right_key}]")
+            }
+            Node::FuzzyJoin { left_key, right_key, max_distance, .. } => {
+                format!("FuzzyJoin[{left_key} ≈ {right_key}, d ≤ {max_distance}]")
+            }
+            Node::Filter { label, .. } => format!("Filter[{label}]"),
+            Node::WithColumn { name, label, .. } => format!("Project[{name} := {label}]"),
+            Node::Project { columns, .. } => format!("Project[{}]", columns.join(", ")),
+            Node::DropNulls { columns, .. } => {
+                if columns.is_empty() {
+                    "DropNulls[*]".to_owned()
+                } else {
+                    format!("DropNulls[{}]", columns.join(", "))
+                }
+            }
+            Node::Concat { .. } => "Concat".to_owned(),
+        }
+    }
+
+    /// Child nodes, in display order.
+    pub(crate) fn children(&self) -> Vec<&Node> {
+        match self {
+            Node::Source { .. } => vec![],
+            Node::Join { left, right, .. }
+            | Node::FuzzyJoin { left, right, .. }
+            | Node::Concat { top: left, bottom: right } => vec![left, right],
+            Node::Filter { input, .. }
+            | Node::WithColumn { input, .. }
+            | Node::Project { input, .. }
+            | Node::DropNulls { input, .. } => vec![input],
+        }
+    }
+}
+
+/// A logical pipeline plan. Build with the fluent methods, then execute with
+/// [`Plan::run`] or [`Plan::run_traced`] (in [`crate::exec`]).
+///
+/// ```
+/// use nde_pipeline::Plan;
+/// use nde_tabular::Value;
+///
+/// let plan = Plan::source("train_df")
+///     .join(Plan::source("jobdetail_df"), "job_id", "job_id")
+///     .filter("sector == healthcare", |r| r.str("sector") == Some("healthcare"))
+///     .with_column("has_twitter", "twitter is not null", |r| {
+///         Value::Bool(!r.is_null("twitter"))
+///     });
+/// assert!(plan.ascii().contains("Join"));
+/// ```
+#[derive(Clone)]
+pub struct Plan {
+    pub(crate) node: Node,
+}
+
+impl Plan {
+    /// A leaf referencing a named source table.
+    pub fn source(name: impl Into<String>) -> Plan {
+        Plan { node: Node::Source { name: name.into() } }
+    }
+
+    /// Inner hash join with `right` on the given keys.
+    pub fn join(self, right: Plan, left_key: impl Into<String>, right_key: impl Into<String>) -> Plan {
+        Plan {
+            node: Node::Join {
+                left: Box::new(self.node),
+                right: Box::new(right.node),
+                left_key: left_key.into(),
+                right_key: right_key.into(),
+                how: PlanJoin::Inner,
+            },
+        }
+    }
+
+    /// Left outer hash join with `right` on the given keys.
+    pub fn left_join(
+        self,
+        right: Plan,
+        left_key: impl Into<String>,
+        right_key: impl Into<String>,
+    ) -> Plan {
+        Plan {
+            node: Node::Join {
+                left: Box::new(self.node),
+                right: Box::new(right.node),
+                left_key: left_key.into(),
+                right_key: right_key.into(),
+                how: PlanJoin::Left,
+            },
+        }
+    }
+
+    /// Fuzzy (edit-distance) join with `right` on string keys.
+    pub fn fuzzy_join(
+        self,
+        right: Plan,
+        left_key: impl Into<String>,
+        right_key: impl Into<String>,
+        max_distance: usize,
+    ) -> Plan {
+        Plan {
+            node: Node::FuzzyJoin {
+                left: Box::new(self.node),
+                right: Box::new(right.node),
+                left_key: left_key.into(),
+                right_key: right_key.into(),
+                max_distance,
+            },
+        }
+    }
+
+    /// Row filter; `label` is shown in plan displays and inspections.
+    pub fn filter(
+        self,
+        label: impl Into<String>,
+        pred: impl Fn(RowRef<'_>) -> bool + Send + Sync + 'static,
+    ) -> Plan {
+        Plan {
+            node: Node::Filter {
+                input: Box::new(self.node),
+                label: label.into(),
+                pred: Arc::new(pred),
+            },
+        }
+    }
+
+    /// Adds (or replaces) a UDF column; `label` describes the UDF.
+    pub fn with_column(
+        self,
+        name: impl Into<String>,
+        label: impl Into<String>,
+        udf: impl Fn(RowRef<'_>) -> Value + Send + Sync + 'static,
+    ) -> Plan {
+        Plan {
+            node: Node::WithColumn {
+                input: Box::new(self.node),
+                name: name.into(),
+                label: label.into(),
+                udf: Arc::new(udf),
+            },
+        }
+    }
+
+    /// Projects to the named columns.
+    pub fn project(self, columns: &[&str]) -> Plan {
+        Plan {
+            node: Node::Project {
+                input: Box::new(self.node),
+                columns: columns.iter().map(|c| (*c).to_owned()).collect(),
+            },
+        }
+    }
+
+    /// Drops rows with nulls in the named columns (all columns if empty).
+    pub fn drop_nulls(self, columns: &[&str]) -> Plan {
+        Plan {
+            node: Node::DropNulls {
+                input: Box::new(self.node),
+                columns: columns.iter().map(|c| (*c).to_owned()).collect(),
+            },
+        }
+    }
+
+    /// Unions rows of `other` below this plan's rows (schemas must match).
+    pub fn concat(self, other: Plan) -> Plan {
+        Plan {
+            node: Node::Concat { top: Box::new(self.node), bottom: Box::new(other.node) },
+        }
+    }
+
+    /// The names of all source tables referenced by the plan, in first-use
+    /// order, deduplicated.
+    pub fn source_names(&self) -> Vec<String> {
+        fn walk(node: &Node, out: &mut Vec<String>) {
+            if let Node::Source { name } = node {
+                if !out.iter().any(|n| n == name) {
+                    out.push(name.clone());
+                }
+            }
+            for child in node.children() {
+                walk(child, out);
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.node, &mut out);
+        out
+    }
+
+    /// Number of operator nodes in the plan.
+    pub fn num_operators(&self) -> usize {
+        fn count(node: &Node) -> usize {
+            1 + node.children().iter().map(|c| count(c)).sum::<usize>()
+        }
+        count(&self.node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure3_plan() -> Plan {
+        Plan::source("train_df")
+            .join(Plan::source("jobdetail_df"), "job_id", "job_id")
+            .join(Plan::source("social_df"), "person_id", "person_id")
+            .filter("sector == healthcare", |r| r.str("sector") == Some("healthcare"))
+            .with_column("has_twitter", "twitter not null", |r| {
+                Value::Bool(!r.is_null("twitter"))
+            })
+    }
+
+    #[test]
+    fn source_names_in_first_use_order() {
+        let plan = figure3_plan();
+        assert_eq!(plan.source_names(), vec!["train_df", "jobdetail_df", "social_df"]);
+    }
+
+    #[test]
+    fn operator_count() {
+        assert_eq!(figure3_plan().num_operators(), 7);
+        assert_eq!(Plan::source("t").num_operators(), 1);
+    }
+
+    #[test]
+    fn labels_are_descriptive() {
+        let plan = figure3_plan();
+        assert!(plan.node.label().contains("has_twitter"));
+        let join = Plan::source("a").left_join(Plan::source("b"), "k", "k");
+        assert!(join.node.label().contains("left"));
+        let fz = Plan::source("a").fuzzy_join(Plan::source("b"), "k", "k", 2);
+        assert!(fz.node.label().contains("d ≤ 2"));
+    }
+
+    #[test]
+    fn duplicate_sources_dedupe() {
+        let plan = Plan::source("t").concat(Plan::source("t"));
+        assert_eq!(plan.source_names(), vec!["t"]);
+    }
+
+    #[test]
+    fn plans_are_cloneable() {
+        let plan = figure3_plan();
+        let clone = plan.clone();
+        assert_eq!(clone.num_operators(), plan.num_operators());
+    }
+}

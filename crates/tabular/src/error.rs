@@ -1,0 +1,101 @@
+//! Error type for table operations.
+
+use crate::value::DataType;
+use std::fmt;
+
+/// Errors produced by table construction and relational operators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableError {
+    /// A referenced column does not exist.
+    ColumnNotFound {
+        /// The missing column name.
+        name: String,
+    },
+    /// A column with this name already exists.
+    DuplicateColumn {
+        /// The duplicated column name.
+        name: String,
+    },
+    /// A value's type does not match the column's type.
+    TypeMismatch {
+        /// Expected column type.
+        expected: DataType,
+        /// Description of the offending type.
+        found: String,
+    },
+    /// Columns of a table must all have the same length.
+    LengthMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Found length.
+        found: usize,
+    },
+    /// A row index was out of bounds.
+    RowOutOfBounds {
+        /// The offending index.
+        idx: usize,
+        /// The number of rows.
+        len: usize,
+    },
+    /// Two schemas that must match do not.
+    SchemaMismatch {
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// A CSV file could not be parsed.
+    Csv {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// An I/O error (CSV read/write).
+    Io {
+        /// The I/O error message.
+        detail: String,
+    },
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::ColumnNotFound { name } => write!(f, "column not found: {name:?}"),
+            TableError::DuplicateColumn { name } => write!(f, "duplicate column: {name:?}"),
+            TableError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            TableError::LengthMismatch { expected, found } => {
+                write!(f, "length mismatch: expected {expected} rows, found {found}")
+            }
+            TableError::RowOutOfBounds { idx, len } => {
+                write!(f, "row index {idx} out of bounds for table with {len} rows")
+            }
+            TableError::SchemaMismatch { detail } => write!(f, "schema mismatch: {detail}"),
+            TableError::Csv { line, detail } => write!(f, "csv parse error at line {line}: {detail}"),
+            TableError::Io { detail } => write!(f, "io error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+impl From<std::io::Error> for TableError {
+    fn from(e: std::io::Error) -> Self {
+        TableError::Io { detail: e.to_string() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = TableError::ColumnNotFound { name: "age".into() };
+        assert!(e.to_string().contains("age"));
+        let e = TableError::TypeMismatch { expected: DataType::Int, found: "str".into() };
+        assert!(e.to_string().contains("expected int"));
+        let e = TableError::Csv { line: 7, detail: "bad quote".into() };
+        assert!(e.to_string().contains("line 7"));
+    }
+}

@@ -1,0 +1,126 @@
+//! Deterministic row shuffling and sampling.
+//!
+//! To keep this crate dependency-free, sampling uses an internal
+//! SplitMix64 generator seeded by the caller; the same seed always yields
+//! the same sample, which the experiment harness relies on.
+
+use crate::table::Table;
+use crate::Result;
+
+/// A tiny deterministic PRNG (SplitMix64), sufficient for shuffles.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform integer in `0..bound` (`bound > 0`).
+    pub fn below(&mut self, bound: usize) -> usize {
+        debug_assert!(bound > 0);
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+/// Fisher–Yates shuffle of `0..n` driven by `rng`.
+pub fn shuffled_indices(n: usize, rng: &mut SplitMix64) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.below(i + 1);
+        idx.swap(i, j);
+    }
+    idx
+}
+
+impl Table {
+    /// Returns the table with rows shuffled deterministically by `seed`.
+    pub fn shuffle(&self, seed: u64) -> Result<Table> {
+        Ok(self.shuffle_traced(seed)?.0)
+    }
+
+    /// Traced variant of [`Table::shuffle`].
+    pub fn shuffle_traced(&self, seed: u64) -> Result<(Table, Vec<usize>)> {
+        let mut rng = SplitMix64::new(seed);
+        let idx = shuffled_indices(self.num_rows(), &mut rng);
+        Ok((self.take(&idx)?, idx))
+    }
+
+    /// Samples `n` rows without replacement (all rows if `n` exceeds the
+    /// table), deterministically by `seed`.
+    pub fn sample(&self, n: usize, seed: u64) -> Result<Table> {
+        Ok(self.sample_traced(n, seed)?.0)
+    }
+
+    /// Traced variant of [`Table::sample`].
+    pub fn sample_traced(&self, n: usize, seed: u64) -> Result<(Table, Vec<usize>)> {
+        let mut rng = SplitMix64::new(seed);
+        let mut idx = shuffled_indices(self.num_rows(), &mut rng);
+        idx.truncate(n);
+        Ok((self.take(&idx)?, idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Table {
+        Table::builder().int("id", 0..100).build().unwrap()
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_and_deterministic() {
+        let t = demo();
+        let (s1, trace1) = t.shuffle_traced(7).unwrap();
+        let (s2, _) = t.shuffle_traced(7).unwrap();
+        assert_eq!(s1, s2);
+        let mut sorted = trace1.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(trace1, (0..100).collect::<Vec<_>>(), "seed 7 should permute");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let t = demo();
+        assert_ne!(t.shuffle(1).unwrap(), t.shuffle(2).unwrap());
+    }
+
+    #[test]
+    fn sample_without_replacement() {
+        let t = demo();
+        let (s, trace) = t.sample_traced(10, 3).unwrap();
+        assert_eq!(s.num_rows(), 10);
+        let mut uniq = trace.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 10);
+    }
+
+    #[test]
+    fn oversized_sample_returns_everything() {
+        let t = demo();
+        assert_eq!(t.sample(1000, 1).unwrap().num_rows(), 100);
+    }
+
+    #[test]
+    fn splitmix_below_is_in_range() {
+        let mut rng = SplitMix64::new(42);
+        for _ in 0..1000 {
+            assert!(rng.below(7) < 7);
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Stable sorting by column.
+
+use crate::table::Table;
+use crate::Result;
+
+impl Table {
+    /// Stable-sorts rows by the named column (nulls first when ascending).
+    pub fn sort_by(&self, name: &str, ascending: bool) -> Result<Table> {
+        Ok(self.sort_by_traced(name, ascending)?.0)
+    }
+
+    /// Traced variant of [`Table::sort_by`]: also returns the input index of
+    /// each output row.
+    pub fn sort_by_traced(&self, name: &str, ascending: bool) -> Result<(Table, Vec<usize>)> {
+        let col = self.column(name)?;
+        let mut indices: Vec<usize> = (0..self.num_rows()).collect();
+        indices.sort_by(|&a, &b| {
+            let ord = col.get(a).total_cmp(&col.get(b));
+            if ascending {
+                ord
+            } else {
+                ord.reverse()
+            }
+        });
+        Ok((self.take(&indices)?, indices))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::table::Table;
+    use crate::value::Value;
+
+    fn demo() -> Table {
+        Table::builder()
+            .float("x", [Some(2.0), None, Some(1.0), Some(2.0)])
+            .int("id", [1, 2, 3, 4])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn ascending_puts_nulls_first() {
+        let (s, trace) = demo().sort_by_traced("x", true).unwrap();
+        assert_eq!(trace, vec![1, 2, 0, 3]);
+        assert_eq!(s.get(0, "x").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn descending_reverses() {
+        let s = demo().sort_by("x", false).unwrap();
+        assert_eq!(s.get(0, "id").unwrap(), Value::Int(1));
+        assert_eq!(s.get(3, "x").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn sort_is_stable_for_ties() {
+        let s = demo().sort_by("x", true).unwrap();
+        // The two x == 2.0 rows keep their original relative order (1 then 4).
+        assert_eq!(s.get(2, "id").unwrap(), Value::Int(1));
+        assert_eq!(s.get(3, "id").unwrap(), Value::Int(4));
+    }
+
+    #[test]
+    fn sort_by_string_column() {
+        let t = Table::builder().str("s", ["b", "a", "c"]).build().unwrap();
+        let s = t.sort_by("s", true).unwrap();
+        assert_eq!(s.get(0, "s").unwrap(), Value::from("a"));
+    }
+
+    #[test]
+    fn missing_column_errors() {
+        assert!(demo().sort_by("nope", true).is_err());
+    }
+}

@@ -1,0 +1,164 @@
+//! Column profiling: the summary statistics that data-validation systems
+//! (TFX Data Validation, Deequ) compute as the basis for expectations.
+
+use crate::column::Column;
+use crate::table::Table;
+use crate::value::DataType;
+use std::collections::BTreeSet;
+
+/// Summary statistics of one column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnProfile {
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub dtype: DataType,
+    /// Total cells.
+    pub count: usize,
+    /// Null cells.
+    pub nulls: usize,
+    /// Mean of numeric cells (None for non-numeric or all-null).
+    pub mean: Option<f64>,
+    /// Population standard deviation of numeric cells.
+    pub std: Option<f64>,
+    /// Minimum numeric value.
+    pub min: Option<f64>,
+    /// Maximum numeric value.
+    pub max: Option<f64>,
+    /// Distinct non-null string values, capped at [`DISTINCT_CAP`]
+    /// (None for non-string columns or when the cap is exceeded).
+    pub categories: Option<Vec<String>>,
+}
+
+/// Maximum tracked distinct values for categorical profiling.
+pub const DISTINCT_CAP: usize = 64;
+
+impl ColumnProfile {
+    /// Null fraction (`0.0` for empty columns).
+    pub fn null_fraction(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.nulls as f64 / self.count as f64
+        }
+    }
+}
+
+fn profile_column(name: &str, col: &Column) -> ColumnProfile {
+    let (mut mean, mut std, mut min, mut max) = (None, None, None, None);
+    if let Ok(vals) = col.to_f64() {
+        let present: Vec<f64> = vals.into_iter().flatten().collect();
+        if !present.is_empty() {
+            let m = present.iter().sum::<f64>() / present.len() as f64;
+            let var =
+                present.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / present.len() as f64;
+            mean = Some(m);
+            std = Some(var.sqrt());
+            min = Some(present.iter().copied().fold(f64::INFINITY, f64::min));
+            max = Some(present.iter().copied().fold(f64::NEG_INFINITY, f64::max));
+        }
+    }
+    let categories = col.as_str().and_then(|cells| {
+        let mut distinct: BTreeSet<&str> = BTreeSet::new();
+        for cell in cells.iter().flatten() {
+            distinct.insert(cell.as_str());
+            if distinct.len() > DISTINCT_CAP {
+                return None;
+            }
+        }
+        Some(distinct.into_iter().map(str::to_owned).collect())
+    });
+    ColumnProfile {
+        name: name.to_owned(),
+        dtype: col.dtype(),
+        count: col.len(),
+        nulls: col.null_count(),
+        mean,
+        std,
+        min,
+        max,
+        categories,
+    }
+}
+
+impl Table {
+    /// Profiles every column.
+    pub fn describe(&self) -> Vec<ColumnProfile> {
+        self.schema()
+            .fields()
+            .iter()
+            .zip(self.columns())
+            .map(|(f, c)| profile_column(&f.name, c))
+            .collect()
+    }
+
+    /// Profiles one column by name.
+    pub fn describe_column(&self, name: &str) -> crate::Result<ColumnProfile> {
+        Ok(profile_column(name, self.column(name)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Table {
+        Table::builder()
+            .float("x", [Some(1.0), Some(3.0), None, Some(5.0)])
+            .str_opt(
+                "cat",
+                vec![Some("a".into()), Some("b".into()), Some("a".into()), None],
+            )
+            .int("n", [1, 2, 3, 4])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn numeric_profile() {
+        let p = demo().describe_column("x").unwrap();
+        assert_eq!(p.count, 4);
+        assert_eq!(p.nulls, 1);
+        assert_eq!(p.mean, Some(3.0));
+        assert_eq!(p.min, Some(1.0));
+        assert_eq!(p.max, Some(5.0));
+        assert!(p.std.unwrap() > 1.0);
+        assert!((p.null_fraction() - 0.25).abs() < 1e-12);
+        assert!(p.categories.is_none());
+    }
+
+    #[test]
+    fn string_profile_collects_categories() {
+        let p = demo().describe_column("cat").unwrap();
+        assert_eq!(p.categories, Some(vec!["a".to_owned(), "b".to_owned()]));
+        assert_eq!(p.mean, None);
+    }
+
+    #[test]
+    fn describe_covers_all_columns() {
+        let profiles = demo().describe();
+        assert_eq!(profiles.len(), 3);
+        assert_eq!(profiles[2].name, "n");
+        assert_eq!(profiles[2].dtype, DataType::Int);
+    }
+
+    #[test]
+    fn high_cardinality_strings_drop_categories() {
+        let values: Vec<String> = (0..100).map(|i| format!("v{i}")).collect();
+        let t = Table::builder().str("s", values).build().unwrap();
+        let p = t.describe_column("s").unwrap();
+        assert!(p.categories.is_none());
+    }
+
+    #[test]
+    fn empty_and_all_null_columns() {
+        let t = Table::builder().float("x", Vec::<f64>::new()).build().unwrap();
+        let p = t.describe_column("x").unwrap();
+        assert_eq!(p.mean, None);
+        assert_eq!(p.null_fraction(), 0.0);
+        let t = Table::builder().float("x", [None::<f64>]).build().unwrap();
+        let p = t.describe_column("x").unwrap();
+        assert_eq!(p.mean, None);
+        assert_eq!(p.null_fraction(), 1.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Lightweight row references with typed accessors.
+
+use crate::table::Table;
+use crate::value::Value;
+
+/// A borrowed view of a single table row.
+///
+/// Used by filter predicates and user-defined-function columns; accessors
+/// return `None` both for missing columns and null cells, which keeps
+/// predicates over dirty data concise.
+#[derive(Debug, Clone, Copy)]
+pub struct RowRef<'a> {
+    table: &'a Table,
+    idx: usize,
+}
+
+impl<'a> RowRef<'a> {
+    pub(crate) fn new(table: &'a Table, idx: usize) -> Self {
+        RowRef { table, idx }
+    }
+
+    /// The row's position in its table.
+    pub fn index(&self) -> usize {
+        self.idx
+    }
+
+    /// The cell under `name`, materialized; `None` if the column is absent.
+    pub fn get(&self, name: &str) -> Option<Value> {
+        self.table.column(name).ok().map(|c| c.get(self.idx))
+    }
+
+    /// Integer cell accessor (`None` for absent column, null, or wrong type).
+    pub fn int(&self, name: &str) -> Option<i64> {
+        self.table.column(name).ok()?.as_int()?[self.idx]
+    }
+
+    /// Float cell accessor; integer cells are widened.
+    pub fn float(&self, name: &str) -> Option<f64> {
+        let col = self.table.column(name).ok()?;
+        match col {
+            crate::column::Column::Float(v) => v[self.idx],
+            crate::column::Column::Int(v) => v[self.idx].map(|x| x as f64),
+            _ => None,
+        }
+    }
+
+    /// String cell accessor, borrowing from the column.
+    pub fn str(&self, name: &str) -> Option<&'a str> {
+        self.table.column(name).ok()?.as_str()?[self.idx].as_deref()
+    }
+
+    /// Boolean cell accessor.
+    pub fn bool(&self, name: &str) -> Option<bool> {
+        self.table.column(name).ok()?.as_bool()?[self.idx]
+    }
+
+    /// Whether the cell under `name` is null (false if the column is absent).
+    pub fn is_null(&self, name: &str) -> bool {
+        self.table
+            .column(name)
+            .map(|c| c.is_null(self.idx))
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::table::Table;
+    use crate::value::Value;
+
+    fn demo() -> Table {
+        Table::builder()
+            .int("id", [Some(1), None])
+            .str("name", ["ana", "bo"])
+            .float("score", [0.5, 1.5])
+            .bool("ok", [true, false])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn typed_accessors() {
+        let t = demo();
+        let r = t.row(0).unwrap();
+        assert_eq!(r.int("id"), Some(1));
+        assert_eq!(r.str("name"), Some("ana"));
+        assert_eq!(r.float("score"), Some(0.5));
+        assert_eq!(r.bool("ok"), Some(true));
+        assert_eq!(r.get("name"), Some(Value::from("ana")));
+    }
+
+    #[test]
+    fn nulls_and_missing_columns_read_as_none() {
+        let t = demo();
+        let r = t.row(1).unwrap();
+        assert_eq!(r.int("id"), None);
+        assert!(r.is_null("id"));
+        assert_eq!(r.int("missing"), None);
+        assert!(!r.is_null("missing"));
+        assert_eq!(r.get("missing"), None);
+    }
+
+    #[test]
+    fn float_widens_int_cells() {
+        let t = demo();
+        assert_eq!(t.row(0).unwrap().float("id"), Some(1.0));
+        assert_eq!(t.row(0).unwrap().float("name"), None);
+    }
+
+    #[test]
+    fn out_of_bounds_row_is_error() {
+        let t = demo();
+        assert!(t.row(2).is_err());
+    }
+}

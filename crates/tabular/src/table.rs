@@ -1,0 +1,403 @@
+//! The [`Table`]: an ordered collection of equally long columns.
+
+use crate::column::Column;
+use crate::error::TableError;
+use crate::row::RowRef;
+use crate::schema::{Field, Schema};
+use crate::value::Value;
+use crate::Result;
+
+/// A columnar table with a schema.
+///
+/// Rows are addressed by position. Operators that drop, duplicate or reorder
+/// rows (filters, joins, sorts, sampling) have `*_traced` variants in
+/// [`crate::ops`] that report the positional mapping from output rows to
+/// input rows, which higher layers compose into provenance annotations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    schema: Schema,
+    columns: Vec<Column>,
+    num_rows: usize,
+}
+
+impl Table {
+    /// Creates an empty table with no columns and no rows.
+    pub fn empty() -> Self {
+        Table { schema: Schema::empty(), columns: Vec::new(), num_rows: 0 }
+    }
+
+    /// Starts a [`TableBuilder`].
+    pub fn builder() -> TableBuilder {
+        TableBuilder::default()
+    }
+
+    /// Creates a table from parallel `(name, column)` pairs; all columns
+    /// must have equal length and unique names.
+    pub fn from_columns(pairs: Vec<(String, Column)>) -> Result<Self> {
+        let mut fields = Vec::with_capacity(pairs.len());
+        let mut columns = Vec::with_capacity(pairs.len());
+        let mut num_rows = None;
+        for (name, col) in pairs {
+            match num_rows {
+                None => num_rows = Some(col.len()),
+                Some(n) if n != col.len() => {
+                    return Err(TableError::LengthMismatch { expected: n, found: col.len() })
+                }
+                _ => {}
+            }
+            fields.push(Field::new(name, col.dtype()));
+            columns.push(col);
+        }
+        Ok(Table { schema: Schema::new(fields)?, columns, num_rows: num_rows.unwrap_or(0) })
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Whether the table has zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.num_rows == 0
+    }
+
+    /// Column lookup by name.
+    pub fn column(&self, name: &str) -> Result<&Column> {
+        self.schema
+            .index_of(name)
+            .map(|i| &self.columns[i])
+            .ok_or_else(|| TableError::ColumnNotFound { name: name.to_owned() })
+    }
+
+    /// Mutable column lookup by name.
+    pub fn column_mut(&mut self, name: &str) -> Result<&mut Column> {
+        let idx = self
+            .schema
+            .index_of(name)
+            .ok_or_else(|| TableError::ColumnNotFound { name: name.to_owned() })?;
+        Ok(&mut self.columns[idx])
+    }
+
+    /// Column by position.
+    pub fn column_at(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// All columns, in schema order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// A lightweight reference to row `idx`.
+    pub fn row(&self, idx: usize) -> Result<RowRef<'_>> {
+        if idx >= self.num_rows {
+            return Err(TableError::RowOutOfBounds { idx, len: self.num_rows });
+        }
+        Ok(RowRef::new(self, idx))
+    }
+
+    /// Iterates over row references.
+    pub fn rows(&self) -> impl Iterator<Item = RowRef<'_>> {
+        (0..self.num_rows).map(move |i| RowRef::new(self, i))
+    }
+
+    /// Reads the cell at (`row`, `column name`).
+    pub fn get(&self, row: usize, name: &str) -> Result<Value> {
+        if row >= self.num_rows {
+            return Err(TableError::RowOutOfBounds { idx: row, len: self.num_rows });
+        }
+        Ok(self.column(name)?.get(row))
+    }
+
+    /// Overwrites the cell at (`row`, `column name`).
+    pub fn set(&mut self, row: usize, name: &str, value: Value) -> Result<()> {
+        if row >= self.num_rows {
+            return Err(TableError::RowOutOfBounds { idx: row, len: self.num_rows });
+        }
+        self.column_mut(name)?.set(row, value)
+    }
+
+    /// Appends a column; its length must match the current row count
+    /// (any length is accepted when the table has no columns yet).
+    pub fn add_column(&mut self, name: impl Into<String>, column: Column) -> Result<()> {
+        if !self.columns.is_empty() && column.len() != self.num_rows {
+            return Err(TableError::LengthMismatch { expected: self.num_rows, found: column.len() });
+        }
+        if self.columns.is_empty() {
+            self.num_rows = column.len();
+        }
+        self.schema.push(Field::new(name, column.dtype()))?;
+        self.columns.push(column);
+        Ok(())
+    }
+
+    /// Removes a column by name, returning it.
+    pub fn drop_column(&mut self, name: &str) -> Result<Column> {
+        let idx = self
+            .schema
+            .index_of(name)
+            .ok_or_else(|| TableError::ColumnNotFound { name: name.to_owned() })?;
+        self.schema.remove(name)?;
+        Ok(self.columns.remove(idx))
+    }
+
+    /// Renames a column.
+    pub fn rename_column(&mut self, from: &str, to: impl Into<String>) -> Result<()> {
+        self.schema.rename(from, to)
+    }
+
+    /// Appends a row of values in schema order.
+    pub fn push_row(&mut self, values: Vec<Value>) -> Result<()> {
+        if values.len() != self.columns.len() {
+            return Err(TableError::LengthMismatch {
+                expected: self.columns.len(),
+                found: values.len(),
+            });
+        }
+        for (col, value) in self.columns.iter_mut().zip(values) {
+            col.push(value)?;
+        }
+        self.num_rows += 1;
+        Ok(())
+    }
+
+    /// Materializes a new table containing the rows at `indices`
+    /// (duplicates and arbitrary order allowed).
+    pub fn take(&self, indices: &[usize]) -> Result<Self> {
+        if let Some(&bad) = indices.iter().find(|&&i| i >= self.num_rows) {
+            return Err(TableError::RowOutOfBounds { idx: bad, len: self.num_rows });
+        }
+        Ok(Table {
+            schema: self.schema.clone(),
+            columns: self.columns.iter().map(|c| c.take(indices)).collect(),
+            num_rows: indices.len(),
+        })
+    }
+
+    /// The first `n` rows (fewer if the table is shorter).
+    pub fn head(&self, n: usize) -> Self {
+        let indices: Vec<usize> = (0..n.min(self.num_rows)).collect();
+        self.take(&indices).expect("indices in bounds")
+    }
+
+    /// Projects the table to the named columns, in the given order.
+    pub fn select(&self, names: &[&str]) -> Result<Self> {
+        let mut pairs = Vec::with_capacity(names.len());
+        for &name in names {
+            pairs.push((name.to_owned(), self.column(name)?.clone()));
+        }
+        Table::from_columns(pairs)
+    }
+
+    /// Row values in schema order.
+    pub fn row_values(&self, idx: usize) -> Result<Vec<Value>> {
+        if idx >= self.num_rows {
+            return Err(TableError::RowOutOfBounds { idx, len: self.num_rows });
+        }
+        Ok(self.columns.iter().map(|c| c.get(idx)).collect())
+    }
+
+    /// Total nulls across all columns.
+    pub fn null_count(&self) -> usize {
+        self.columns.iter().map(Column::null_count).sum()
+    }
+}
+
+/// Fluent construction of small tables (tests, examples, generators).
+#[derive(Default)]
+pub struct TableBuilder {
+    pairs: Vec<(String, Column)>,
+    error: Option<TableError>,
+}
+
+impl TableBuilder {
+    /// Adds an integer column; items may be `i64` or `Option<i64>`.
+    pub fn int<I, T>(mut self, name: &str, values: I) -> Self
+    where
+        I: IntoIterator<Item = T>,
+        T: Into<Option<i64>>,
+    {
+        let col = Column::Int(values.into_iter().map(Into::into).collect());
+        self.pairs.push((name.to_owned(), col));
+        self
+    }
+
+    /// Adds a float column; items may be `f64` or `Option<f64>`.
+    pub fn float<I, T>(mut self, name: &str, values: I) -> Self
+    where
+        I: IntoIterator<Item = T>,
+        T: Into<Option<f64>>,
+    {
+        let col = Column::Float(values.into_iter().map(Into::into).collect());
+        self.pairs.push((name.to_owned(), col));
+        self
+    }
+
+    /// Adds a string column from anything stringy.
+    pub fn str<I, T>(mut self, name: &str, values: I) -> Self
+    where
+        I: IntoIterator<Item = T>,
+        T: Into<String>,
+    {
+        let col = Column::Str(values.into_iter().map(|v| Some(v.into())).collect());
+        self.pairs.push((name.to_owned(), col));
+        self
+    }
+
+    /// Adds a string column with explicit nulls.
+    pub fn str_opt<I>(mut self, name: &str, values: I) -> Self
+    where
+        I: IntoIterator<Item = Option<String>>,
+    {
+        self.pairs.push((name.to_owned(), Column::Str(values.into_iter().collect())));
+        self
+    }
+
+    /// Adds a boolean column; items may be `bool` or `Option<bool>`.
+    pub fn bool<I, T>(mut self, name: &str, values: I) -> Self
+    where
+        I: IntoIterator<Item = T>,
+        T: Into<Option<bool>>,
+    {
+        let col = Column::Bool(values.into_iter().map(Into::into).collect());
+        self.pairs.push((name.to_owned(), col));
+        self
+    }
+
+    /// Adds a prebuilt column.
+    pub fn column(mut self, name: &str, column: Column) -> Self {
+        self.pairs.push((name.to_owned(), column));
+        self
+    }
+
+    /// Finalizes the table, validating lengths and name uniqueness.
+    pub fn build(self) -> Result<Table> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        Table::from_columns(self.pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::DataType;
+
+    fn demo() -> Table {
+        Table::builder()
+            .int("id", [1, 2, 3])
+            .str("name", ["a", "b", "c"])
+            .float("x", [0.1, 0.2, 0.3])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_produces_consistent_table() {
+        let t = demo();
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.num_columns(), 3);
+        assert_eq!(t.get(1, "name").unwrap(), Value::from("b"));
+    }
+
+    #[test]
+    fn builder_rejects_ragged_columns() {
+        let r = Table::builder().int("a", [1, 2]).int("b", [1]).build();
+        assert!(matches!(r, Err(TableError::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn builder_rejects_duplicate_names() {
+        let r = Table::builder().int("a", [1]).float("a", [1.0]).build();
+        assert!(matches!(r, Err(TableError::DuplicateColumn { .. })));
+    }
+
+    #[test]
+    fn builder_accepts_nullable_items() {
+        let t = Table::builder().int("a", [Some(1), None]).build().unwrap();
+        assert_eq!(t.get(1, "a").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn take_and_head() {
+        let t = demo();
+        let taken = t.take(&[2, 0]).unwrap();
+        assert_eq!(taken.get(0, "id").unwrap(), Value::Int(3));
+        assert_eq!(t.head(2).num_rows(), 2);
+        assert_eq!(t.head(99).num_rows(), 3);
+        assert!(t.take(&[7]).is_err());
+    }
+
+    #[test]
+    fn select_projects_in_order() {
+        let t = demo();
+        let p = t.select(&["x", "id"]).unwrap();
+        assert_eq!(p.schema().names(), vec!["x", "id"]);
+        assert!(t.select(&["nope"]).is_err());
+    }
+
+    #[test]
+    fn push_row_checks_arity_and_types() {
+        let mut t = demo();
+        t.push_row(vec![Value::Int(4), Value::from("d"), Value::Float(0.4)]).unwrap();
+        assert_eq!(t.num_rows(), 4);
+        assert!(t.push_row(vec![Value::Int(5)]).is_err());
+        assert!(t
+            .push_row(vec![Value::from("oops"), Value::from("d"), Value::Float(0.4)])
+            .is_err());
+    }
+
+    #[test]
+    fn add_and_drop_column() {
+        let mut t = demo();
+        t.add_column("flag", Column::Bool(vec![Some(true); 3])).unwrap();
+        assert_eq!(t.num_columns(), 4);
+        assert!(t.add_column("short", Column::Int(vec![Some(1)])).is_err());
+        let dropped = t.drop_column("flag").unwrap();
+        assert_eq!(dropped.dtype(), DataType::Bool);
+        assert!(t.drop_column("flag").is_err());
+    }
+
+    #[test]
+    fn add_column_to_empty_table_sets_row_count() {
+        let mut t = Table::empty();
+        t.add_column("a", Column::Int(vec![Some(1), Some(2)])).unwrap();
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn set_cell() {
+        let mut t = demo();
+        t.set(0, "x", Value::Float(9.0)).unwrap();
+        assert_eq!(t.get(0, "x").unwrap(), Value::Float(9.0));
+        assert!(t.set(9, "x", Value::Float(0.0)).is_err());
+    }
+
+    #[test]
+    fn null_count_sums_columns() {
+        let t = Table::builder()
+            .int("a", [Some(1), None])
+            .str_opt("b", vec![None, Some("x".into())])
+            .build()
+            .unwrap();
+        assert_eq!(t.null_count(), 2);
+    }
+
+    #[test]
+    fn row_values_in_schema_order() {
+        let t = demo();
+        let row = t.row_values(0).unwrap();
+        assert_eq!(row, vec![Value::Int(1), Value::from("a"), Value::Float(0.1)]);
+    }
+}

@@ -1,0 +1,246 @@
+//! Scalar cell values and their data types.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// The logical type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE-754 float.
+    Float,
+    /// UTF-8 string.
+    Str,
+    /// Boolean.
+    Bool,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            DataType::Int => "int",
+            DataType::Float => "float",
+            DataType::Str => "str",
+            DataType::Bool => "bool",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A single cell value.
+///
+/// `Null` is a first-class citizen because the whole point of the paper is
+/// reasoning about missing and erroneous cells.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A missing value.
+    Null,
+    /// An integer value.
+    Int(i64),
+    /// A floating-point value.
+    Float(f64),
+    /// A string value.
+    Str(String),
+    /// A boolean value.
+    Bool(bool),
+}
+
+impl Value {
+    /// The data type of this value, or `None` for `Null` (nulls are typed by
+    /// their column, not by the value itself).
+    pub fn dtype(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Str(_) => Some(DataType::Str),
+            Value::Bool(_) => Some(DataType::Bool),
+        }
+    }
+
+    /// Whether this is a missing value.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The value as an `i64`, if it is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`. Integers are widened; other types are `None`.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(v) => Some(*v),
+            Value::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(v) => Some(v.as_str()),
+            _ => None,
+        }
+    }
+
+    /// The value as a boolean, if it is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Total ordering used by sorts and group-bys: `Null` sorts first,
+    /// numeric values compare numerically across `Int`/`Float`, and values
+    /// of different non-numeric types compare by type tag.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Bool(_) => 1,
+                Value::Int(_) | Value::Float(_) => 2,
+                Value::Str(_) => 3,
+            }
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (a, b) if rank(a) == 2 && rank(b) == 2 => {
+                let (x, y) = (a.as_float().unwrap(), b.as_float().unwrap());
+                x.total_cmp(&y)
+            }
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+
+    /// Equality for grouping/join keys: null never matches (SQL semantics),
+    /// and `Int`/`Float` compare numerically.
+    pub fn key_eq(&self, other: &Value) -> bool {
+        if self.is_null() || other.is_null() {
+            return false;
+        }
+        self.total_cmp(other) == Ordering::Equal
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(v) => f.write_str(v),
+            Value::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(i64::from(v))
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        match v {
+            Some(inner) => inner.into(),
+            None => Value::Null,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dtype_of_values() {
+        assert_eq!(Value::Int(3).dtype(), Some(DataType::Int));
+        assert_eq!(Value::Float(3.0).dtype(), Some(DataType::Float));
+        assert_eq!(Value::from("x").dtype(), Some(DataType::Str));
+        assert_eq!(Value::Bool(true).dtype(), Some(DataType::Bool));
+        assert_eq!(Value::Null.dtype(), None);
+    }
+
+    #[test]
+    fn float_widening() {
+        assert_eq!(Value::Int(2).as_float(), Some(2.0));
+        assert_eq!(Value::Float(2.5).as_float(), Some(2.5));
+        assert_eq!(Value::from("2.5").as_float(), None);
+    }
+
+    #[test]
+    fn total_cmp_orders_nulls_first() {
+        let mut vals = vec![Value::Int(2), Value::Null, Value::Int(1)];
+        vals.sort_by(|a, b| a.total_cmp(b));
+        assert_eq!(vals[0], Value::Null);
+        assert_eq!(vals[1], Value::Int(1));
+    }
+
+    #[test]
+    fn total_cmp_mixes_int_and_float() {
+        assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.5)), Ordering::Less);
+        assert_eq!(Value::Float(3.0).total_cmp(&Value::Int(3)), Ordering::Equal);
+    }
+
+    #[test]
+    fn key_eq_rejects_null() {
+        assert!(!Value::Null.key_eq(&Value::Null));
+        assert!(!Value::Null.key_eq(&Value::Int(1)));
+        assert!(Value::Int(1).key_eq(&Value::Float(1.0)));
+        assert!(!Value::Int(1).key_eq(&Value::Int(2)));
+    }
+
+    #[test]
+    fn option_conversion() {
+        assert_eq!(Value::from(None::<i64>), Value::Null);
+        assert_eq!(Value::from(Some(3i64)), Value::Int(3));
+    }
+
+    #[test]
+    fn display_round_trip() {
+        assert_eq!(Value::Int(7).to_string(), "7");
+        assert_eq!(Value::Null.to_string(), "null");
+        assert_eq!(Value::from("hi").to_string(), "hi");
+    }
+}

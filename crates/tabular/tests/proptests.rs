@@ -1,0 +1,145 @@
+//! Property-based tests for the relational substrate: the invariants that
+//! provenance-based debugging relies on (traces must exactly describe the
+//! output) hold for arbitrary inputs.
+
+use nde_tabular::{Table, Value};
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Int),
+        (-1e6f64..1e6).prop_map(Value::Float),
+        "[a-z]{0,6}".prop_map(Value::Str),
+        any::<bool>().prop_map(Value::Bool),
+    ]
+}
+
+fn arb_key_table(max_rows: usize) -> impl Strategy<Value = Table> {
+    prop::collection::vec((0i64..8, any::<i16>()), 0..max_rows).prop_map(|rows| {
+        Table::builder()
+            .int("k", rows.iter().map(|&(k, _)| k).collect::<Vec<_>>())
+            .int("v", rows.iter().map(|&(_, v)| i64::from(v)).collect::<Vec<_>>())
+            .build()
+            .unwrap()
+    })
+}
+
+proptest! {
+    /// filter trace: output row i equals input row trace[i]; the trace is
+    /// strictly increasing; and every dropped row fails the predicate.
+    #[test]
+    fn filter_trace_describes_output(table in arb_key_table(40), threshold in -100i64..100) {
+        let pred = |r: nde_tabular::RowRef<'_>| r.int("v").unwrap_or(0) >= threshold;
+        let (out, trace) = table.filter_traced(pred).unwrap();
+        prop_assert_eq!(out.num_rows(), trace.len());
+        for (oi, &ii) in trace.iter().enumerate() {
+            prop_assert_eq!(out.row_values(oi).unwrap(), table.row_values(ii).unwrap());
+        }
+        prop_assert!(trace.windows(2).all(|w| w[0] < w[1]));
+        let kept: std::collections::HashSet<usize> = trace.into_iter().collect();
+        for i in 0..table.num_rows() {
+            if !kept.contains(&i) {
+                prop_assert!(!pred(table.row(i).unwrap()));
+            }
+        }
+    }
+
+    /// Inner join equals the nested-loop join on key equality, and the trace
+    /// reproduces every output row from its input pair.
+    #[test]
+    fn join_matches_nested_loop(left in arb_key_table(25), right in arb_key_table(25)) {
+        let (out, trace) = left
+            .join_traced(&right, "k", "k", nde_tabular::JoinType::Inner)
+            .unwrap();
+        let mut expected = 0usize;
+        for i in 0..left.num_rows() {
+            for j in 0..right.num_rows() {
+                let lk = left.get(i, "k").unwrap();
+                let rk = right.get(j, "k").unwrap();
+                if lk.key_eq(&rk) {
+                    expected += 1;
+                }
+            }
+        }
+        prop_assert_eq!(out.num_rows(), expected);
+        for (oi, &(li, rj)) in trace.iter().enumerate() {
+            let rj = rj.expect("inner join trace has right side");
+            prop_assert_eq!(out.get(oi, "v").unwrap(), left.get(li, "v").unwrap());
+            prop_assert_eq!(out.get(oi, "v_right").unwrap(), right.get(rj, "v").unwrap());
+        }
+    }
+
+    /// Left join preserves every left row at least once.
+    #[test]
+    fn left_join_covers_left(left in arb_key_table(20), right in arb_key_table(20)) {
+        let (_, trace) = left
+            .join_traced(&right, "k", "k", nde_tabular::JoinType::Left)
+            .unwrap();
+        let covered: std::collections::HashSet<usize> =
+            trace.iter().map(|&(l, _)| l).collect();
+        prop_assert_eq!(covered.len(), left.num_rows());
+    }
+
+    /// CSV round trip is lossless for arbitrary single-column string tables.
+    #[test]
+    fn csv_round_trip_strings(cells in prop::collection::vec("[ -~]{0,20}", 0..20)) {
+        // Cells that are empty or parse as numbers/bools change type on
+        // re-read by design; restrict to clearly-string payloads.
+        let cells: Vec<String> = cells
+            .into_iter()
+            .map(|c| format!("s{}", c.replace('\n', " ")))
+            .collect();
+        let t = Table::builder().str("text", cells).build().unwrap();
+        let back = Table::from_csv_reader(t.to_csv_string().as_bytes()).unwrap();
+        prop_assert_eq!(t, back);
+    }
+
+    /// Sorting is a permutation and orders the column by total order.
+    #[test]
+    fn sort_is_ordered_permutation(table in arb_key_table(30)) {
+        let (out, trace) = table.sort_by_traced("v", true).unwrap();
+        let mut seen = trace.clone();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..table.num_rows()).collect::<Vec<_>>());
+        let col = out.column("v").unwrap();
+        for i in 1..out.num_rows() {
+            prop_assert!(col.get(i - 1).total_cmp(&col.get(i)).is_le());
+        }
+    }
+
+    /// take() after shuffle_traced reproduces the shuffled table.
+    #[test]
+    fn shuffle_trace_is_take(table in arb_key_table(30), seed in any::<u64>()) {
+        let (shuffled, trace) = table.shuffle_traced(seed).unwrap();
+        prop_assert_eq!(shuffled, table.take(&trace).unwrap());
+    }
+
+    /// Arbitrary values survive a push/get round trip through a column of
+    /// their own type.
+    #[test]
+    fn column_push_get_round_trip(values in prop::collection::vec(arb_value(), 1..30)) {
+        // Split by type so each group is column-compatible.
+        for v in &values {
+            let col = nde_tabular::Column::from_values(std::slice::from_ref(v));
+            let col = col.unwrap();
+            prop_assert_eq!(col.get(0), v.clone());
+        }
+    }
+
+    /// group_by COUNT sums to the number of rows.
+    #[test]
+    fn group_counts_sum_to_rows(table in arb_key_table(40)) {
+        use nde_tabular::{AggExpr, AggFn};
+        let g = table
+            .group_by(&["k"], &[AggExpr::new("k", AggFn::Count, "n")])
+            .unwrap();
+        let total: i64 = g
+            .column("n")
+            .unwrap()
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .sum();
+        prop_assert_eq!(total as usize, table.num_rows());
+    }
+}

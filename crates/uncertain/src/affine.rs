@@ -1,0 +1,247 @@
+//! Affine arithmetic (zonotopes): the relational abstract domain Zorro
+//! uses. An affine form `x̂ = c + Σᵢ aᵢ·εᵢ` tracks *which* noise symbol each
+//! uncertainty came from, so `x̂ − x̂ = 0` exactly — the property that makes
+//! symbolic gradient descent over shared missing values dramatically
+//! tighter than interval arithmetic.
+
+use crate::interval::Interval;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Allocates globally fresh noise-symbol ids (`εᵢ`).
+#[derive(Debug, Default)]
+pub struct SymbolPool {
+    next: AtomicUsize,
+}
+
+impl SymbolPool {
+    /// A new pool starting at symbol 0.
+    pub fn new() -> Self {
+        SymbolPool::default()
+    }
+
+    /// A fresh symbol id.
+    pub fn fresh(&self) -> usize {
+        self.next.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+/// An affine form `c + Σᵢ aᵢ εᵢ` with `εᵢ ∈ [−1, 1]`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AffineForm {
+    /// Center value `c`.
+    pub center: f64,
+    /// Partial deviations, keyed by noise-symbol id.
+    pub terms: BTreeMap<usize, f64>,
+}
+
+impl AffineForm {
+    /// The constant form `c`.
+    pub fn constant(c: f64) -> Self {
+        AffineForm { center: c, terms: BTreeMap::new() }
+    }
+
+    /// A fresh uncertain value ranging over `[lo, hi]`, introducing one new
+    /// noise symbol from `pool`.
+    pub fn from_interval(iv: Interval, pool: &SymbolPool) -> Self {
+        let mut terms = BTreeMap::new();
+        if iv.radius() > 0.0 {
+            terms.insert(pool.fresh(), iv.radius());
+        }
+        AffineForm { center: iv.mid(), terms }
+    }
+
+    /// Total deviation `Σ|aᵢ|`.
+    pub fn radius(&self) -> f64 {
+        self.terms.values().map(|a| a.abs()).sum()
+    }
+
+    /// The concretization `[c − r, c + r]`.
+    pub fn to_interval(&self) -> Interval {
+        let r = self.radius();
+        Interval { lo: self.center - r, hi: self.center + r }
+    }
+
+    /// Number of active noise symbols.
+    pub fn n_symbols(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Sum.
+    pub fn add(&self, other: &AffineForm) -> AffineForm {
+        let mut terms = self.terms.clone();
+        for (&s, &a) in &other.terms {
+            let entry = terms.entry(s).or_insert(0.0);
+            *entry += a;
+            if entry.abs() < 1e-300 {
+                terms.remove(&s);
+            }
+        }
+        AffineForm { center: self.center + other.center, terms }
+    }
+
+    /// Difference. `x.sub(&x)` is exactly zero — the relational payoff.
+    pub fn sub(&self, other: &AffineForm) -> AffineForm {
+        self.add(&other.scale(-1.0))
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&self, s: f64) -> AffineForm {
+        if s == 0.0 {
+            return AffineForm::constant(0.0);
+        }
+        AffineForm {
+            center: self.center * s,
+            terms: self.terms.iter().map(|(&k, &a)| (k, a * s)).collect(),
+        }
+    }
+
+    /// Adds a constant.
+    pub fn add_const(&self, c: f64) -> AffineForm {
+        AffineForm { center: self.center + c, terms: self.terms.clone() }
+    }
+
+    /// Product of two affine forms. The linear part is exact; the quadratic
+    /// remainder `(Σaᵢεᵢ)(Σbⱼεⱼ)` is bounded by `rad(x)·rad(y)` and folded
+    /// into a fresh noise symbol — the standard sound affine multiplication.
+    pub fn mul(&self, other: &AffineForm, pool: &SymbolPool) -> AffineForm {
+        let mut out = AffineForm::constant(self.center * other.center);
+        // x0 · Σ bⱼεⱼ
+        for (&s, &b) in &other.terms {
+            *out.terms.entry(s).or_insert(0.0) += self.center * b;
+        }
+        // y0 · Σ aᵢεᵢ
+        for (&s, &a) in &self.terms {
+            *out.terms.entry(s).or_insert(0.0) += other.center * a;
+        }
+        out.terms.retain(|_, a| a.abs() > 1e-300);
+        let remainder = self.radius() * other.radius();
+        if remainder > 0.0 {
+            out.terms.insert(pool.fresh(), remainder);
+        }
+        out
+    }
+
+    /// Sound compaction: keeps the `keep` largest-magnitude terms and folds
+    /// the rest into one fresh symbol. Controls symbol growth in long
+    /// symbolic computations at a (bounded) precision cost.
+    pub fn condense(&self, keep: usize, pool: &SymbolPool) -> AffineForm {
+        if self.terms.len() <= keep {
+            return self.clone();
+        }
+        let mut entries: Vec<(usize, f64)> =
+            self.terms.iter().map(|(&k, &v)| (k, v)).collect();
+        entries.sort_by(|a, b| b.1.abs().total_cmp(&a.1.abs()).then(a.0.cmp(&b.0)));
+        let mut terms: BTreeMap<usize, f64> = entries[..keep].iter().copied().collect();
+        let folded: f64 = entries[keep..].iter().map(|(_, a)| a.abs()).sum();
+        if folded > 0.0 {
+            // Inflate by a few ulps of the *total* radius so the fold is an
+            // over-approximation even under floating-point summation-order
+            // differences between the old and new term sets.
+            terms.insert(pool.fresh(), folded + self.radius() * 8.0 * f64::EPSILON);
+        }
+        AffineForm { center: self.center, terms }
+    }
+
+    /// Evaluates the form at a concrete assignment of noise symbols
+    /// (symbols absent from `eps` read as 0; values are clamped to [−1, 1]).
+    pub fn eval(&self, eps: &dyn Fn(usize) -> f64) -> f64 {
+        self.center
+            + self
+                .terms
+                .iter()
+                .map(|(&s, &a)| a * eps(s).clamp(-1.0, 1.0))
+                .sum::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_subtraction_is_exact_zero() {
+        let pool = SymbolPool::new();
+        let x = AffineForm::from_interval(Interval::new(1.0, 3.0), &pool);
+        let z = x.sub(&x);
+        assert_eq!(z.center, 0.0);
+        assert_eq!(z.radius(), 0.0);
+        // Interval arithmetic would give [-2, 2] here.
+        let via_interval = x.to_interval() - x.to_interval();
+        assert_eq!(via_interval.width(), 4.0);
+    }
+
+    #[test]
+    fn concretization_matches_source_interval() {
+        let pool = SymbolPool::new();
+        let x = AffineForm::from_interval(Interval::new(-1.0, 5.0), &pool);
+        assert_eq!(x.to_interval(), Interval::new(-1.0, 5.0));
+        assert_eq!(x.n_symbols(), 1);
+        let c = AffineForm::constant(2.5);
+        assert_eq!(c.to_interval(), Interval::point(2.5));
+    }
+
+    #[test]
+    fn addition_correlates_shared_symbols() {
+        let pool = SymbolPool::new();
+        let x = AffineForm::from_interval(Interval::new(0.0, 2.0), &pool);
+        let sum = x.add(&x); // = 2x, range [0, 4]
+        assert_eq!(sum.to_interval(), Interval::new(0.0, 4.0));
+        assert_eq!(sum.n_symbols(), 1);
+    }
+
+    #[test]
+    fn multiplication_is_sound() {
+        let pool = SymbolPool::new();
+        let x = AffineForm::from_interval(Interval::new(1.0, 2.0), &pool);
+        let y = AffineForm::from_interval(Interval::new(-1.0, 1.0), &pool);
+        let prod = x.mul(&y, &pool);
+        let true_range = Interval::new(1.0, 2.0) * Interval::new(-1.0, 1.0);
+        assert!(prod.to_interval().contains_interval(&true_range));
+    }
+
+    #[test]
+    fn squaring_via_mul_contains_true_square() {
+        let pool = SymbolPool::new();
+        let x = AffineForm::from_interval(Interval::new(-1.0, 3.0), &pool);
+        let sq = x.mul(&x, &pool);
+        let true_sq = Interval::new(-1.0, 3.0).square();
+        assert!(sq.to_interval().contains_interval(&true_sq));
+    }
+
+    #[test]
+    fn eval_is_inside_concretization() {
+        let pool = SymbolPool::new();
+        let x = AffineForm::from_interval(Interval::new(0.0, 10.0), &pool);
+        let y = x.scale(2.0).add_const(1.0);
+        for &e in &[-1.0, -0.3, 0.0, 0.7, 1.0] {
+            let v = y.eval(&|_| e);
+            assert!(y.to_interval().contains(v), "{v} at ε={e}");
+        }
+    }
+
+    #[test]
+    fn condense_preserves_soundness() {
+        let pool = SymbolPool::new();
+        let mut acc = AffineForm::constant(0.0);
+        for i in 0..20 {
+            let x = AffineForm::from_interval(Interval::new(0.0, 0.1 * (i + 1) as f64), &pool);
+            acc = acc.add(&x);
+        }
+        let full_range = acc.to_interval();
+        let small = acc.condense(5, &pool);
+        assert_eq!(small.n_symbols(), 6); // 5 kept + 1 folded
+        assert!(small.to_interval().contains_interval(&full_range));
+        // Same radius in this all-positive case (condensation is exact for
+        // the interval view).
+        assert!((small.radius() - acc.radius()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scale_by_zero_is_constant_zero() {
+        let pool = SymbolPool::new();
+        let x = AffineForm::from_interval(Interval::new(1.0, 2.0), &pool);
+        let z = x.scale(0.0);
+        assert_eq!(z, AffineForm::constant(0.0));
+    }
+}

@@ -1,0 +1,181 @@
+//! Certain and approximately certain models (Zhen, Aryal, Termehchy &
+//! Chabada, SIGMOD 2024): decide whether missing feature values even
+//! *matter* — if one model is optimal in every possible world, training can
+//! proceed without any imputation or cleaning.
+//!
+//! For ridge-regularized linear regression we use the paper's core
+//! sufficient condition: fit the model on the complete rows; the model is
+//! **certain** if every incomplete row is guaranteed a zero residual
+//! regardless of its missing values — which requires (a) the weights on its
+//! missing features to be zero and (b) the residual over its known features
+//! to vanish. Then the incomplete rows contribute zero gradient in every
+//! world, so the complete-row optimum is the optimum everywhere.
+//! **Approximately certain** relaxes both zeros to an `ε` tolerance, giving
+//! a bounded worst-case gradient perturbation instead of exactness.
+
+use crate::incomplete::IncompleteMatrix;
+use nde_learners::models::linear::{FittedLinear, LinearRegression};
+use nde_learners::{Matrix, RegDataset, Result};
+
+/// The verdict of the certain-model analysis.
+#[derive(Debug, Clone)]
+pub enum CertainVerdict {
+    /// One model is optimal in every possible world; here it is.
+    Certain(FittedLinear),
+    /// A model exists whose worst-case optimality violation is below the
+    /// given score (the ε-relaxation); `score` is the largest residual/
+    /// weight-width product observed.
+    ApproximatelyCertain {
+        /// The candidate model (fit on complete rows).
+        model: FittedLinear,
+        /// The worst violation observed (≤ the ε that was asked for).
+        score: f64,
+    },
+    /// Missing values genuinely change the optimum; cleaning (or
+    /// uncertainty-aware training à la Zorro) is needed. `score` is the
+    /// violation magnitude that ruled certainty out.
+    Uncertain {
+        /// The violation magnitude.
+        score: f64,
+    },
+}
+
+impl CertainVerdict {
+    /// Whether training can skip cleaning at tolerance 0.
+    pub fn is_certain(&self) -> bool {
+        matches!(self, CertainVerdict::Certain(_))
+    }
+}
+
+/// Runs the analysis at tolerance `epsilon` (`0.0` for exact certainty).
+///
+/// Returns `Err` only if the regression itself fails; "no certain model"
+/// is the `Uncertain` verdict, not an error.
+pub fn certain_model(
+    x: &IncompleteMatrix,
+    y: &[f64],
+    l2: f64,
+    epsilon: f64,
+) -> Result<CertainVerdict> {
+    let incomplete: std::collections::HashSet<usize> =
+        x.incomplete_rows().into_iter().collect();
+    let complete: Vec<usize> = (0..x.nrows()).filter(|i| !incomplete.contains(i)).collect();
+
+    // Fit on complete rows only.
+    let rows: Vec<Vec<f64>> = complete
+        .iter()
+        .map(|&i| x.row(i).iter().map(|c| c.mid()).collect())
+        .collect();
+    let targets: Vec<f64> = complete.iter().map(|&i| y[i]).collect();
+    let data = RegDataset::new(Matrix::from_rows(&rows)?, targets)?;
+    let trainer = LinearRegression { l2, fit_intercept: true };
+    let model = trainer.fit(&data)?;
+
+    // Check the violation for every incomplete row: |residual using known
+    // cells| + Σ_missing |w_j| · radius_j bounds how far the row's residual
+    // can be from zero in the worst world.
+    let mut worst = 0.0f64;
+    for &i in &incomplete {
+        let mut pred_known = model.intercept;
+        let mut missing_term = 0.0;
+        for (j, cell) in x.row(i).iter().enumerate() {
+            if cell.width() > 0.0 {
+                // Midpoint contribution plus worst-case swing.
+                pred_known += model.weights[j] * cell.mid();
+                missing_term += model.weights[j].abs() * cell.radius();
+            } else {
+                pred_known += model.weights[j] * cell.mid();
+            }
+        }
+        let violation = (pred_known - y[i]).abs() + missing_term;
+        worst = worst.max(violation);
+    }
+
+    // Numerical zero: the regression itself is solved only to floating-
+    // point (and ridge) precision, so "exactly zero violation" means below
+    // this tolerance.
+    const NUMERICAL_ZERO: f64 = 1e-6;
+    if worst <= NUMERICAL_ZERO {
+        Ok(CertainVerdict::Certain(model))
+    } else if worst <= epsilon {
+        Ok(CertainVerdict::ApproximatelyCertain { model, score: worst })
+    } else {
+        Ok(CertainVerdict::Uncertain { score: worst })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::Interval;
+
+    /// Targets depend only on feature 0; feature 1 is pure noise with
+    /// missing entries — and (crucially) is constant in the complete rows,
+    /// so the fitted weight on it is 0.
+    fn irrelevant_missing_feature() -> (IncompleteMatrix, Vec<f64>) {
+        let rows = vec![
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![2.0, 0.0],
+            vec![3.0, 0.0],
+            vec![4.0, 0.0], // this row's feature-1 will be missing
+        ];
+        let x = Matrix::from_rows(&rows).unwrap();
+        let y: Vec<f64> = rows.iter().map(|r| 2.0 * r[0] + 1.0).collect();
+        let mut im = IncompleteMatrix::from_exact(&x);
+        im.set_missing(4, 1, Interval::new(-5.0, 5.0));
+        (im, y)
+    }
+
+    #[test]
+    fn irrelevant_missingness_yields_certain_model() {
+        let (im, y) = irrelevant_missing_feature();
+        let verdict = certain_model(&im, &y, 1e-9, 0.0).unwrap();
+        match verdict {
+            CertainVerdict::Certain(model) => {
+                assert!((model.weights[0] - 2.0).abs() < 1e-4);
+                assert!(model.weights[1].abs() < 1e-6);
+            }
+            other => panic!("expected Certain, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn relevant_missingness_is_uncertain() {
+        // Feature 0 carries the signal and is missing in one row.
+        let rows = vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]];
+        let x = Matrix::from_rows(&rows).unwrap();
+        let y: Vec<f64> = rows.iter().map(|r| r[0]).collect();
+        let mut im = IncompleteMatrix::from_exact(&x);
+        im.set_missing(3, 0, Interval::new(0.0, 10.0));
+        let verdict = certain_model(&im, &y, 1e-9, 0.0).unwrap();
+        assert!(matches!(verdict, CertainVerdict::Uncertain { .. }));
+        assert!(!verdict.is_certain());
+    }
+
+    #[test]
+    fn small_violations_are_approximately_certain() {
+        let rows = vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]];
+        let x = Matrix::from_rows(&rows).unwrap();
+        let y: Vec<f64> = rows.iter().map(|r| r[0]).collect();
+        let mut im = IncompleteMatrix::from_exact(&x);
+        // A narrow missing interval around the true value 3.0.
+        im.set_missing(3, 0, Interval::new(2.95, 3.05));
+        let verdict = certain_model(&im, &y, 1e-9, 0.2).unwrap();
+        match verdict {
+            CertainVerdict::ApproximatelyCertain { score, .. } => {
+                assert!(score > 0.0 && score <= 0.2, "score {score}");
+            }
+            other => panic!("expected ApproximatelyCertain, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fully_complete_data_is_trivially_certain() {
+        let rows = vec![vec![1.0], vec![2.0]];
+        let x = Matrix::from_rows(&rows).unwrap();
+        let im = IncompleteMatrix::from_exact(&x);
+        let verdict = certain_model(&im, &[1.0, 2.0], 1e-9, 0.0).unwrap();
+        assert!(verdict.is_certain());
+    }
+}

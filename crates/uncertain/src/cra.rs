@@ -1,0 +1,233 @@
+//! Consistent range approximation for fair predictive modeling (Zhu,
+//! Galhotra, Sabri & Salimi, VLDB 2023): when the protected-group
+//! attribute itself is dirty — missing for some individuals, or possibly
+//! wrong for a bounded number of them — a fairness metric has no single
+//! value, only a **range over all consistent completions**. A model is
+//! *certifiably fair* when even the worst completion satisfies the
+//! threshold.
+//!
+//! For group-count-based metrics (demographic parity here) the exact range
+//! is computable by counting: each unknown-group individual contributes
+//! its prediction to one group or the other, and the extremes are reached
+//! at greedy assignments.
+
+/// A test-set row for the fairness-range analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupObservation {
+    /// The model's binary prediction for this individual.
+    pub predicted_positive: bool,
+    /// The protected-group membership, if known (`None` = missing).
+    pub group: Option<usize>,
+}
+
+/// The exact range of the demographic-parity gap
+/// `|P(ŷ=1 | g=0) − P(ŷ=1 | g=1)|` over all completions of the missing
+/// group attributes (binary groups). Returns `(lo, hi)`.
+///
+/// Individuals with unknown group can be assigned to either side; the
+/// extremes are found by scanning the number `a` of unknown-positive and
+/// `b` of unknown-negative individuals routed to group 0 (the metric is
+/// monotone in each count given the other, so the O(u²) scan over the two
+/// counts is exact and cheap for realistic missingness).
+pub fn demographic_parity_range(observations: &[GroupObservation]) -> (f64, f64) {
+    let mut pos = [0usize; 2];
+    let mut n = [0usize; 2];
+    let (mut unk_pos, mut unk_neg) = (0usize, 0usize);
+    for obs in observations {
+        match obs.group {
+            Some(g) if g < 2 => {
+                n[g] += 1;
+                pos[g] += usize::from(obs.predicted_positive);
+            }
+            Some(_) => {} // non-binary group values are out of scope
+            None => {
+                if obs.predicted_positive {
+                    unk_pos += 1;
+                } else {
+                    unk_neg += 1;
+                }
+            }
+        }
+    }
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for a in 0..=unk_pos {
+        for b in 0..=unk_neg {
+            // a unknown-positives and b unknown-negatives join group 0;
+            // the rest join group 1.
+            let n0 = n[0] + a + b;
+            let n1 = n[1] + (unk_pos - a) + (unk_neg - b);
+            let p0 = pos[0] + a;
+            let p1 = pos[1] + (unk_pos - a);
+            let rate = |p: usize, n: usize| if n == 0 { 0.0 } else { p as f64 / n as f64 };
+            let gap = (rate(p0, n0) - rate(p1, n1)).abs();
+            lo = lo.min(gap);
+            hi = hi.max(gap);
+        }
+    }
+    if lo.is_infinite() {
+        (0.0, 0.0)
+    } else {
+        (lo, hi)
+    }
+}
+
+/// Certifies that the demographic-parity gap stays at or below `threshold`
+/// in **every** consistent completion of the missing group attributes.
+pub fn certifiably_fair(observations: &[GroupObservation], threshold: f64) -> bool {
+    demographic_parity_range(observations).1 <= threshold
+}
+
+/// The range of the *positive rate* of one group when up to `budget` of
+/// the known group labels may be wrong (the "programmable bias" flavor):
+/// an adversary flips at most `budget` group memberships to move the rate.
+pub fn positive_rate_range_under_flips(
+    observations: &[GroupObservation],
+    group: usize,
+    budget: usize,
+) -> (f64, f64) {
+    let mut in_pos = 0usize; // group members predicted positive
+    let mut in_neg = 0usize;
+    let mut out_pos = 0usize; // non-members predicted positive
+    let mut out_neg = 0usize;
+    for obs in observations {
+        match (obs.group == Some(group), obs.predicted_positive) {
+            (true, true) => in_pos += 1,
+            (true, false) => in_neg += 1,
+            (false, true) => out_pos += 1,
+            (false, false) => out_neg += 1,
+        }
+    }
+    let rate = |p: usize, n: usize| if n == 0 { 0.0 } else { p as f64 / (n as f64) };
+
+    // Maximize: pull in positives from outside and push out negatives.
+    let mut best_hi = rate(in_pos, in_pos + in_neg);
+    // Minimize: pull in negatives and push out positives.
+    let mut best_lo = best_hi;
+    for pull in 0..=budget {
+        for push in 0..=(budget - pull) {
+            let p_in = pull.min(out_pos);
+            let n_out = push.min(in_neg);
+            let hi = rate(in_pos + p_in, in_pos + p_in + in_neg - n_out);
+            best_hi = best_hi.max(hi);
+            let n_in = pull.min(out_neg);
+            let p_out = push.min(in_pos);
+            let lo = rate(in_pos - p_out, in_pos - p_out + in_neg + n_in);
+            best_lo = best_lo.min(lo);
+        }
+    }
+    (best_lo, best_hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(pred: bool, group: Option<usize>) -> GroupObservation {
+        GroupObservation { predicted_positive: pred, group }
+    }
+
+    #[test]
+    fn fully_observed_range_is_a_point() {
+        let data = vec![
+            obs(true, Some(0)),
+            obs(false, Some(0)),
+            obs(true, Some(1)),
+            obs(true, Some(1)),
+        ];
+        let (lo, hi) = demographic_parity_range(&data);
+        assert_eq!(lo, hi);
+        assert!((hi - 0.5).abs() < 1e-12); // |0.5 − 1.0|
+    }
+
+    #[test]
+    fn missing_groups_widen_the_range() {
+        let mut data = vec![
+            obs(true, Some(0)),
+            obs(false, Some(0)),
+            obs(true, Some(1)),
+            obs(false, Some(1)),
+        ];
+        let (lo0, hi0) = demographic_parity_range(&data);
+        data.push(obs(true, None));
+        data.push(obs(false, None));
+        let (lo1, hi1) = demographic_parity_range(&data);
+        assert!(lo1 <= lo0 && hi1 >= hi0, "({lo1},{hi1}) vs ({lo0},{hi0})");
+        assert!(hi1 > lo1);
+    }
+
+    #[test]
+    fn range_brackets_enumerated_completions() {
+        // 3 unknowns: enumerate all 2³ assignments and compare.
+        let base = vec![
+            obs(true, Some(0)),
+            obs(true, Some(1)),
+            obs(false, Some(1)),
+        ];
+        let unknowns = [obs(true, None), obs(false, None), obs(true, None)];
+        let mut data = base.clone();
+        data.extend_from_slice(&unknowns);
+        let (lo, hi) = demographic_parity_range(&data);
+
+        let mut seen_lo = f64::INFINITY;
+        let mut seen_hi = f64::NEG_INFINITY;
+        for mask in 0..8u32 {
+            let mut world = base.clone();
+            for (i, u) in unknowns.iter().enumerate() {
+                let g = usize::from(mask >> i & 1 == 1);
+                world.push(obs(u.predicted_positive, Some(g)));
+            }
+            let (plo, phi) = demographic_parity_range(&world);
+            assert_eq!(plo, phi);
+            seen_lo = seen_lo.min(plo);
+            seen_hi = seen_hi.max(phi);
+        }
+        assert!((lo - seen_lo).abs() < 1e-12, "lo {lo} vs enumerated {seen_lo}");
+        assert!((hi - seen_hi).abs() < 1e-12, "hi {hi} vs enumerated {seen_hi}");
+    }
+
+    #[test]
+    fn certification() {
+        let data = vec![
+            obs(true, Some(0)),
+            obs(true, Some(1)),
+            obs(true, None), // whichever group it joins, rates stay equal-ish
+        ];
+        assert!(certifiably_fair(&data, 0.5));
+        let skewed = vec![
+            obs(true, Some(0)),
+            obs(true, Some(0)),
+            obs(false, Some(1)),
+            obs(false, None),
+        ];
+        assert!(!certifiably_fair(&skewed, 0.3));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(demographic_parity_range(&[]), (0.0, 0.0));
+        assert!(certifiably_fair(&[], 0.0));
+    }
+
+    #[test]
+    fn flip_budget_zero_is_a_point() {
+        let data = vec![obs(true, Some(0)), obs(false, Some(0)), obs(true, Some(1))];
+        let (lo, hi) = positive_rate_range_under_flips(&data, 0, 0);
+        assert_eq!(lo, hi);
+        assert!((hi - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flip_budget_widens_monotonically() {
+        let data: Vec<GroupObservation> = (0..20)
+            .map(|i| obs(i % 3 == 0, Some(usize::from(i % 2 == 0))))
+            .collect();
+        let mut prev = positive_rate_range_under_flips(&data, 0, 0);
+        for budget in 1..5 {
+            let cur = positive_rate_range_under_flips(&data, 0, budget);
+            assert!(cur.0 <= prev.0 + 1e-12 && cur.1 >= prev.1 - 1e-12, "{cur:?} vs {prev:?}");
+            prev = cur;
+        }
+        assert!(prev.1 > prev.0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Incomplete feature matrices: known cells plus missing cells bounded by
+//! intervals — the input representation shared by Zorro, CPClean and the
+//! certain-model analyses.
+
+use crate::interval::Interval;
+use nde_learners::{LearnError, Matrix, Result};
+
+/// A feature matrix in which some cells are unknown but bounded.
+#[derive(Debug, Clone)]
+pub struct IncompleteMatrix {
+    /// Cell bounds: known cells are point intervals.
+    cells: Vec<Interval>,
+    rows: usize,
+    cols: usize,
+}
+
+impl IncompleteMatrix {
+    /// A fully known matrix.
+    pub fn from_exact(m: &Matrix) -> Self {
+        IncompleteMatrix {
+            cells: m.data().iter().map(|&v| Interval::point(v)).collect(),
+            rows: m.nrows(),
+            cols: m.ncols(),
+        }
+    }
+
+    /// Builds from per-cell intervals (row-major).
+    pub fn from_intervals(rows: usize, cols: usize, cells: Vec<Interval>) -> Result<Self> {
+        if cells.len() != rows * cols {
+            return Err(LearnError::DimensionMismatch {
+                detail: format!("{rows}x{cols} matrix needs {} cells, got {}", rows * cols, cells.len()),
+            });
+        }
+        Ok(IncompleteMatrix { cells, rows, cols })
+    }
+
+    /// Marks cell (`i`, `j`) as missing with bounds `[lo, hi]`.
+    pub fn set_missing(&mut self, i: usize, j: usize, bounds: Interval) {
+        self.cells[i * self.cols + j] = bounds;
+    }
+
+    /// The bounds of cell (`i`, `j`).
+    pub fn get(&self, i: usize, j: usize) -> Interval {
+        self.cells[i * self.cols + j]
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row `i` as a slice of intervals.
+    pub fn row(&self, i: usize) -> &[Interval] {
+        &self.cells[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Indices of rows containing at least one non-point cell.
+    pub fn incomplete_rows(&self) -> Vec<usize> {
+        (0..self.rows)
+            .filter(|&i| self.row(i).iter().any(|c| c.width() > 0.0))
+            .collect()
+    }
+
+    /// Number of missing (non-point) cells.
+    pub fn n_missing(&self) -> usize {
+        self.cells.iter().filter(|c| c.width() > 0.0).count()
+    }
+
+    /// The world where every missing cell takes its midpoint — the
+    /// mean-imputation baseline.
+    pub fn midpoint_world(&self) -> Matrix {
+        let data: Vec<f64> = self.cells.iter().map(Interval::mid).collect();
+        Matrix::new(self.rows, self.cols, data).expect("shape preserved")
+    }
+
+    /// A concrete possible world: missing cell (`i`,`j`) takes
+    /// `lo + u·width` where `u = pick(i, j) ∈ [0,1]`.
+    pub fn world(&self, pick: &dyn Fn(usize, usize) -> f64) -> Matrix {
+        let mut data = Vec::with_capacity(self.cells.len());
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let c = self.get(i, j);
+                let u = pick(i, j).clamp(0.0, 1.0);
+                data.push(c.lo + u * c.width());
+            }
+        }
+        Matrix::new(self.rows, self.cols, data).expect("shape preserved")
+    }
+
+    /// Whether `m` is a possible world (every cell within its bounds,
+    /// up to `tol`).
+    pub fn contains_world(&self, m: &Matrix, tol: f64) -> bool {
+        if m.nrows() != self.rows || m.ncols() != self.cols {
+            return false;
+        }
+        self.cells
+            .iter()
+            .zip(m.data())
+            .all(|(c, &v)| v >= c.lo - tol && v <= c.hi + tol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> IncompleteMatrix {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let mut im = IncompleteMatrix::from_exact(&m);
+        im.set_missing(0, 1, Interval::new(0.0, 10.0));
+        im
+    }
+
+    #[test]
+    fn exact_matrix_has_no_missing_cells() {
+        let m = Matrix::from_rows(&[vec![1.0], vec![2.0]]).unwrap();
+        let im = IncompleteMatrix::from_exact(&m);
+        assert_eq!(im.n_missing(), 0);
+        assert!(im.incomplete_rows().is_empty());
+        assert_eq!(im.midpoint_world(), m);
+    }
+
+    #[test]
+    fn missing_cells_tracked() {
+        let im = demo();
+        assert_eq!(im.n_missing(), 1);
+        assert_eq!(im.incomplete_rows(), vec![0]);
+        assert_eq!(im.get(0, 1), Interval::new(0.0, 10.0));
+        assert_eq!(im.get(1, 0), Interval::point(3.0));
+    }
+
+    #[test]
+    fn worlds_respect_bounds() {
+        let im = demo();
+        let w0 = im.world(&|_, _| 0.0);
+        assert_eq!(w0.get(0, 1), 0.0);
+        let w1 = im.world(&|_, _| 1.0);
+        assert_eq!(w1.get(0, 1), 10.0);
+        let mid = im.midpoint_world();
+        assert_eq!(mid.get(0, 1), 5.0);
+        assert!(im.contains_world(&w0, 0.0));
+        assert!(im.contains_world(&w1, 0.0));
+        // Out-of-bounds world rejected.
+        let mut bad = w1.clone();
+        bad.set(0, 1, 11.0);
+        assert!(!im.contains_world(&bad, 1e-9));
+    }
+
+    #[test]
+    fn from_intervals_validates_shape() {
+        assert!(IncompleteMatrix::from_intervals(2, 2, vec![Interval::point(0.0); 3]).is_err());
+        let im =
+            IncompleteMatrix::from_intervals(1, 2, vec![Interval::point(0.0), Interval::new(0.0, 1.0)])
+                .unwrap();
+        assert_eq!(im.n_missing(), 1);
+    }
+}

@@ -1,0 +1,183 @@
+//! Closed interval arithmetic — the baseline abstract domain for
+//! propagating missing-value uncertainty.
+
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A closed interval `[lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+}
+
+impl Interval {
+    /// Creates `[lo, hi]`; swaps the endpoints if given in reverse.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        if lo <= hi {
+            Interval { lo, hi }
+        } else {
+            Interval { lo: hi, hi: lo }
+        }
+    }
+
+    /// The degenerate interval `[v, v]`.
+    pub fn point(v: f64) -> Self {
+        Interval { lo: v, hi: v }
+    }
+
+    /// Midpoint.
+    pub fn mid(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+
+    /// Half-width (radius).
+    pub fn radius(&self) -> f64 {
+        0.5 * (self.hi - self.lo)
+    }
+
+    /// Width `hi − lo`.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Whether `v` lies inside (inclusive).
+    pub fn contains(&self, v: f64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Whether `other` lies inside (inclusive).
+    pub fn contains_interval(&self, other: &Interval) -> bool {
+        self.lo <= other.lo && other.hi <= self.hi
+    }
+
+    /// The smallest interval containing both.
+    pub fn hull(&self, other: &Interval) -> Interval {
+        Interval { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+    }
+
+    /// Scales by a scalar (flips bounds for negative scalars).
+    pub fn scale(&self, s: f64) -> Interval {
+        Interval::new(self.lo * s, self.hi * s)
+    }
+
+    /// Largest absolute value in the interval.
+    pub fn abs_max(&self) -> f64 {
+        self.lo.abs().max(self.hi.abs())
+    }
+
+    /// The square `{x² : x ∈ self}` (tight, not the naive product).
+    pub fn square(&self) -> Interval {
+        if self.contains(0.0) {
+            Interval { lo: 0.0, hi: self.abs_max().powi(2) }
+        } else {
+            let a = self.lo * self.lo;
+            let b = self.hi * self.hi;
+            Interval::new(a.min(b), a.max(b))
+        }
+    }
+}
+
+impl Add for Interval {
+    type Output = Interval;
+
+    fn add(self, rhs: Interval) -> Interval {
+        Interval { lo: self.lo + rhs.lo, hi: self.hi + rhs.hi }
+    }
+}
+
+impl Sub for Interval {
+    type Output = Interval;
+
+    fn sub(self, rhs: Interval) -> Interval {
+        Interval { lo: self.lo - rhs.hi, hi: self.hi - rhs.lo }
+    }
+}
+
+impl Neg for Interval {
+    type Output = Interval;
+
+    fn neg(self) -> Interval {
+        Interval { lo: -self.hi, hi: -self.lo }
+    }
+}
+
+impl Mul for Interval {
+    type Output = Interval;
+
+    fn mul(self, rhs: Interval) -> Interval {
+        let products = [
+            self.lo * rhs.lo,
+            self.lo * rhs.hi,
+            self.hi * rhs.lo,
+            self.hi * rhs.hi,
+        ];
+        Interval {
+            lo: products.iter().copied().fold(f64::INFINITY, f64::min),
+            hi: products.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_normalizes() {
+        assert_eq!(Interval::new(3.0, 1.0), Interval::new(1.0, 3.0));
+        let p = Interval::point(2.0);
+        assert_eq!(p.width(), 0.0);
+        assert_eq!(p.mid(), 2.0);
+    }
+
+    #[test]
+    fn arithmetic_soundness_spot_checks() {
+        let a = Interval::new(1.0, 2.0);
+        let b = Interval::new(-1.0, 3.0);
+        let sum = a + b;
+        assert_eq!(sum, Interval::new(0.0, 5.0));
+        let diff = a - b;
+        assert_eq!(diff, Interval::new(-2.0, 3.0));
+        let prod = a * b;
+        assert_eq!(prod, Interval::new(-2.0, 6.0));
+        assert_eq!(-a, Interval::new(-2.0, -1.0));
+    }
+
+    #[test]
+    fn containment_and_hull() {
+        let a = Interval::new(0.0, 1.0);
+        assert!(a.contains(0.5));
+        assert!(a.contains(1.0));
+        assert!(!a.contains(1.01));
+        let h = a.hull(&Interval::new(2.0, 3.0));
+        assert_eq!(h, Interval::new(0.0, 3.0));
+        assert!(h.contains_interval(&a));
+    }
+
+    #[test]
+    fn square_is_tight() {
+        assert_eq!(Interval::new(-2.0, 1.0).square(), Interval::new(0.0, 4.0));
+        assert_eq!(Interval::new(1.0, 2.0).square(), Interval::new(1.0, 4.0));
+        assert_eq!(Interval::new(-3.0, -2.0).square(), Interval::new(4.0, 9.0));
+    }
+
+    #[test]
+    fn scale_flips_on_negative() {
+        assert_eq!(Interval::new(1.0, 2.0).scale(-2.0), Interval::new(-4.0, -2.0));
+    }
+
+    #[test]
+    fn abs_max() {
+        assert_eq!(Interval::new(-5.0, 2.0).abs_max(), 5.0);
+        assert_eq!(Interval::new(1.0, 4.0).abs_max(), 4.0);
+    }
+}

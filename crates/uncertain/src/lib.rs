@@ -1,0 +1,38 @@
+#![deny(missing_docs)]
+//! # nde-uncertain
+//!
+//! Pillar 3 of the tutorial — **Learn from uncertain and incomplete data**
+//! (§2.3 of the paper): when cleaning is too costly or impossible, provide
+//! principled guarantees *despite* the errors.
+//!
+//! - [`interval`] / [`affine`] — the abstract domains (intervals and
+//!   zonotopes/affine forms) that uncertainty is propagated in,
+//! - [`incomplete`] — datasets with missing cells bounded by ranges,
+//! - [`zorro`] — Zorro-style symbolic gradient descent (Zhu, Feng, Glavic &
+//!   Salimi, NeurIPS 2024): train a linear model over *all possible worlds*
+//!   at once and bound worst-case loss and prediction ranges,
+//! - [`cpclean`] — certain predictions for k-NN over incomplete data
+//!   (Karlaš et al., VLDB 2020) and minimal-cleaning analysis,
+//! - [`multiplicity`] — dataset-multiplicity prediction ranges for ridge
+//!   regression under label uncertainty (Meyer, Albarghouthi & D'Antoni,
+//!   FAccT 2023), computed exactly via the closed form's linearity in `y`,
+//! - [`possible_worlds`] — Monte-Carlo possible-worlds ensembles,
+//! - [`robustness`] — certified robustness to training-data poisoning via
+//!   disjoint-partition bagging (Jia et al., AAAI 2021),
+//! - [`cra`] — consistent range approximation for fairness metrics under
+//!   dirty protected-group attributes (Zhu et al., VLDB 2023).
+
+pub mod affine;
+pub mod cpclean;
+pub mod certain_models;
+pub mod cra;
+pub mod incomplete;
+pub mod interval;
+pub mod multiplicity;
+pub mod possible_worlds;
+pub mod robustness;
+pub mod zorro;
+
+pub use affine::AffineForm;
+pub use incomplete::IncompleteMatrix;
+pub use interval::Interval;

@@ -1,0 +1,213 @@
+//! Dataset multiplicity for ridge regression (Meyer, Albarghouthi &
+//! D'Antoni, "The Dataset Multiplicity Problem", FAccT 2023): when training
+//! labels are unreliable, a whole *set* of plausible datasets exists, each
+//! yielding a different model. For ridge regression the closed-form
+//! solution `w = (XᵀX + λI)⁻¹ Xᵀ y` is **linear in y**, so the exact range
+//! of any test prediction over all plausible label vectors is computable in
+//! closed form — including under a budget on how many labels may differ.
+
+use nde_learners::matrix::{dot, Matrix};
+use nde_learners::{LearnError, Result};
+
+/// Label uncertainty: each training label `yᵢ` may deviate by up to
+/// `deltas[i]` (absolute), and at most `budget` labels may deviate at once
+/// (`None` = all may deviate).
+#[derive(Debug, Clone)]
+pub struct LabelUncertainty {
+    /// Per-label maximum absolute perturbation.
+    pub deltas: Vec<f64>,
+    /// Maximum number of simultaneously perturbed labels.
+    pub budget: Option<usize>,
+}
+
+impl LabelUncertainty {
+    /// Uniform uncertainty: every label may move by ±`delta`.
+    pub fn uniform(n: usize, delta: f64) -> Self {
+        LabelUncertainty { deltas: vec![delta.abs(); n], budget: None }
+    }
+
+    /// Restricts the number of simultaneously perturbed labels.
+    pub fn with_budget(mut self, budget: usize) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+}
+
+/// The multiplicity analysis for one ridge-regression problem.
+pub struct RidgeMultiplicity {
+    x: Matrix,
+    y: Vec<f64>,
+    l2: f64,
+    gram_inv_xt: Matrix, // (XᵀX + λI)⁻¹ Xᵀ, shape d × n
+}
+
+impl RidgeMultiplicity {
+    /// Prepares the analysis (inverts the regularized Gram matrix once).
+    /// Features are used as-is (append a 1-column for an intercept).
+    pub fn new(x: Matrix, y: Vec<f64>, l2: f64) -> Result<Self> {
+        if x.nrows() != y.len() {
+            return Err(LearnError::DimensionMismatch {
+                detail: format!("{} rows vs {} labels", x.nrows(), y.len()),
+            });
+        }
+        let mut gram = x.gram();
+        gram.add_ridge(l2.max(1e-10));
+        // Solve gram · M = Xᵀ column by column.
+        let xt = x.transpose();
+        let d = x.ncols();
+        let n = x.nrows();
+        let mut m = Matrix::zeros(d, n);
+        for col in 0..n {
+            let rhs: Vec<f64> = (0..d).map(|r| xt.get(r, col)).collect();
+            let sol = gram.solve(&rhs)?;
+            for r in 0..d {
+                m.set(r, col, sol[r]);
+            }
+        }
+        Ok(RidgeMultiplicity { x, y, l2: l2.max(1e-10), gram_inv_xt: m })
+    }
+
+    /// The nominal model's prediction at `x_test`.
+    pub fn nominal_prediction(&self, x_test: &[f64]) -> f64 {
+        let c = self.sensitivity(x_test);
+        dot(&c, &self.y)
+    }
+
+    /// The sensitivity vector `c = X(XᵀX+λI)⁻¹ x_test`: the prediction is
+    /// `c·y`, so `c_i` is exactly how much label `i` moves this prediction.
+    pub fn sensitivity(&self, x_test: &[f64]) -> Vec<f64> {
+        // c_i = Σ_d x_test[d] · M[d][i]
+        (0..self.x.nrows())
+            .map(|i| {
+                (0..self.x.ncols())
+                    .map(|d| x_test[d] * self.gram_inv_xt.get(d, i))
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// The **exact** range of the prediction at `x_test` over every
+    /// plausible label vector: maximize/minimize `c·(y+δ)` with
+    /// `|δᵢ| ≤ deltas[i]` and at most `budget` nonzero `δᵢ`.
+    pub fn prediction_range(&self, x_test: &[f64], unc: &LabelUncertainty) -> (f64, f64) {
+        let c = self.sensitivity(x_test);
+        let nominal = dot(&c, &self.y);
+        let mut gains: Vec<f64> = c
+            .iter()
+            .zip(&unc.deltas)
+            .map(|(&ci, &di)| ci.abs() * di)
+            .collect();
+        gains.sort_by(|a, b| b.total_cmp(a));
+        let spread: f64 = match unc.budget {
+            Some(b) => gains.iter().take(b).sum(),
+            None => gains.iter().sum(),
+        };
+        (nominal - spread, nominal + spread)
+    }
+
+    /// Whether the *sign* of the decision `prediction − threshold` is the
+    /// same for every plausible dataset — Meyer et al.'s robustness notion
+    /// for individual predictions.
+    pub fn decision_is_robust(&self, x_test: &[f64], threshold: f64, unc: &LabelUncertainty) -> bool {
+        let (lo, hi) = self.prediction_range(x_test, unc);
+        lo > threshold || hi < threshold
+    }
+
+    /// The regularization used.
+    pub fn l2(&self) -> f64 {
+        self.l2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nde_learners::models::linear::LinearRegression;
+    use nde_learners::RegDataset;
+
+    fn line_problem() -> (Matrix, Vec<f64>) {
+        // y = x with an intercept column appended.
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, 1.0]).collect();
+        let y: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        (Matrix::from_rows(&rows).unwrap(), y)
+    }
+
+    #[test]
+    fn nominal_matches_ridge_fit() {
+        let (x, y) = line_problem();
+        let analysis = RidgeMultiplicity::new(x.clone(), y.clone(), 1e-8).unwrap();
+        let trainer = LinearRegression { l2: 1e-8, fit_intercept: false };
+        let model = trainer.fit(&RegDataset::new(x, y).unwrap()).unwrap();
+        let probe = [4.5, 1.0];
+        assert!((analysis.nominal_prediction(&probe) - model.predict(&probe)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn range_brackets_perturbed_retraining() {
+        let (x, y) = line_problem();
+        let delta = 0.5;
+        let analysis = RidgeMultiplicity::new(x.clone(), y.clone(), 1e-6).unwrap();
+        let unc = LabelUncertainty::uniform(y.len(), delta);
+        let probe = [7.0, 1.0];
+        let (lo, hi) = analysis.prediction_range(&probe, &unc);
+        // Retrain on several perturbed label vectors; predictions must stay
+        // inside [lo, hi].
+        let trainer = LinearRegression { l2: 1e-6, fit_intercept: false };
+        for pattern in 0..32u32 {
+            let perturbed: Vec<f64> = y
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| {
+                    let sign = if pattern >> (i % 5) & 1 == 1 { 1.0 } else { -1.0 };
+                    v + sign * delta
+                })
+                .collect();
+            let model = trainer
+                .fit(&RegDataset::new(x.clone(), perturbed).unwrap())
+                .unwrap();
+            let p = model.predict(&probe);
+            assert!(p >= lo - 1e-6 && p <= hi + 1e-6, "{p} outside [{lo}, {hi}]");
+        }
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn budget_shrinks_the_range() {
+        let (x, y) = line_problem();
+        let analysis = RidgeMultiplicity::new(x, y.clone(), 1e-6).unwrap();
+        let probe = [3.0, 1.0];
+        let all = LabelUncertainty::uniform(y.len(), 1.0);
+        let one = LabelUncertainty::uniform(y.len(), 1.0).with_budget(1);
+        let (lo_all, hi_all) = analysis.prediction_range(&probe, &all);
+        let (lo_one, hi_one) = analysis.prediction_range(&probe, &one);
+        assert!(hi_one - lo_one < hi_all - lo_all);
+        assert!(lo_all <= lo_one && hi_one <= hi_all);
+    }
+
+    #[test]
+    fn zero_uncertainty_gives_point_range() {
+        let (x, y) = line_problem();
+        let analysis = RidgeMultiplicity::new(x, y.clone(), 1e-6).unwrap();
+        let unc = LabelUncertainty::uniform(y.len(), 0.0);
+        let (lo, hi) = analysis.prediction_range(&[2.0, 1.0], &unc);
+        assert!((hi - lo).abs() < 1e-12);
+    }
+
+    #[test]
+    fn robustness_decision() {
+        let (x, y) = line_problem();
+        let analysis = RidgeMultiplicity::new(x, y.clone(), 1e-6).unwrap();
+        let small = LabelUncertainty::uniform(y.len(), 0.01);
+        // Prediction at x=8 is ≈8, far above threshold 1: robust.
+        assert!(analysis.decision_is_robust(&[8.0, 1.0], 1.0, &small));
+        // Threshold right at the prediction: not robust.
+        let nominal = analysis.nominal_prediction(&[8.0, 1.0]);
+        assert!(!analysis.decision_is_robust(&[8.0, 1.0], nominal, &small));
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let (x, _) = line_problem();
+        assert!(RidgeMultiplicity::new(x, vec![1.0], 1e-6).is_err());
+    }
+}

@@ -1,0 +1,154 @@
+//! Monte-Carlo possible-worlds analysis: sample concrete completions of an
+//! incomplete dataset, train one model per world, and summarize how much
+//! predictions vary — the sampling counterpart to Zorro's symbolic bounds
+//! (and the "possible worlds framework" of the survey's §2.3).
+
+use crate::incomplete::IncompleteMatrix;
+use nde_learners::dataset::ClassDataset;
+use nde_learners::traits::{Learner, Model};
+use nde_learners::Result;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Summary of an ensemble of possible-world models at one test point.
+#[derive(Debug, Clone)]
+pub struct WorldPrediction {
+    /// Labels predicted across worlds, as counts per class.
+    pub votes: Vec<usize>,
+    /// The majority label.
+    pub label: usize,
+    /// Fraction of worlds agreeing with the majority — 1.0 means the
+    /// prediction is empirically certain.
+    pub agreement: f64,
+}
+
+/// A possible-worlds classifier ensemble.
+pub struct PossibleWorldsEnsemble {
+    models: Vec<Box<dyn Model>>,
+    n_classes: usize,
+}
+
+impl PossibleWorldsEnsemble {
+    /// Trains `n_worlds` models, each on an independent uniform completion
+    /// of the incomplete features.
+    pub fn train(
+        learner: &dyn Learner,
+        x: &IncompleteMatrix,
+        y: &[usize],
+        n_classes: usize,
+        n_worlds: usize,
+        seed: u64,
+    ) -> Result<Self> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut models = Vec::with_capacity(n_worlds.max(1));
+        for _ in 0..n_worlds.max(1) {
+            let picks: Vec<f64> = (0..x.nrows() * x.ncols()).map(|_| rng.random()).collect();
+            let ncols = x.ncols();
+            let world = x.world(&|i, j| picks[i * ncols + j]);
+            let data = ClassDataset::new(world, y.to_vec(), n_classes)?;
+            models.push(learner.fit(&data)?);
+        }
+        Ok(PossibleWorldsEnsemble { models, n_classes })
+    }
+
+    /// Number of worlds.
+    pub fn n_worlds(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Prediction summary at one test point.
+    pub fn predict(&self, x: &[f64]) -> WorldPrediction {
+        let mut votes = vec![0usize; self.n_classes];
+        for m in &self.models {
+            votes[m.predict(x)] += 1;
+        }
+        let label = votes
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .map(|(l, _)| l)
+            .unwrap_or(0);
+        let agreement = votes[label] as f64 / self.models.len().max(1) as f64;
+        WorldPrediction { votes, label, agreement }
+    }
+
+    /// Fraction of `queries` on which all worlds agree (empirical certain-
+    /// prediction rate; an *upper* bound on the true certain fraction,
+    /// since sampling can miss adversarial worlds).
+    pub fn empirical_certain_fraction(&self, queries: &[Vec<f64>]) -> f64 {
+        if queries.is_empty() {
+            return 0.0;
+        }
+        let certain = queries
+            .iter()
+            .filter(|q| (self.predict(q).agreement - 1.0).abs() < 1e-12)
+            .count();
+        certain as f64 / queries.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::Interval;
+    use nde_learners::models::knn::KnnClassifier;
+    use nde_learners::Matrix;
+
+    fn incomplete_blobs() -> (IncompleteMatrix, Vec<usize>) {
+        let x = Matrix::from_rows(&[
+            vec![0.0],
+            vec![0.3],
+            vec![5.0],
+            vec![5.3],
+            vec![2.0], // this row's value is wildly uncertain
+        ])
+        .unwrap();
+        let mut im = IncompleteMatrix::from_exact(&x);
+        im.set_missing(4, 0, Interval::new(0.0, 6.0));
+        (im, vec![0, 0, 1, 1, 1])
+    }
+
+    #[test]
+    fn stable_regions_agree_across_worlds() {
+        let (im, y) = incomplete_blobs();
+        let learner = KnnClassifier::new(3);
+        let ensemble =
+            PossibleWorldsEnsemble::train(&learner, &im, &y, 2, 25, 7).unwrap();
+        assert_eq!(ensemble.n_worlds(), 25);
+        let p = ensemble.predict(&[5.2]);
+        assert_eq!(p.label, 1);
+        assert_eq!(p.agreement, 1.0);
+    }
+
+    #[test]
+    fn uncertain_regions_disagree() {
+        let (im, y) = incomplete_blobs();
+        let learner = KnnClassifier::new(1);
+        let ensemble =
+            PossibleWorldsEnsemble::train(&learner, &im, &y, 2, 40, 3).unwrap();
+        // Right between the blobs, the uncertain row decides the 1-NN label.
+        let p = ensemble.predict(&[2.5]);
+        assert!(p.agreement < 1.0, "agreement {}", p.agreement);
+        assert_eq!(p.votes.iter().sum::<usize>(), 40);
+    }
+
+    #[test]
+    fn empirical_certain_fraction_behaviour() {
+        let (im, y) = incomplete_blobs();
+        let learner = KnnClassifier::new(1);
+        let ensemble = PossibleWorldsEnsemble::train(&learner, &im, &y, 2, 30, 1).unwrap();
+        let queries = vec![vec![0.1], vec![5.1], vec![2.5]];
+        let f = ensemble.empirical_certain_fraction(&queries);
+        assert!(f >= 1.0 / 3.0 && f <= 1.0);
+        assert_eq!(ensemble.empirical_certain_fraction(&[]), 0.0);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let (im, y) = incomplete_blobs();
+        let learner = KnnClassifier::new(1);
+        let a = PossibleWorldsEnsemble::train(&learner, &im, &y, 2, 10, 9).unwrap();
+        let b = PossibleWorldsEnsemble::train(&learner, &im, &y, 2, 10, 9).unwrap();
+        assert_eq!(a.predict(&[2.5]).votes, b.predict(&[2.5]).votes);
+    }
+}

@@ -1,0 +1,104 @@
+//! Fairness debugging: inject group-conditional label bias, watch the
+//! fairness metrics of Figure 1 degrade, and explain the violation with
+//! Gopher-style pattern explanations over the training data.
+//!
+//! ```text
+//! cargo run --release --example fairness_audit
+//! ```
+
+use navigating_data_errors::core::scenario::encode_splits;
+use navigating_data_errors::core::scenario::load_recommendation_letters;
+use navigating_data_errors::datagen::errors::label_bias;
+use navigating_data_errors::datagen::HiringConfig;
+use navigating_data_errors::importance::gopher::fairness_explanations;
+use navigating_data_errors::learners::metrics::{
+    accuracy, demographic_parity_difference, equalized_odds_difference,
+};
+use navigating_data_errors::learners::traits::Learner;
+use navigating_data_errors::learners::KnnClassifier;
+use nde_tabular::Table;
+
+fn fairness_panel(train: &Table, test: &Table) -> (f64, f64, f64) {
+    let (_, train_ds, test_ds) = encode_splits(train, test).expect("encoding");
+    let model = KnnClassifier::new(5).fit(&train_ds).expect("fit");
+    let preds = model.predict_batch(&test_ds.x);
+    let groups: Vec<usize> = test
+        .column("sex")
+        .expect("sex column")
+        .iter()
+        .map(|v| usize::from(v.as_str() == Some("m")))
+        .collect();
+    (
+        accuracy(&test_ds.y, &preds),
+        equalized_odds_difference(&test_ds.y, &preds, &groups),
+        demographic_parity_difference(&test_ds.y, &preds, &groups),
+    )
+}
+
+fn main() {
+    let cfg = HiringConfig { n_train: 300, n_valid: 100, n_test: 200, ..Default::default() };
+    let scenario = load_recommendation_letters(&cfg);
+
+    let (acc, eo, dp) = fairness_panel(&scenario.train, &scenario.test);
+    println!("clean   : accuracy {acc:.3}  equalized-odds gap {eo:.3}  demographic-parity gap {dp:.3}");
+
+    // Systematically flip positive letters of male applicants to negative.
+    let (biased, report) = label_bias(
+        &scenario.train,
+        "sex",
+        "m",
+        "sentiment",
+        "positive",
+        "negative",
+        0.8,
+        11,
+    )
+    .expect("bias injection");
+    println!("injected label bias into {} rows (sex=m, positive→negative)", report.count());
+    let (acc_b, eo_b, dp_b) = fairness_panel(&biased, &scenario.test);
+    println!("biased  : accuracy {acc_b:.3}  equalized-odds gap {eo_b:.3}  demographic-parity gap {dp_b:.3}");
+
+    // Gopher: which predicate-described training subset explains the gap?
+    // The violation function retrains without the candidate subset and
+    // reports the equalized-odds gap.
+    let violation = |removed: &[usize]| -> f64 {
+        let keep: Vec<usize> = (0..biased.num_rows())
+            .filter(|i| !removed.contains(i))
+            .collect();
+        let subset = biased.take(&keep).expect("subset");
+        if subset.num_rows() < 20 {
+            return f64::INFINITY; // refuse degenerate removals
+        }
+        fairness_panel(&subset, &scenario.test).1
+    };
+    let explanations =
+        fairness_explanations(&biased, &["sex", "degree"], 2, 10, &violation).expect("gopher");
+    println!("\nTop Gopher explanations (remove subset → equalized-odds reduction):");
+    for e in explanations.iter().take(3) {
+        println!(
+            "  {:30} support={:<4} Δviolation={:+.3}  per-tuple={:+.5}",
+            e.pattern.to_string(),
+            e.support,
+            e.violation_reduction,
+            e.interestingness
+        );
+    }
+    // Verdict: do the best explanations point at the group the bias was
+    // injected into?
+    let implicates_m = explanations
+        .iter()
+        .take(3)
+        .any(|e| e.pattern.to_string().contains("sex=m"));
+    if implicates_m {
+        println!(
+            "\nThe top explanations implicate sex=m subsets — exactly where the \
+             bias was injected."
+        );
+    } else {
+        println!(
+            "\nNo sex=m subset tops the list this run: the model never sees the \
+             sex attribute, so the injected label noise can drown in text \
+             variance — rerun with a larger scenario to sharpen the signal."
+        );
+    }
+}

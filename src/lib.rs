@@ -1,0 +1,13 @@
+//! Workspace facade for the `navigating-data-errors` reproduction.
+//!
+//! This crate exists to host the repository-level integration tests
+//! (`tests/`) and runnable examples (`examples/`); it simply re-exports the
+//! member crates so examples can use one import root.
+
+pub use nde_core as core;
+pub use nde_datagen as datagen;
+pub use nde_importance as importance;
+pub use nde_learners as learners;
+pub use nde_pipeline as pipeline;
+pub use nde_tabular as tabular;
+pub use nde_uncertain as uncertain;

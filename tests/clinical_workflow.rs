@@ -1,0 +1,77 @@
+//! Cross-crate integration on the clinical scenario (Figure 1's sketch):
+//! data validation catches the seeded schema-level errors, the join hazard
+//! is visible in inspections, and repairing the registry changes the
+//! downstream join output.
+
+use navigating_data_errors::datagen::{ClinicalConfig, ClinicalScenario};
+use navigating_data_errors::pipeline::exec::sources;
+use navigating_data_errors::pipeline::inspect::inspect;
+use navigating_data_errors::pipeline::validation::{
+    infer_expectations, validate, Anomaly, ValidationConfig,
+};
+use navigating_data_errors::pipeline::whatif::rerun_with_repairs;
+use navigating_data_errors::pipeline::Plan;
+use navigating_data_errors::tabular::Value;
+
+fn setup() -> (ClinicalScenario, nde_tabular::Table, nde_tabular::Table) {
+    let scenario = ClinicalScenario::generate(&ClinicalConfig::default());
+    let (patients, registry, _) = scenario.corrupted(11);
+    (scenario, patients, registry)
+}
+
+#[test]
+fn validation_catches_every_seeded_error_class() {
+    let (scenario, patients, registry) = setup();
+    let cfg = ValidationConfig::default();
+
+    let patient_anomalies =
+        validate(&patients, &infer_expectations(&scenario.patients, &cfg), &cfg);
+    // invalid age (-1) → out of range; invalid diagnosis (CRC) → unseen.
+    assert!(patient_anomalies
+        .iter()
+        .any(|a| matches!(a, Anomaly::OutOfRange { name, .. } if name == "age")));
+    assert!(patient_anomalies.iter().any(
+        |a| matches!(a, Anomaly::UnseenCategory { name, values } if name == "diagnosis" && values.contains(&"CRC".to_owned()))
+    ));
+
+    let registry_anomalies =
+        validate(&registry, &infer_expectations(&scenario.registry, &cfg), &cfg);
+    // missing BRCA rate → null rate; wrong SKCM rate (×5) → out of range.
+    assert!(registry_anomalies
+        .iter()
+        .any(|a| matches!(a, Anomaly::NullRate { name, .. } if name == "death_rate")));
+    assert!(registry_anomalies
+        .iter()
+        .any(|a| matches!(a, Anomaly::OutOfRange { name, .. } if name == "death_rate")));
+}
+
+#[test]
+fn join_silently_drops_the_invalid_code() {
+    let (_, patients, registry) = setup();
+    let plan = Plan::source("patients").join(Plan::source("registry"), "diagnosis", "diagnosis");
+    let srcs = sources(vec![("patients", patients.clone()), ("registry", registry)]);
+    let report = inspect(&plan, &srcs, &[], 1.0).unwrap();
+    let join_out = report.operators.last().unwrap().rows_out;
+    assert_eq!(join_out, patients.num_rows() - 1, "exactly the CRC row vanishes");
+}
+
+#[test]
+fn repairing_the_registry_restores_the_row() {
+    let (_, patients, registry) = setup();
+    let plan = Plan::source("patients").join(Plan::source("registry"), "diagnosis", "diagnosis");
+    let srcs = sources(vec![("patients", patients.clone()), ("registry", registry)]);
+    let before = plan.run(&srcs).unwrap();
+    // Repair: add nothing to the registry, but fix the patient's code via
+    // a source repair on the patients table instead.
+    let crc_row = (0..patients.num_rows())
+        .find(|&i| patients.row(i).unwrap().str("diagnosis") == Some("CRC"))
+        .expect("seeded CRC row");
+    let after = rerun_with_repairs(
+        &plan,
+        &srcs,
+        "patients",
+        &[(crc_row, "diagnosis".into(), Value::from("COAD"))],
+    )
+    .unwrap();
+    assert_eq!(after.num_rows(), before.num_rows() + 1);
+}

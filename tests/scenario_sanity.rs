@@ -1,0 +1,44 @@
+//! Cross-crate sanity: the synthetic hiring scenario is actually learnable,
+//! and label errors measurably hurt — the premise behind the paper's
+//! Figure 2 experiment.
+
+use navigating_data_errors::datagen::errors::flip_labels;
+use navigating_data_errors::datagen::{HiringConfig, HiringScenario};
+use navigating_data_errors::learners::metrics::accuracy;
+use navigating_data_errors::learners::preprocessing::{ColumnSpec, TableEncoder};
+use navigating_data_errors::learners::{KnnClassifier, Learner};
+
+fn specs() -> Vec<ColumnSpec> {
+    vec![
+        ColumnSpec::text("letter_text", 64),
+        ColumnSpec::numeric("employer_rating"),
+    ]
+}
+
+#[test]
+fn clean_scenario_is_learnable_and_noise_hurts() {
+    let cfg = HiringConfig::default(); // 400 train / 100 valid / 100 test
+    let scenario = HiringScenario::generate(&cfg);
+
+    let encoder = TableEncoder::new(specs(), "sentiment");
+    let fitted = encoder.fit(&scenario.train).unwrap();
+    let train = fitted.transform(&scenario.train).unwrap();
+    let test = fitted.transform(&scenario.test).unwrap();
+
+    let model = KnnClassifier::new(5).fit(&train).unwrap();
+    let preds = model.predict_batch(&test.x);
+    let clean_acc = accuracy(&test.y, &preds);
+
+    // Inject 30% label errors and retrain.
+    let (dirty, _) = flip_labels(&scenario.train, "sentiment", 0.3, 7).unwrap();
+    let dirty_train = fitted.transform(&dirty).unwrap();
+    let dirty_model = KnnClassifier::new(5).fit(&dirty_train).unwrap();
+    let dirty_preds = dirty_model.predict_batch(&test.x);
+    let dirty_acc = accuracy(&test.y, &dirty_preds);
+
+    assert!(clean_acc > 0.8, "clean accuracy too low: {clean_acc}");
+    assert!(
+        dirty_acc < clean_acc - 0.02,
+        "label noise should hurt: clean {clean_acc} vs dirty {dirty_acc}"
+    );
+}

@@ -1,0 +1,124 @@
+//! Cross-crate integration: the uncertainty pillar on realistic scenario
+//! data — Zorro soundness against concrete retraining, CPClean consistency
+//! with the possible-worlds ensemble, and the challenge workflow.
+
+use navigating_data_errors::core::challenge::{Challenge, ChallengeConfig};
+use navigating_data_errors::core::cleaning::Strategy;
+use navigating_data_errors::core::scenario::load_recommendation_letters;
+use navigating_data_errors::core::zorro_scenario::{
+    encode_symbolic, encode_test, estimate_with_zorro,
+};
+use navigating_data_errors::datagen::errors::Mechanism;
+use navigating_data_errors::datagen::HiringConfig;
+use navigating_data_errors::learners::KnnClassifier;
+use navigating_data_errors::uncertain::possible_worlds::PossibleWorldsEnsemble;
+use navigating_data_errors::uncertain::zorro::{train_concrete, ZorroConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const FEATURES: &[&str] = &["employer_rating", "age"];
+
+#[test]
+fn zorro_bounds_hold_for_sampled_worlds_of_scenario_data() {
+    let scenario = load_recommendation_letters(&HiringConfig {
+        n_train: 80,
+        n_valid: 0,
+        n_test: 40,
+        ..Default::default()
+    });
+    let problem = encode_symbolic(
+        &scenario.train,
+        FEATURES,
+        "employer_rating",
+        0.1,
+        Mechanism::Mnar,
+        5,
+    )
+    .unwrap();
+    let test = encode_test(&scenario.test, FEATURES).unwrap();
+    let cfg = ZorroConfig { epochs: 20, ..Default::default() };
+    let (model, worst) = estimate_with_zorro(&problem, &test, &cfg);
+
+    let mut rng = StdRng::seed_from_u64(9);
+    for _ in 0..10 {
+        let picks: Vec<f64> =
+            (0..problem.x.nrows() * problem.x.ncols()).map(|_| rng.random()).collect();
+        let ncols = problem.x.ncols();
+        let world = problem.x.world(&|i, j| picks[i * ncols + j]);
+        let (w, b) = train_concrete(&world, &problem.y, &cfg);
+        // Concrete MSE of this world's model must respect the bound.
+        let mse: f64 = (0..test.len())
+            .map(|i| {
+                let p: f64 =
+                    w.iter().zip(test.x.row(i)).map(|(wj, &xj)| wj * xj).sum::<f64>() + b;
+                (p - test.y[i]).powi(2)
+            })
+            .sum::<f64>()
+            / test.len() as f64;
+        assert!(mse <= worst + 1e-9, "world MSE {mse} exceeds bound {worst}");
+        // And per-point predictions stay inside the symbolic ranges.
+        for i in 0..test.len().min(5) {
+            let x = test.x.row(i);
+            let pred: f64 = w.iter().zip(x).map(|(wj, &xj)| wj * xj).sum::<f64>() + b;
+            assert!(model.prediction_range(x).contains(pred));
+        }
+    }
+}
+
+#[test]
+fn possible_worlds_agree_with_midpoint_on_stable_points() {
+    let scenario = load_recommendation_letters(&HiringConfig {
+        n_train: 60,
+        n_valid: 0,
+        n_test: 20,
+        ..Default::default()
+    });
+    let problem = encode_symbolic(
+        &scenario.train,
+        FEATURES,
+        "employer_rating",
+        0.1,
+        Mechanism::Mcar,
+        2,
+    )
+    .unwrap();
+    let y: Vec<usize> = problem.y.iter().map(|&v| v as usize).collect();
+    let learner = KnnClassifier::new(5);
+    let ensemble =
+        PossibleWorldsEnsemble::train(&learner, &problem.x, &y, 2, 15, 4).unwrap();
+    let test = encode_test(&scenario.test, FEATURES).unwrap();
+    // On fully-agreeing points, the ensemble majority matches the midpoint
+    // world's model by construction.
+    use navigating_data_errors::learners::traits::Learner;
+    let midpoint_model = learner
+        .fit(&navigating_data_errors::learners::ClassDataset::new(
+            problem.x.midpoint_world(),
+            y.clone(),
+            2,
+        )
+        .unwrap())
+        .unwrap();
+    let mut checked = 0;
+    for i in 0..test.len() {
+        let p = ensemble.predict(test.x.row(i));
+        if (p.agreement - 1.0).abs() < 1e-12 {
+            assert_eq!(p.label, midpoint_model.predict(test.x.row(i)));
+            checked += 1;
+        }
+    }
+    assert!(checked > 0, "at least some points should be world-stable");
+}
+
+#[test]
+fn challenge_full_workflow_improves_over_baseline() {
+    let challenge = Challenge::generate(ChallengeConfig {
+        scenario: HiringConfig { n_train: 120, n_valid: 40, n_test: 60, ..Default::default() },
+        budget: 30,
+        ..Default::default()
+    })
+    .unwrap();
+    let baseline = challenge.baseline_accuracy().unwrap();
+    let entry = challenge.play(Strategy::KnnShapley).unwrap();
+    assert!(entry.accuracy >= baseline - 1e-9);
+    assert!(entry.true_positives > 0);
+}
