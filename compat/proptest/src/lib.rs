@@ -1,0 +1,166 @@
+#![deny(missing_docs)]
+//! A dependency-free stand-in for the subset of `proptest` used by this
+//! workspace, so property tests run in fully offline builds.
+//!
+//! Faithful to upstream in what matters for these tests — seeded random
+//! strategies, `prop_map`/`prop_flat_map` composition, collection and
+//! tuple generators, character-class string patterns, `prop_oneof!`, and
+//! the `proptest!` macro — and deliberately simpler elsewhere: cases are
+//! deterministic per test name, there is **no shrinking** (a failure
+//! reports the case number and seed instead), and `prop_assert*` are plain
+//! assertions. Case count defaults to 24 and follows `PROPTEST_CASES`.
+
+pub mod strategy;
+
+pub use strategy::{any, Any, Arbitrary, Just, Strategy, TestRng, Union};
+
+/// `prop::…` namespace mirroring upstream's module layout.
+pub mod prop {
+    /// Collection strategies (`vec`, `hash_set`).
+    pub mod collection {
+        pub use crate::strategy::collection::{hash_set, vec, SizeRange};
+    }
+    /// `Option` strategies.
+    pub mod option {
+        pub use crate::strategy::option::of;
+    }
+}
+
+/// The glob-import surface (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Any, Arbitrary, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Number of cases per property (default 24, `PROPTEST_CASES` overrides).
+pub fn case_count() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(24)
+}
+
+/// FNV-1a of the test name: decorrelates per-test seed streams.
+pub fn name_seed(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Runs `body` once per case with a case-specific seeded RNG, labelling
+/// panics with the case number and seed (there is no shrinking).
+pub fn run_cases(name: &str, mut body: impl FnMut(&mut TestRng)) {
+    let base = name_seed(name);
+    for case in 0..case_count() {
+        let seed = base ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = TestRng::from_seed(seed);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            body(&mut rng);
+        }));
+        if let Err(payload) = outcome {
+            eprintln!("proptest case {case} of `{name}` failed (seed 0x{seed:016x}; no shrinking in the offline shim)");
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// `assert!` under proptest's spelling.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under proptest's spelling.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Uniform choice among strategies with a shared value type. The first
+/// strategy pins the value type; the rest coerce to it.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($first:expr $(, $rest:expr)* $(,)?) => {
+        $crate::strategy::union_of($first, vec![$(Box::new($rest) as _),*])
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, …) { body }`
+/// becomes a `#[test]` running [`run_cases`] many seeded cases.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases(stringify!($name), |rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), rng);)+
+                    $body
+                });
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn case_seeds_are_deterministic() {
+        let mut first = Vec::new();
+        crate::run_cases("self_test", |rng| first.push(rng.next_u64()));
+        let mut second = Vec::new();
+        crate::run_cases("self_test", |rng| second.push(rng.next_u64()));
+        assert_eq!(first, second);
+        assert_eq!(first.len() as u64, crate::case_count());
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_and_collections(
+            x in -5.0f64..5.0,
+            n in 1usize..10,
+            v in prop::collection::vec(0i64..100, 2..6),
+            s in "[a-c]{1,4}",
+            o in prop::option::of(0usize..3),
+            (a, b) in (0u8..4, any::<bool>()),
+        ) {
+            prop_assert!((-5.0..5.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| (0..100).contains(&e)));
+            prop_assert!((1..=4).contains(&s.len()));
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+            if let Some(val) = o {
+                prop_assert!(val < 3);
+            }
+            prop_assert!(a < 4);
+            let _: bool = b;
+        }
+
+        #[test]
+        fn oneof_map_and_flat_map(
+            v in prop_oneof![Just(0usize), 5usize..8],
+            w in (1usize..4).prop_flat_map(|n| prop::collection::vec(Just(7u8), n..=n)),
+            m in (0i64..10).prop_map(|x| x * 2),
+        ) {
+            prop_assert!(v == 0 || (5..8).contains(&v));
+            prop_assert!(!w.is_empty() && w.len() < 4 && w.iter().all(|&e| e == 7));
+            prop_assert!(m % 2 == 0 && (0..20).contains(&m));
+        }
+
+        #[test]
+        fn hash_sets_have_requested_sizes(set in prop::collection::hash_set(-50i32..50, 2..10)) {
+            prop_assert!((2..10).contains(&set.len()));
+        }
+    }
+}

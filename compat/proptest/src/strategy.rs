@@ -1,0 +1,433 @@
+//! Strategy combinators: the generation half of proptest, without
+//! shrinking. Every strategy is a pure function of the [`TestRng`] stream,
+//! so cases are reproducible from the seed printed on failure.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The per-case random source handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// A generator whose stream is a pure function of `seed`.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng(StdRng::seed_from_u64(seed))
+    }
+
+    /// The next 64 random bits (exposed for the runner's self-tests).
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        self.0.random_range(0..n.max(1))
+    }
+}
+
+/// A generator of values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a dependent strategy from each generated value.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// [`Strategy::prop_flat_map`] adapter.
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a whole-domain default strategy (`any::<T>()`).
+pub trait Arbitrary {
+    /// Draws a uniform sample of the whole domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.0.random::<$t>()
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.0.random::<bool>()
+    }
+}
+
+/// Strategy form of [`Arbitrary`].
+#[derive(Debug, Clone, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The `any::<T>()` constructor.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.random_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.random_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.0.random_range(self.clone())
+    }
+}
+
+impl Strategy for core::ops::Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        rng.0.random_range(self.clone())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A.0);
+    (A.0, B.1);
+    (A.0, B.1, C.2);
+    (A.0, B.1, C.2, D.3);
+    (A.0, B.1, C.2, D.3, E.4);
+    (A.0, B.1, C.2, D.3, E.4, F.5);
+}
+
+/// Object-safe strategy facet, for [`Union`] (`prop_oneof!`).
+pub trait DynStrategy<V> {
+    /// Draws one value.
+    fn generate_dyn(&self, rng: &mut TestRng) -> V;
+}
+
+impl<V, S: Strategy<Value = V>> DynStrategy<V> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> V {
+        self.generate(rng)
+    }
+}
+
+/// Uniform choice among boxed strategies (`prop_oneof!`).
+pub struct Union<V> {
+    choices: Vec<Box<dyn DynStrategy<V>>>,
+}
+
+impl<V> Union<V> {
+    /// A union over the given non-empty choice list.
+    pub fn new(choices: Vec<Box<dyn DynStrategy<V>>>) -> Self {
+        assert!(!choices.is_empty(), "prop_oneof! needs at least one choice");
+        Union { choices }
+    }
+}
+
+/// Builds a [`Union`] with the value type pinned by `first` — the shape
+/// `prop_oneof!` expands to (a bare `Box<dyn _>` vec would leave the value
+/// type to integer fallback).
+pub fn union_of<S>(first: S, rest: Vec<Box<dyn DynStrategy<S::Value>>>) -> Union<S::Value>
+where
+    S: Strategy + 'static,
+{
+    let mut choices: Vec<Box<dyn DynStrategy<S::Value>>> = vec![Box::new(first)];
+    choices.extend(rest);
+    Union::new(choices)
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let pick = rng.below(self.choices.len());
+        self.choices[pick].generate_dyn(rng)
+    }
+}
+
+/// Character-class string patterns: the `"[class]{lo,hi}"` subset of
+/// proptest's regex strategies (all this workspace uses).
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (alphabet, lo, hi) = parse_class_pattern(self);
+        let len = lo + rng.below(hi - lo + 1);
+        (0..len)
+            .map(|_| alphabet[rng.below(alphabet.len())])
+            .collect()
+    }
+}
+
+/// Parses `[class]{lo,hi}` where `class` is literal characters and `x-y`
+/// ranges (e.g. `[a-z]{0,6}`, `[ -~]{0,20}`). Panics on anything richer —
+/// the offline shim does not implement full regex syntax.
+fn unsupported(pattern: &str) -> ! {
+    panic!(
+        "offline proptest shim only supports \"[class]{{lo,hi}}\" string patterns, got {pattern:?}"
+    )
+}
+
+fn parse_class_pattern(pattern: &str) -> (Vec<char>, usize, usize) {
+    let rest = pattern
+        .strip_prefix('[')
+        .unwrap_or_else(|| unsupported(pattern));
+    let (class, counts) = rest.split_once(']').unwrap_or_else(|| unsupported(pattern));
+    let counts = counts
+        .strip_prefix('{')
+        .and_then(|c| c.strip_suffix('}'))
+        .unwrap_or_else(|| unsupported(pattern));
+    let (lo, hi) = counts.split_once(',').unwrap_or((counts, counts));
+    let lo: usize = lo.trim().parse().unwrap_or_else(|_| unsupported(pattern));
+    let hi: usize = hi.trim().parse().unwrap_or_else(|_| unsupported(pattern));
+    assert!(lo <= hi, "empty repetition in {pattern:?}");
+
+    let chars: Vec<char> = class.chars().collect();
+    let mut alphabet = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            let (a, b) = (chars[i], chars[i + 2]);
+            assert!(a <= b, "inverted range in {pattern:?}");
+            for c in a..=b {
+                alphabet.push(c);
+            }
+            i += 3;
+        } else {
+            alphabet.push(chars[i]);
+            i += 1;
+        }
+    }
+    assert!(!alphabet.is_empty(), "empty character class in {pattern:?}");
+    (alphabet, lo, hi)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::collections::HashSet;
+    use std::hash::Hash;
+
+    /// Size specification accepted by the collection strategies.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty collection size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(self, rng: &mut TestRng) -> usize {
+            self.lo + super::TestRng::below(rng, self.hi - self.lo + 1)
+        }
+    }
+
+    /// `Vec` of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `HashSet` of `size` distinct elements drawn from `element`.
+    pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        HashSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`hash_set`].
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for HashSetStrategy<S>
+    where
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let n = self.size.pick(rng);
+            let mut set = HashSet::with_capacity(n);
+            let budget = 64 + 32 * n;
+            for _ in 0..budget {
+                if set.len() == n {
+                    return set;
+                }
+                set.insert(self.element.generate(rng));
+            }
+            assert!(
+                set.len() >= self.size.lo,
+                "hash_set strategy could not reach {} distinct elements",
+                self.size.lo
+            );
+            set
+        }
+    }
+}
+
+/// Option strategies.
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// `Some` three times out of four, `None` otherwise (matching
+    /// upstream's default `None` weight closely enough for these tests).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// Strategy returned by [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if TestRng::below(rng, 4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}

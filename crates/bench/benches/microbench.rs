@@ -46,6 +46,52 @@ fn bench_knn_shapley(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_knn_shapley_cache(c: &mut Criterion) {
+    use nde_importance::knn_shapley::{build_neighbor_cache, knn_shapley_cached};
+    let mut group = c.benchmark_group("knn_shapley_cache");
+    group.sample_size(10);
+    let train = synth_dataset(800, 8);
+    let valid = synth_dataset(50, 8);
+    // Cold: every re-score recomputes and re-sorts all m·n distances.
+    group.bench_function("cold_rescore_800", |b| {
+        b.iter(|| knn_shapley(&train, &valid, 5))
+    });
+    // Warm: the neighbor cache is built once; a re-score only walks it.
+    let cache = build_neighbor_cache(&train, &valid);
+    group.bench_function("warm_rescore_800", |b| {
+        b.iter(|| knn_shapley_cached(&cache, &train.y, &valid.y, 5))
+    });
+    // Repair + incremental invalidation + re-score — the cleaning-loop
+    // round — still avoids the full rebuild.
+    group.bench_function("warm_repair_rescore_800", |b| {
+        let mut cache = cache.clone();
+        b.iter(|| {
+            cache.update_row(7, |v| {
+                nde_learners::matrix::sq_dist(train.x.row(7), valid.x.row(v))
+            });
+            knn_shapley_cached(&cache, &train.y, &valid.y, 5)
+        })
+    });
+    group.bench_function("cache_build_800", |b| {
+        b.iter(|| build_neighbor_cache(&train, &valid))
+    });
+    group.finish();
+}
+
+fn bench_parallel_scaling(c: &mut Criterion) {
+    use nde_importance::knn_shapley::knn_shapley_parallel;
+    let mut group = c.benchmark_group("knn_shapley_threads");
+    group.sample_size(10);
+    let train = synth_dataset(2_000, 8);
+    let valid = synth_dataset(200, 8);
+    for &threads in &[1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| knn_shapley_parallel(&train, &valid, 5, t))
+        });
+    }
+    group.finish();
+}
+
 fn bench_tmc_shapley(c: &mut Criterion) {
     let mut group = c.benchmark_group("tmc_shapley_10perms");
     group.sample_size(10);
@@ -86,7 +132,8 @@ fn bench_relational_ops(c: &mut Criterion) {
     group.bench_function("group_by_10k", |b| {
         use nde_tabular::{AggExpr, AggFn};
         b.iter(|| {
-            left.group_by(&["k"], &[AggExpr::new("x", AggFn::Mean, "avg")]).unwrap()
+            left.group_by(&["k"], &[AggExpr::new("x", AggFn::Mean, "avg")])
+                .unwrap()
         })
     });
     group.finish();
@@ -115,7 +162,10 @@ fn bench_zorro(c: &mut Criterion) {
     for i in 0..10 {
         im.set_missing(i, 0, Interval::new(0.0, 1.0));
     }
-    let cfg = ZorroConfig { epochs: 10, ..Default::default() };
+    let cfg = ZorroConfig {
+        epochs: 10,
+        ..Default::default()
+    };
     group.bench_function("n100_10missing_10epochs", |b| {
         b.iter(|| train_symbolic(&im, &y, &cfg))
     });
@@ -164,6 +214,8 @@ fn bench_cpclean(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_knn_shapley,
+    bench_knn_shapley_cache,
+    bench_parallel_scaling,
     bench_tmc_shapley,
     bench_relational_ops,
     bench_provenance_overhead,

@@ -11,7 +11,12 @@ use nde_datagen::HiringConfig;
 use nde_uncertain::zorro::{Domain, ZorroConfig};
 
 fn main() {
-    let cfg = HiringConfig { n_train: 150, n_valid: 0, n_test: 80, ..Default::default() };
+    let cfg = HiringConfig {
+        n_train: 150,
+        n_valid: 0,
+        n_test: 80,
+        ..Default::default()
+    };
     let scenario = load_recommendation_letters(&cfg);
     let features = ["employer_rating", "age"];
     let test = encode_test(&scenario.test, &features).expect("encode");
@@ -36,7 +41,11 @@ fn main() {
         .expect("encode");
         let mut bounds = Vec::new();
         for &domain in &[Domain::Zonotope, Domain::Interval] {
-            let zc = ZorroConfig { domain, epochs: 30, ..Default::default() };
+            let zc = ZorroConfig {
+                domain,
+                epochs: 30,
+                ..Default::default()
+            };
             let ((model, worst), secs) = timed(|| estimate_with_zorro(&problem, &test, &zc));
             row(&[
                 pct.to_string(),

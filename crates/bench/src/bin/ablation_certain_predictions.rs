@@ -7,11 +7,11 @@ use nde_bench::{f4, row, section};
 use nde_core::scenario::load_recommendation_letters;
 use nde_datagen::errors::{inject_missing, Mechanism};
 use nde_datagen::HiringConfig;
+use nde_learners::Matrix;
 use nde_tabular::Table;
 use nde_uncertain::cpclean::{certain_prediction, min_cleaning_greedy, IncompleteDataset};
 use nde_uncertain::incomplete::IncompleteMatrix;
 use nde_uncertain::interval::Interval;
-use nde_learners::Matrix;
 
 const FEATURES: &[&str] = &["employer_rating", "age"];
 
@@ -56,7 +56,12 @@ fn encode(table: &Table, clean: &Table) -> (IncompleteDataset, Matrix) {
 }
 
 fn main() {
-    let cfg = HiringConfig { n_train: 150, n_valid: 0, n_test: 60, ..Default::default() };
+    let cfg = HiringConfig {
+        n_train: 150,
+        n_valid: 0,
+        n_test: 60,
+        ..Default::default()
+    };
     let scenario = load_recommendation_letters(&cfg);
     let (test_data, _) = encode(&scenario.test, &scenario.test);
     let queries: Vec<Vec<f64>> = (0..test_data.x.nrows())

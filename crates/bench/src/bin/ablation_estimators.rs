@@ -17,7 +17,12 @@ use nde_importance::utility::{ModelUtility, UtilityMetric};
 use nde_learners::KnnClassifier;
 
 fn main() {
-    let cfg = HiringConfig { n_train: 80, n_valid: 60, n_test: 0, ..Default::default() };
+    let cfg = HiringConfig {
+        n_train: 80,
+        n_valid: 60,
+        n_test: 0,
+        ..Default::default()
+    };
     let scenario = load_recommendation_letters(&cfg);
     let (dirty, report) = flip_labels(&scenario.train, "sentiment", 0.2, 17).expect("inject");
     let (_, train, valid) = encode_splits(&dirty, &scenario.valid).expect("encode");
@@ -44,9 +49,8 @@ fn main() {
 
     let mut p_tmc_best = 0.0f64;
     for &budget in &[10usize, 40, 160] {
-        let (scores, secs) = timed(|| {
-            tmc_shapley(&util, &McConfig::new(budget, 3).with_truncation(1e-3))
-        });
+        let (scores, secs) =
+            timed(|| tmc_shapley(&util, &McConfig::new(budget, 3).with_truncation(1e-3)));
         let p = report_line("tmc_shapley", budget, scores, secs);
         p_tmc_best = p_tmc_best.max(p);
 
@@ -54,8 +58,7 @@ fn main() {
             timed(|| banzhaf_msr(&util, &McConfig::new(budget * train.len() / 10, 3)));
         report_line("banzhaf_msr", budget * train.len() / 10, scores, secs);
 
-        let (scores, secs) =
-            timed(|| beta_shapley(&util, 16.0, 1.0, &McConfig::new(budget, 3)));
+        let (scores, secs) = timed(|| beta_shapley(&util, 16.0, 1.0, &McConfig::new(budget, 3)));
         report_line("beta_shapley_16_1", budget, scores, secs);
     }
 

@@ -26,7 +26,10 @@ fn base_table(n: usize) -> Table {
 fn side_table() -> Table {
     Table::builder()
         .int("key", (0..20i64).collect::<Vec<_>>())
-        .float("bonus", (0..20).map(|i| i as f64 / 20.0).collect::<Vec<_>>())
+        .float(
+            "bonus",
+            (0..20).map(|i| i as f64 / 20.0).collect::<Vec<_>>(),
+        )
         .build()
         .expect("schema")
 }
@@ -69,7 +72,10 @@ fn main() {
                 }),
             ),
             ("fork", Plan::source("t").concat(Plan::source("t"))),
-            ("join", Plan::source("t").join(Plan::source("side"), "key", "key")),
+            (
+                "join",
+                Plan::source("t").join(Plan::source("side"), "key", "key"),
+            ),
         ];
         for (name, plan) in shapes {
             let srcs = sources(vec![("t", table.clone()), ("side", side_table())]);

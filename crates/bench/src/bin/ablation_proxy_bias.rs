@@ -19,7 +19,12 @@ use nde_learners::traits::Learner;
 use nde_learners::{DecisionTree, KnnClassifier, LogisticRegression};
 
 fn main() {
-    let cfg = HiringConfig { n_train: 120, n_valid: 60, n_test: 100, ..Default::default() };
+    let cfg = HiringConfig {
+        n_train: 120,
+        n_valid: 60,
+        n_test: 100,
+        ..Default::default()
+    };
     let scenario = load_recommendation_letters(&cfg);
     let (dirty, _) = flip_labels(&scenario.train, "sentiment", 0.2, 23).expect("inject");
     let (_, train, valid) = encode_splits(&dirty, &scenario.valid).expect("encode");
@@ -60,7 +65,12 @@ fn main() {
         };
         let dirty_acc = eval(&dirty);
         let clean_acc = eval(&repaired);
-        row(&[(*name).to_string(), f4(dirty_acc), f4(clean_acc), f4(clean_acc - dirty_acc)]);
+        row(&[
+            (*name).to_string(),
+            f4(dirty_acc),
+            f4(clean_acc),
+            f4(clean_acc - dirty_acc),
+        ]);
     }
 
     println!(

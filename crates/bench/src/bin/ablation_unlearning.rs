@@ -14,7 +14,12 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 fn main() {
-    let cfg = HiringConfig { n_train: 800, n_valid: 0, n_test: 0, ..Default::default() };
+    let cfg = HiringConfig {
+        n_train: 800,
+        n_valid: 0,
+        n_test: 0,
+        ..Default::default()
+    };
     let scenario = load_recommendation_letters(&cfg);
     let srcs = pipeline_sources(&scenario, scenario.train.clone());
     let plan = figure3_plan();
@@ -45,9 +50,7 @@ fn main() {
         let (full_out, full_s) = timed(|| {
             let mut last = None;
             for _ in 0..reps {
-                last = Some(
-                    rerun_without_rows(&plan, &srcs, "train_df", &delete).expect("full"),
-                );
+                last = Some(rerun_without_rows(&plan, &srcs, "train_df", &delete).expect("full"));
             }
             last.expect("ran at least once")
         });

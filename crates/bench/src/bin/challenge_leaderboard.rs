@@ -28,18 +28,44 @@ fn main() {
         challenge.budget()
     );
     let baseline = challenge.baseline_accuracy().expect("baseline");
-    println!("Dirty baseline accuracy on the hidden test set: {}.", f4(baseline));
+    println!(
+        "Dirty baseline accuracy on the hidden test set: {}.",
+        f4(baseline)
+    );
 
-    let mut board = Leaderboard::new();
+    // Serial reference: each strategy timed on its own.
+    let mut serial_board = Leaderboard::new();
     let mut timings = Vec::new();
+    let mut serial_secs = 0.0;
     for &strategy in Strategy::all() {
         let (entry, secs) = timed(|| challenge.play(strategy).expect("play"));
         timings.push((strategy.name(), secs));
-        board.record(entry);
+        serial_secs += secs;
+        serial_board.record(entry);
     }
 
+    // Parallel fan-out: strategies are independent submissions.
+    let (board, parallel_secs) = timed(|| challenge.play_all(Strategy::all()).expect("play_all"));
+    assert_eq!(
+        board.standings(),
+        serial_board.standings(),
+        "parallel fan-out must reproduce the serial leaderboard exactly"
+    );
+    println!(
+        "Strategy fan-out on {} worker thread(s): {}s serial, {}s parallel.",
+        nde_parallel::num_threads(),
+        f4(serial_secs),
+        f4(parallel_secs)
+    );
+
     section("Leaderboard (hidden-test accuracy after budgeted cleaning)");
-    row(&["rank", "strategy", "accuracy", "gain_vs_dirty", "true_positives"]);
+    row(&[
+        "rank",
+        "strategy",
+        "accuracy",
+        "gain_vs_dirty",
+        "true_positives",
+    ]);
     for (rank, entry) in board.standings().iter().enumerate() {
         row(&[
             (rank + 1).to_string(),

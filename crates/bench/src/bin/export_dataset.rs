@@ -31,7 +31,11 @@ fn main() {
         table.to_csv_path(&path).expect("write csv");
         // Verify the round trip before declaring success.
         let back = Table::from_csv_path(&path).expect("read back");
-        assert_eq!(back.num_rows(), table.num_rows(), "{name}: row count changed");
+        assert_eq!(
+            back.num_rows(),
+            table.num_rows(),
+            "{name}: row count changed"
+        );
         assert_eq!(
             back.schema().names(),
             table.schema().names(),

@@ -10,10 +10,19 @@ use nde_datagen::errors::flip_labels;
 use nde_datagen::HiringConfig;
 
 fn main() {
-    let cfg = HiringConfig { n_train: 300, n_valid: 100, n_test: 150, ..Default::default() };
+    let cfg = HiringConfig {
+        n_train: 300,
+        n_valid: 100,
+        n_test: 150,
+        ..Default::default()
+    };
     let scenario = load_recommendation_letters(&cfg);
     let (dirty, report) = flip_labels(&scenario.train, "sentiment", 0.25, 21).expect("inject");
-    println!("Injected {} label errors into {} letters.", report.count(), dirty.num_rows());
+    println!(
+        "Injected {} label errors into {} letters.",
+        report.count(),
+        dirty.num_rows()
+    );
 
     let batch = 20;
     let budget = 120;
@@ -23,7 +32,11 @@ fn main() {
         &scenario.train,
         &scenario.valid,
         &scenario.test,
-        &ActiveCleanConfig { batch, max_cleaned: budget, eval_k: 5 },
+        &ActiveCleanConfig {
+            batch,
+            max_cleaned: budget,
+            eval_k: 5,
+        },
     )
     .expect("activeclean");
     let static_shapley = iterative_cleaning(
@@ -62,9 +75,8 @@ fn main() {
         ]);
     }
 
-    let auc = |steps: &[CleaningStep]| {
-        steps.iter().map(|s| s.accuracy).sum::<f64>() / steps.len() as f64
-    };
+    let auc =
+        |steps: &[CleaningStep]| steps.iter().map(|s| s.accuracy).sum::<f64>() / steps.len() as f64;
     let (a, s, r) = (auc(&active), auc(&static_shapley), auc(&random));
     println!(
         "\nAUCC: activeclean {} | static knn-shapley {} | random {}",

@@ -15,7 +15,12 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 fn main() {
-    let cfg = HiringConfig { n_train: 300, n_valid: 0, n_test: 200, ..Default::default() };
+    let cfg = HiringConfig {
+        n_train: 300,
+        n_valid: 0,
+        n_test: 200,
+        ..Default::default()
+    };
     let scenario = load_recommendation_letters(&cfg);
     let (_, train, test) = encode_splits(&scenario.train, &scenario.test).expect("encode");
     let model = KnnClassifier::new(5).fit(&train).expect("fit");
@@ -30,7 +35,13 @@ fn main() {
 
     let threshold = 0.15;
     section("X2: demographic-parity range vs missing protected attributes");
-    row(&["missing_pct", "gap_lo", "gap_hi", "width", &format!("certified_fair_at_{threshold}")]);
+    row(&[
+        "missing_pct",
+        "gap_lo",
+        "gap_hi",
+        "width",
+        &format!("certified_fair_at_{threshold}"),
+    ]);
     let mut rng = StdRng::seed_from_u64(7);
     let mut order: Vec<usize> = (0..test.len()).collect();
     order.shuffle(&mut rng);
@@ -42,7 +53,11 @@ fn main() {
         let obs: Vec<GroupObservation> = (0..test.len())
             .map(|i| GroupObservation {
                 predicted_positive: preds[i] == 1,
-                group: if hidden.contains(&i) { None } else { Some(groups[i]) },
+                group: if hidden.contains(&i) {
+                    None
+                } else {
+                    Some(groups[i])
+                },
             })
             .collect();
         let (lo, hi) = demographic_parity_range(&obs);
@@ -56,7 +71,10 @@ fn main() {
         ]);
     }
     for w in widths.windows(2) {
-        assert!(w[1] >= w[0] - 1e-12, "range width must grow with missingness");
+        assert!(
+            w[1] >= w[0] - 1e-12,
+            "range width must grow with missingness"
+        );
     }
     println!(
         "\nTake-away: a fairness claim computed by silently dropping rows with \

@@ -15,22 +15,36 @@ const TOPICS: [(&str, &[&str]); 3] = [
     (
         "refunds",
         &[
-            "refund", "returns", "money", "back", "guarantee", "reimburse", "credit",
-            "cancel", "policy",
+            "refund",
+            "returns",
+            "money",
+            "back",
+            "guarantee",
+            "reimburse",
+            "credit",
+            "cancel",
+            "policy",
         ],
     ),
     (
         "shipping",
         &[
-            "shipping", "delivery", "tracking", "package", "courier", "express",
-            "customs", "freight", "dispatch",
+            "shipping", "delivery", "tracking", "package", "courier", "express", "customs",
+            "freight", "dispatch",
         ],
     ),
     (
         "accounts",
         &[
-            "password", "login", "account", "profile", "email", "authentication",
-            "settings", "security", "username",
+            "password",
+            "login",
+            "account",
+            "profile",
+            "email",
+            "authentication",
+            "settings",
+            "security",
+            "username",
         ],
     ),
 ];
@@ -97,8 +111,7 @@ fn main() {
     }
 
     let hits18: usize = {
-        let pruned: std::collections::HashSet<usize> =
-            ranking.iter().copied().take(18).collect();
+        let pruned: std::collections::HashSet<usize> = ranking.iter().copied().take(18).collect();
         poisoned_ids.iter().filter(|i| pruned.contains(i)).count()
     };
     println!(
@@ -106,5 +119,8 @@ fn main() {
          corpus entries; pruning by value repairs retrieval quality without \
          touching the model."
     );
-    assert!(hits18 >= 12, "valuation must concentrate on the poisoned docs");
+    assert!(
+        hits18 >= 12,
+        "valuation must concentrate on the poisoned docs"
+    );
 }

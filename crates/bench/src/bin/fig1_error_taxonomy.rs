@@ -7,13 +7,12 @@
 use nde_bench::{f4, row, section};
 use nde_core::scenario::{encode_splits, load_recommendation_letters};
 use nde_datagen::errors::{
-    flip_labels, inject_duplicates, inject_invalid, inject_missing, inject_outliers,
-    inject_shift, label_bias, selection_bias, Mechanism,
+    flip_labels, inject_duplicates, inject_invalid, inject_missing, inject_outliers, inject_shift,
+    label_bias, selection_bias, Mechanism,
 };
 use nde_datagen::HiringConfig;
 use nde_learners::metrics::{
-    accuracy, equalized_odds_difference, macro_f1, prediction_entropy,
-    predictive_parity_difference,
+    accuracy, equalized_odds_difference, macro_f1, prediction_entropy, predictive_parity_difference,
 };
 use nde_learners::traits::Learner;
 use nde_learners::KnnClassifier;
@@ -31,8 +30,9 @@ fn evaluate(train: &Table, test: &Table) -> Panel {
     let (_, train_ds, test_ds) = encode_splits(train, test).expect("encoding");
     let model = KnnClassifier::new(5).fit(&train_ds).expect("fit");
     let preds = model.predict_batch(&test_ds.x);
-    let probs: Vec<Vec<f64>> =
-        (0..test_ds.len()).map(|i| model.predict_proba(test_ds.x.row(i))).collect();
+    let probs: Vec<Vec<f64>> = (0..test_ds.len())
+        .map(|i| model.predict_proba(test_ds.x.row(i)))
+        .collect();
     let groups: Vec<usize> = test
         .column("sex")
         .expect("sex column")
@@ -49,7 +49,12 @@ fn evaluate(train: &Table, test: &Table) -> Panel {
 }
 
 fn main() {
-    let cfg = HiringConfig { n_train: 300, n_valid: 0, n_test: 200, ..Default::default() };
+    let cfg = HiringConfig {
+        n_train: 300,
+        n_valid: 0,
+        n_test: 200,
+        ..Default::default()
+    };
     let s = load_recommendation_letters(&cfg);
     let rate = 0.2;
     let seed = 13;
@@ -58,37 +63,70 @@ fn main() {
         ("clean", s.train.clone()),
         (
             "missing (MCAR, rating)",
-            inject_missing(&s.train, "employer_rating", rate, Mechanism::Mcar, seed).unwrap().0,
+            inject_missing(&s.train, "employer_rating", rate, Mechanism::Mcar, seed)
+                .unwrap()
+                .0,
         ),
         (
             "missing (MNAR, rating)",
-            inject_missing(&s.train, "employer_rating", rate, Mechanism::Mnar, seed).unwrap().0,
+            inject_missing(&s.train, "employer_rating", rate, Mechanism::Mnar, seed)
+                .unwrap()
+                .0,
         ),
-        ("wrong (label flips)", flip_labels(&s.train, "sentiment", rate, seed).unwrap().0),
+        (
+            "wrong (label flips)",
+            flip_labels(&s.train, "sentiment", rate, seed).unwrap().0,
+        ),
         (
             "wrong (outlier ratings)",
-            inject_outliers(&s.train, "employer_rating", rate, 8.0, seed).unwrap().0,
+            inject_outliers(&s.train, "employer_rating", rate, 8.0, seed)
+                .unwrap()
+                .0,
         ),
-        ("invalid (degree = N/A)", inject_invalid(&s.train, "degree", rate, seed).unwrap().0),
+        (
+            "invalid (degree = N/A)",
+            inject_invalid(&s.train, "degree", rate, seed).unwrap().0,
+        ),
         (
             "biased (drop 70% of f)",
             selection_bias(&s.train, "sex", "f", 0.7, seed).unwrap().0,
         ),
         (
             "biased (labels of m flipped)",
-            label_bias(&s.train, "sex", "m", "sentiment", "positive", "negative", 0.5, seed)
-                .unwrap()
-                .0,
+            label_bias(
+                &s.train,
+                "sex",
+                "m",
+                "sentiment",
+                "positive",
+                "negative",
+                0.5,
+                seed,
+            )
+            .unwrap()
+            .0,
         ),
-        ("duplicated (60 near-dupes)", inject_duplicates(&s.train, 60, 0.02, seed).unwrap().0),
+        (
+            "duplicated (60 near-dupes)",
+            inject_duplicates(&s.train, 60, 0.02, seed).unwrap().0,
+        ),
         (
             "out-of-distribution (rating shift)",
-            inject_shift(&s.train, "employer_rating", 1.0, 3.0).unwrap().0,
+            inject_shift(&s.train, "employer_rating", 1.0, 3.0)
+                .unwrap()
+                .0,
         ),
     ];
 
     section("Figure 1 panel: quality metrics per injected error class (20% rate)");
-    row(&["error_class", "accuracy", "macro_f1", "equalized_odds", "predictive_parity", "entropy"]);
+    row(&[
+        "error_class",
+        "accuracy",
+        "macro_f1",
+        "equalized_odds",
+        "predictive_parity",
+        "entropy",
+    ]);
     let mut clean_acc = 0.0;
     let mut flip_acc = f64::INFINITY;
     for (name, train) in &corruptions {

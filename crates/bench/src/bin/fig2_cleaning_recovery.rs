@@ -34,7 +34,13 @@ fn main() {
     let lowest: Vec<usize> = ranking.iter().copied().take(n_clean).collect();
 
     section("Potential data errors (25 lowest-importance tuples)");
-    row(&["row", "letter_excerpt", "sentiment", "importance", "truly_flipped"]);
+    row(&[
+        "row",
+        "letter_excerpt",
+        "sentiment",
+        "importance",
+        "truly_flipped",
+    ]);
     for &i in &lowest {
         let text = dirty.get(i, "letter_text").unwrap().to_string();
         let excerpt: String = text.chars().skip(30).take(42).collect();

@@ -3,44 +3,61 @@
 //! different detection strategies. Importance-based prioritization should
 //! dominate random cleaning everywhere on the curve.
 
-use nde_bench::{f4, row, section};
-use nde_core::cleaning::{iterative_cleaning, Strategy};
+use nde_bench::{f4, row, section, timed};
+use nde_core::cleaning::{iterative_cleaning, iterative_cleaning_cached, Strategy};
 use nde_core::scenario::load_recommendation_letters;
 use nde_datagen::errors::flip_labels;
 use nde_datagen::HiringConfig;
 
 fn main() {
-    let cfg = HiringConfig { n_train: 300, n_valid: 100, n_test: 100, ..Default::default() };
+    let cfg = HiringConfig {
+        n_train: 300,
+        n_valid: 100,
+        n_test: 100,
+        ..Default::default()
+    };
     let scenario = load_recommendation_letters(&cfg);
-    let (dirty, report) =
-        flip_labels(&scenario.train, "sentiment", 0.2, 11).expect("injection");
+    let (dirty, report) = flip_labels(&scenario.train, "sentiment", 0.2, 11).expect("injection");
     println!(
         "Injected {} label errors into {} training letters.",
         report.count(),
         dirty.num_rows()
     );
 
-    let strategies = [Strategy::Random, Strategy::Loo, Strategy::KnnShapley, Strategy::Aum];
+    let strategies = [
+        Strategy::Random,
+        Strategy::Loo,
+        Strategy::KnnShapley,
+        Strategy::Aum,
+    ];
     let batch = 20;
     let max_cleaned = 120;
 
     section("Cleaning curves (TSV): accuracy after cleaning n rows");
-    let mut curves = Vec::new();
-    for &strategy in &strategies {
-        let steps = iterative_cleaning(
-            &dirty,
-            &scenario.train,
-            &scenario.valid,
-            &scenario.test,
-            strategy,
-            batch,
-            max_cleaned,
-            5,
-            3,
-        )
-        .expect("cleaning run");
-        curves.push((strategy, steps));
-    }
+    // Strategy curves are independent — fan them out one per chunk; the
+    // results come back in strategy order for any NDE_THREADS setting.
+    println!(
+        "Running {} strategy curves on {} worker thread(s)...",
+        strategies.len(),
+        nde_parallel::num_threads()
+    );
+    let curves: Vec<(Strategy, Vec<nde_core::cleaning::CleaningStep>)> =
+        nde_parallel::par_map_chunks(strategies.len(), 1, |r| {
+            let strategy = strategies[r.start];
+            let steps = iterative_cleaning(
+                &dirty,
+                &scenario.train,
+                &scenario.valid,
+                &scenario.test,
+                strategy,
+                batch,
+                max_cleaned,
+                5,
+                3,
+            )
+            .expect("cleaning run");
+            (strategy, steps)
+        });
 
     let header: Vec<String> = std::iter::once("cleaned".to_owned())
         .chain(strategies.iter().map(|s| s.name().to_owned()))
@@ -61,8 +78,7 @@ fn main() {
     let mut shapley_auc = 0.0;
     let mut random_auc = 0.0;
     for (strategy, steps) in &curves {
-        let auc: f64 =
-            steps.iter().map(|s| s.accuracy).sum::<f64>() / steps.len() as f64;
+        let auc: f64 = steps.iter().map(|s| s.accuracy).sum::<f64>() / steps.len() as f64;
         row(&[strategy.name().to_owned(), f4(auc)]);
         match strategy {
             Strategy::KnnShapley => shapley_auc = auc,
@@ -73,5 +89,37 @@ fn main() {
     assert!(
         shapley_auc > random_auc,
         "prioritized cleaning must beat random: {shapley_auc} vs {random_auc}"
+    );
+
+    // Warm-cache variant: re-rank every round from the shared neighbor
+    // cache with incremental repairs instead of scoring once up front.
+    section("Warm-cache KNN-Shapley cleaning (re-ranked every round)");
+    let (cached_steps, cached_secs) = timed(|| {
+        iterative_cleaning_cached(
+            &dirty,
+            &scenario.train,
+            &scenario.valid,
+            &scenario.test,
+            batch,
+            max_cleaned,
+            5,
+        )
+        .expect("cached cleaning run")
+    });
+    row(&["cleaned", "accuracy"]);
+    for step in &cached_steps {
+        row(&[step.cleaned.to_string(), f4(step.accuracy)]);
+    }
+    println!(
+        "Warm-cache run ({} re-rankings): {}s.",
+        cached_steps.len() - 1,
+        f4(cached_secs)
+    );
+    let cached_last = cached_steps.last().expect("non-empty curve");
+    assert!(
+        cached_last.accuracy > cached_steps[0].accuracy,
+        "warm-cache cleaning must beat the dirty baseline: {} vs {}",
+        cached_steps[0].accuracy,
+        cached_last.accuracy
     );
 }

@@ -20,7 +20,12 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 fn main() {
-    let cfg = HiringConfig { n_train: 400, n_valid: 150, n_test: 300, ..Default::default() };
+    let cfg = HiringConfig {
+        n_train: 400,
+        n_valid: 150,
+        n_test: 300,
+        ..Default::default()
+    };
     let clean_scenario = load_recommendation_letters(&cfg);
     let (dirty, report) =
         flip_labels(&clean_scenario.train, "sentiment", 0.2, 9).expect("injection");
@@ -61,12 +66,8 @@ fn main() {
             curves[c].push(eval(&working));
         }
     }
-    for step in 0..curves[0].len() {
-        row(&[
-            (step * batch).to_string(),
-            f4(curves[0][step]),
-            f4(curves[1][step]),
-        ]);
+    for (step, (ds, rnd)) in curves[0].iter().zip(&curves[1]).enumerate() {
+        row(&[(step * batch).to_string(), f4(*ds), f4(*rnd)]);
     }
 
     let auc = |c: &[f64]| c.iter().sum::<f64>() / c.len() as f64;

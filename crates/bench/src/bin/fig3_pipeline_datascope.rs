@@ -21,10 +21,14 @@ fn main() {
     // The healthcare filter keeps ~40% of each split, so the splits are
     // sized for a post-filter test set large enough to resolve small
     // accuracy deltas.
-    let cfg = HiringConfig { n_train: 400, n_valid: 150, n_test: 300, ..Default::default() };
+    let cfg = HiringConfig {
+        n_train: 400,
+        n_valid: 150,
+        n_test: 300,
+        ..Default::default()
+    };
     let mut scenario = load_recommendation_letters(&cfg);
-    let (dirty, report) =
-        flip_labels(&scenario.train, "sentiment", 0.15, 5).expect("injection");
+    let (dirty, report) = flip_labels(&scenario.train, "sentiment", 0.15, 5).expect("injection");
     scenario.train = dirty;
 
     section("Pipeline query plan (nde.show_query_plan)");
@@ -76,7 +80,10 @@ fn main() {
     let train_removed = scenario.train.take(&keep).expect("take");
     let acc_after = eval(&train_removed);
 
-    println!("Removal changed accuracy by {}.", f4(acc_after - acc_before));
+    println!(
+        "Removal changed accuracy by {}.",
+        f4(acc_after - acc_before)
+    );
 
     section("Series (TSV)");
     row(&["setting", "accuracy"]);

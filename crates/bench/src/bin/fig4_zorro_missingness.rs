@@ -12,7 +12,12 @@ use nde_datagen::HiringConfig;
 use nde_uncertain::zorro::ZorroConfig;
 
 fn main() {
-    let cfg = HiringConfig { n_train: 200, n_valid: 0, n_test: 100, ..Default::default() };
+    let cfg = HiringConfig {
+        n_train: 200,
+        n_valid: 0,
+        n_test: 100,
+        ..Default::default()
+    };
     let scenario = load_recommendation_letters(&cfg);
     let features = ["employer_rating", "age"];
     let feature = "employer_rating";
@@ -20,9 +25,16 @@ fn main() {
     let zorro_cfg = ZorroConfig::default();
 
     section("Figure 4: maximum worst-case loss vs missing percentage (MNAR)");
-    let mut losses = Vec::new();
-    for &percentage in &[5usize, 10, 15, 20, 25] {
-        println!("Evaluating {percentage}% of missing values in {feature}...");
+    // Missingness levels are independent Zorro trainings — fan one level
+    // out per chunk; par_map_chunks returns them in level order.
+    let levels = [5usize, 10, 15, 20, 25];
+    println!(
+        "Sweeping {} missingness levels of {feature} on {} worker thread(s)...",
+        levels.len(),
+        nde_parallel::num_threads()
+    );
+    let losses: Vec<(usize, f64, f64)> = nde_parallel::par_map_chunks(levels.len(), 1, |r| {
+        let percentage = levels[r.start];
         let problem = encode_symbolic(
             &scenario.train,
             &features,
@@ -33,8 +45,8 @@ fn main() {
         )
         .expect("symbolic encoding");
         let (model, max_worstcase_loss) = estimate_with_zorro(&problem, &test, &zorro_cfg);
-        losses.push((percentage, max_worstcase_loss, model.max_weight_width()));
-    }
+        (percentage, max_worstcase_loss, model.max_weight_width())
+    });
 
     section("Series (TSV)");
     row(&["missing_pct", "max_worst_case_loss", "max_weight_width"]);

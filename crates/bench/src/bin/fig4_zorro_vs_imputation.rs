@@ -13,7 +13,12 @@ use nde_datagen::HiringConfig;
 use nde_uncertain::zorro::ZorroConfig;
 
 fn main() {
-    let cfg = HiringConfig { n_train: 200, n_valid: 0, n_test: 100, ..Default::default() };
+    let cfg = HiringConfig {
+        n_train: 200,
+        n_valid: 0,
+        n_test: 100,
+        ..Default::default()
+    };
     let scenario = load_recommendation_letters(&cfg);
     let features = ["employer_rating", "age"];
     let test = encode_test(&scenario.test, &features).expect("test encoding");
@@ -53,7 +58,11 @@ fn main() {
             let range = model.prediction_range(x);
             width_sum += range.width();
             let label = test.y[i];
-            let certified_here = if label >= 0.5 { range.lo > 0.5 } else { range.hi < 0.5 };
+            let certified_here = if label >= 0.5 {
+                range.lo > 0.5
+            } else {
+                range.hi < 0.5
+            };
             certified += usize::from(certified_here);
             let pred: f64 =
                 concrete.0.iter().zip(x).map(|(w, &xj)| w * xj).sum::<f64>() + concrete.1;

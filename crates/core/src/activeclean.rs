@@ -26,7 +26,11 @@ pub struct ActiveCleanConfig {
 
 impl Default for ActiveCleanConfig {
     fn default() -> Self {
-        ActiveCleanConfig { batch: 20, max_cleaned: 100, eval_k: 5 }
+        ActiveCleanConfig {
+            batch: 20,
+            max_cleaned: 100,
+            eval_k: 5,
+        }
     }
 }
 
@@ -113,7 +117,11 @@ mod tests {
     fn activeclean_recovers_accuracy() {
         let s = scenario();
         let (dirty, _) = flip_labels(&s.train, "sentiment", 0.25, 13).unwrap();
-        let cfg = ActiveCleanConfig { batch: 20, max_cleaned: 60, eval_k: 5 };
+        let cfg = ActiveCleanConfig {
+            batch: 20,
+            max_cleaned: 60,
+            eval_k: 5,
+        };
         let steps = activeclean(&dirty, &s.train, &s.valid, &s.test, &cfg).unwrap();
         assert_eq!(steps[0].cleaned, 0);
         assert_eq!(steps.last().unwrap().cleaned, 60);
@@ -127,7 +135,11 @@ mod tests {
     fn activeclean_beats_random_cleaning() {
         let s = scenario();
         let (dirty, _) = flip_labels(&s.train, "sentiment", 0.25, 13).unwrap();
-        let cfg = ActiveCleanConfig { batch: 20, max_cleaned: 60, eval_k: 5 };
+        let cfg = ActiveCleanConfig {
+            batch: 20,
+            max_cleaned: 60,
+            eval_k: 5,
+        };
         let active = activeclean(&dirty, &s.train, &s.valid, &s.test, &cfg).unwrap();
         let auc = |steps: &[CleaningStep]| {
             steps.iter().map(|s| s.accuracy).sum::<f64>() / steps.len() as f64
@@ -138,7 +150,15 @@ mod tests {
             .iter()
             .map(|&seed| {
                 let steps = iterative_cleaning(
-                    &dirty, &s.train, &s.valid, &s.test, Strategy::Random, 20, 60, 5, seed,
+                    &dirty,
+                    &s.train,
+                    &s.valid,
+                    &s.test,
+                    Strategy::Random,
+                    20,
+                    60,
+                    5,
+                    seed,
                 )
                 .unwrap();
                 auc(&steps)
@@ -157,7 +177,11 @@ mod tests {
         let s = scenario();
         let (dirty, _) = flip_labels(&s.train, "sentiment", 0.1, 3).unwrap();
         // Budget beyond the table size must terminate without panicking.
-        let cfg = ActiveCleanConfig { batch: 100, max_cleaned: 1000, eval_k: 5 };
+        let cfg = ActiveCleanConfig {
+            batch: 100,
+            max_cleaned: 1000,
+            eval_k: 5,
+        };
         let steps = activeclean(&dirty, &s.train, &s.valid, &s.test, &cfg).unwrap();
         assert_eq!(steps.last().unwrap().cleaned, 150);
     }

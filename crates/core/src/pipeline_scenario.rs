@@ -21,7 +21,9 @@ pub fn figure3_plan() -> Plan {
     Plan::source("train_df")
         .join(Plan::source("jobdetail_df"), "job_id", "job_id")
         .join(Plan::source("social_df"), "person_id", "person_id")
-        .filter("sector == healthcare", |r| r.str("sector") == Some("healthcare"))
+        .filter("sector == healthcare", |r| {
+            r.str("sector") == Some("healthcare")
+        })
         .with_column("has_twitter", "twitter IS NOT NULL", |r| {
             Value::Bool(!r.is_null("twitter"))
         })
@@ -77,7 +79,11 @@ pub fn run_figure3(scenario: &HiringScenario) -> nde_pipeline::Result<PipelineRu
     let traced = figure3_plan().run_traced(&srcs)?;
     let encoder = pipeline_encoder().fit(&traced.table)?;
     let train = encoder.transform(&traced.table)?;
-    Ok(PipelineRun { traced, train, encoder })
+    Ok(PipelineRun {
+        traced,
+        train,
+        encoder,
+    })
 }
 
 /// Datascope importance of every row of the training *source* table, via

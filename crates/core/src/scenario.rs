@@ -55,7 +55,12 @@ mod tests {
     use super::*;
 
     fn small_config() -> HiringConfig {
-        HiringConfig { n_train: 120, n_valid: 40, n_test: 40, ..Default::default() }
+        HiringConfig {
+            n_train: 120,
+            n_valid: 40,
+            n_test: 40,
+            ..Default::default()
+        }
     }
 
     #[test]

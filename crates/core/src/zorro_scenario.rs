@@ -100,7 +100,9 @@ pub fn estimate_with_zorro(
 pub fn imputation_baseline(problem: &SymbolicProblem, test: &RegDataset) -> f64 {
     let world = problem.x.midpoint_world();
     let data = RegDataset::new(world, problem.y.clone()).expect("shapes align");
-    let model = LinearRegression::new(1e-6).fit(&data).expect("ridge fit succeeds");
+    let model = LinearRegression::new(1e-6)
+        .fit(&data)
+        .expect("ridge fit succeeds");
     model.mse(test)
 }
 
@@ -156,9 +158,15 @@ mod tests {
     #[test]
     fn zero_missingness_is_fully_concrete() {
         let s = scenario();
-        let p =
-            encode_symbolic(&s.train, FEATURES, "employer_rating", 0.0, Mechanism::Mcar, 0)
-                .unwrap();
+        let p = encode_symbolic(
+            &s.train,
+            FEATURES,
+            "employer_rating",
+            0.0,
+            Mechanism::Mcar,
+            0,
+        )
+        .unwrap();
         assert_eq!(p.x.n_missing(), 0);
     }
 
@@ -166,7 +174,10 @@ mod tests {
     fn worst_case_loss_grows_with_missingness() {
         let s = scenario();
         let test = encode_test(&s.test, FEATURES).unwrap();
-        let cfg = ZorroConfig { epochs: 20, ..Default::default() };
+        let cfg = ZorroConfig {
+            epochs: 20,
+            ..Default::default()
+        };
         let mut losses = Vec::new();
         for &pct in &[0.0, 0.1, 0.25] {
             let p = encode_symbolic(
@@ -200,7 +211,10 @@ mod tests {
             9,
         )
         .unwrap();
-        let cfg = ZorroConfig { epochs: 20, ..Default::default() };
+        let cfg = ZorroConfig {
+            epochs: 20,
+            ..Default::default()
+        };
         let (_, worst) = estimate_with_zorro(&p, &test, &cfg);
         let baseline = imputation_baseline(&p, &test);
         assert!(

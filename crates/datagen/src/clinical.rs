@@ -31,7 +31,10 @@ pub struct ClinicalConfig {
 
 impl Default for ClinicalConfig {
     fn default() -> Self {
-        ClinicalConfig { n_patients: 300, seed: 7 }
+        ClinicalConfig {
+            n_patients: 300,
+            seed: 7,
+        }
     }
 }
 
@@ -63,7 +66,14 @@ impl ClinicalScenario {
             diagnosis.push(code.to_owned());
             // Death probability grows with the registry rate and age.
             let p_death = (rate * 3.0 + (a as f64 - 18.0) / 250.0).clamp(0.02, 0.9);
-            survived.push(if rng.random_bool(p_death) { "no" } else { "yes" }.to_owned());
+            survived.push(
+                if rng.random_bool(p_death) {
+                    "no"
+                } else {
+                    "yes"
+                }
+                .to_owned(),
+            );
         }
         let patients = Table::builder()
             .int("patient_id", (0..n as i64).collect::<Vec<_>>())
@@ -74,8 +84,14 @@ impl ClinicalScenario {
             .build()
             .expect("schema is well-formed");
         let registry = Table::builder()
-            .str("diagnosis", REGISTRY.iter().map(|&(c, _)| c).collect::<Vec<_>>())
-            .float("death_rate", REGISTRY.iter().map(|&(_, r)| r).collect::<Vec<_>>())
+            .str(
+                "diagnosis",
+                REGISTRY.iter().map(|&(c, _)| c).collect::<Vec<_>>(),
+            )
+            .float(
+                "death_rate",
+                REGISTRY.iter().map(|&(_, r)| r).collect::<Vec<_>>(),
+            )
             .build()
             .expect("schema is well-formed");
         ClinicalScenario { patients, registry }
@@ -98,7 +114,9 @@ impl ClinicalScenario {
         patients
             .set(0, "diagnosis", Value::from("CRC"))
             .expect("row 0 exists");
-        patients.set(0, "age", Value::Int(-1)).expect("row 0 exists");
+        patients
+            .set(0, "age", Value::Int(-1))
+            .expect("row 0 exists");
         patients.set(1, "age", Value::Null).expect("row 1 exists");
 
         let mut registry = self.registry.clone();
@@ -127,9 +145,7 @@ impl ClinicalScenario {
         let mut dropped = Vec::new();
         for i in 0..patients.num_rows() {
             let row = patients.row(i).expect("in bounds");
-            let target = i > 1
-                && row.str("sex") == Some("f")
-                && row.str("survived") == Some("yes");
+            let target = i > 1 && row.str("sex") == Some("f") && row.str("survived") == Some("yes");
             if target && rng.random_bool(0.3) {
                 dropped.push(i);
             } else {
@@ -147,7 +163,10 @@ mod tests {
 
     #[test]
     fn generation_shapes_and_determinism() {
-        let cfg = ClinicalConfig { n_patients: 120, seed: 3 };
+        let cfg = ClinicalConfig {
+            n_patients: 120,
+            seed: 3,
+        };
         let a = ClinicalScenario::generate(&cfg);
         let b = ClinicalScenario::generate(&cfg);
         assert_eq!(a.patients, b.patients);
@@ -157,13 +176,19 @@ mod tests {
 
     #[test]
     fn survival_correlates_with_death_rate() {
-        let s = ClinicalScenario::generate(&ClinicalConfig { n_patients: 2000, seed: 5 });
+        let s = ClinicalScenario::generate(&ClinicalConfig {
+            n_patients: 2000,
+            seed: 5,
+        });
         let survival_rate = |code: &str| {
             let sub = s
                 .patients
                 .filter(|r| r.str("diagnosis") == Some(code))
                 .unwrap();
-            let yes = sub.filter(|r| r.str("survived") == Some("yes")).unwrap().num_rows();
+            let yes = sub
+                .filter(|r| r.str("survived") == Some("yes"))
+                .unwrap()
+                .num_rows();
             yes as f64 / sub.num_rows().max(1) as f64
         };
         // LUAD (0.18) should kill more often than BRCA (0.02).
@@ -176,15 +201,21 @@ mod tests {
         let (patients, registry, dropped) = s.corrupted(11);
         // invalid: CRC diagnosis + negative age in row 0 (exempt from the
         // bias drop, so always present).
-        let crc = patients.filter(|r| r.str("diagnosis") == Some("CRC")).unwrap();
+        let crc = patients
+            .filter(|r| r.str("diagnosis") == Some("CRC"))
+            .unwrap();
         assert_eq!(crc.num_rows(), 1);
         assert_eq!(crc.get(0, "age").unwrap(), Value::Int(-1));
         // missing patient age in row 1.
         assert_eq!(patients.get(1, "age").unwrap(), Value::Null);
         // missing registry rate for BRCA, wrong (×5) for SKCM.
-        let brca = registry.filter(|r| r.str("diagnosis") == Some("BRCA")).unwrap();
+        let brca = registry
+            .filter(|r| r.str("diagnosis") == Some("BRCA"))
+            .unwrap();
         assert_eq!(brca.get(0, "death_rate").unwrap(), Value::Null);
-        let skcm = registry.filter(|r| r.str("diagnosis") == Some("SKCM")).unwrap();
+        let skcm = registry
+            .filter(|r| r.str("diagnosis") == Some("SKCM"))
+            .unwrap();
         assert_eq!(skcm.get(0, "death_rate").unwrap().as_float(), Some(0.5));
         // biased: some surviving female patients were dropped.
         assert!(!dropped.is_empty());
@@ -197,7 +228,10 @@ mod tests {
 
     #[test]
     fn registry_join_works_on_clean_data() {
-        let s = ClinicalScenario::generate(&ClinicalConfig { n_patients: 50, seed: 1 });
+        let s = ClinicalScenario::generate(&ClinicalConfig {
+            n_patients: 50,
+            seed: 1,
+        });
         let joined = s
             .patients
             .inner_join(&s.registry, "diagnosis", "diagnosis")
@@ -208,12 +242,20 @@ mod tests {
 
     #[test]
     fn invalid_code_breaks_the_join_for_that_row() {
-        let s = ClinicalScenario::generate(&ClinicalConfig { n_patients: 50, seed: 1 });
+        let s = ClinicalScenario::generate(&ClinicalConfig {
+            n_patients: 50,
+            seed: 1,
+        });
         let (patients, registry, _) = s.corrupted(2);
-        let joined = patients.inner_join(&registry, "diagnosis", "diagnosis").unwrap();
+        let joined = patients
+            .inner_join(&registry, "diagnosis", "diagnosis")
+            .unwrap();
         // The CRC row silently vanishes in an inner join — exactly the
         // propagation hazard Figure 1 illustrates.
-        assert!(joined.filter(|r| r.str("diagnosis") == Some("CRC")).unwrap().is_empty());
+        assert!(joined
+            .filter(|r| r.str("diagnosis") == Some("CRC"))
+            .unwrap()
+            .is_empty());
         assert!(joined.num_rows() < patients.num_rows());
     }
 }

@@ -93,11 +93,15 @@ mod tests {
             .int("id", (0..n as i64).collect::<Vec<_>>())
             .str(
                 "sex",
-                (0..n).map(|i| if i % 2 == 0 { "f" } else { "m" }).collect::<Vec<_>>(),
+                (0..n)
+                    .map(|i| if i % 2 == 0 { "f" } else { "m" })
+                    .collect::<Vec<_>>(),
             )
             .str(
                 "label",
-                (0..n).map(|i| if i % 4 < 2 { "positive" } else { "negative" }).collect::<Vec<_>>(),
+                (0..n)
+                    .map(|i| if i % 4 < 2 { "positive" } else { "negative" })
+                    .collect::<Vec<_>>(),
             )
             .build()
             .unwrap()
@@ -112,9 +116,15 @@ mod tests {
         for &i in &report.affected {
             assert_eq!(t.row(i).unwrap().str("sex"), Some("f"));
         }
-        let f_left = biased.filter(|r| r.str("sex") == Some("f")).unwrap().num_rows();
+        let f_left = biased
+            .filter(|r| r.str("sex") == Some("f"))
+            .unwrap()
+            .num_rows();
         assert!(f_left < 80, "f_left = {f_left}");
-        let m_left = biased.filter(|r| r.str("sex") == Some("m")).unwrap().num_rows();
+        let m_left = biased
+            .filter(|r| r.str("sex") == Some("m"))
+            .unwrap()
+            .num_rows();
         assert_eq!(m_left, 100);
     }
 

@@ -19,7 +19,10 @@ pub fn inject_duplicates(
     if table.is_empty() {
         return Ok((
             table.clone(),
-            InjectionReport { affected: vec![], description: "no rows to duplicate".into() },
+            InjectionReport {
+                affected: vec![],
+                description: "no rows to duplicate".into(),
+            },
         ));
     }
     let mut rng = StdRng::seed_from_u64(seed);

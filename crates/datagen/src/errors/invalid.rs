@@ -25,8 +25,7 @@ pub fn inject_invalid(
         Column::Str(_) => Value::Str("N/A".to_owned()),
         Column::Bool(_) => Value::Bool(false),
     };
-    let mut candidates: Vec<usize> =
-        (0..table.num_rows()).filter(|&i| !col.is_null(i)).collect();
+    let mut candidates: Vec<usize> = (0..table.num_rows()).filter(|&i| !col.is_null(i)).collect();
     let mut rng = StdRng::seed_from_u64(seed);
     candidates.shuffle(&mut rng);
     let n = ((candidates.len() as f64) * fraction.clamp(0.0, 1.0)).round() as usize;
@@ -74,7 +73,10 @@ mod tests {
 
     #[test]
     fn fraction_and_determinism() {
-        let t = Table::builder().int("x", (0..40i64).collect::<Vec<_>>()).build().unwrap();
+        let t = Table::builder()
+            .int("x", (0..40i64).collect::<Vec<_>>())
+            .build()
+            .unwrap();
         let (a, ra) = inject_invalid(&t, "x", 0.25, 4).unwrap();
         assert_eq!(ra.count(), 10);
         let (b, rb) = inject_invalid(&t, "x", 0.25, 4).unwrap();

@@ -19,10 +19,12 @@ pub fn flip_labels(
     seed: u64,
 ) -> nde_tabular::Result<(Table, InjectionReport)> {
     let col = table.column(label_col)?;
-    let cells = col.as_str().ok_or_else(|| nde_tabular::TableError::TypeMismatch {
-        expected: nde_tabular::DataType::Str,
-        found: col.dtype().to_string(),
-    })?;
+    let cells = col
+        .as_str()
+        .ok_or_else(|| nde_tabular::TableError::TypeMismatch {
+            expected: nde_tabular::DataType::Str,
+            found: col.dtype().to_string(),
+        })?;
     let mut vocab: Vec<String> = cells.iter().flatten().cloned().collect();
     vocab.sort();
     vocab.dedup();
@@ -37,9 +39,7 @@ pub fn flip_labels(
         ));
     }
 
-    let mut candidates: Vec<usize> = (0..table.num_rows())
-        .filter(|&i| !col.is_null(i))
-        .collect();
+    let mut candidates: Vec<usize> = (0..table.num_rows()).filter(|&i| !col.is_null(i)).collect();
     let mut rng = StdRng::seed_from_u64(seed);
     candidates.shuffle(&mut rng);
     let n_flip = ((table.num_rows() as f64) * fraction.clamp(0.0, 1.0)).round() as usize;
@@ -51,7 +51,10 @@ pub fn flip_labels(
         let current = out.get(i, label_col)?;
         let current = current.as_str().expect("selected rows are non-null");
         // Deterministic "next label in vocabulary" flip.
-        let pos = vocab.iter().position(|v| v == current).expect("vocab is observed");
+        let pos = vocab
+            .iter()
+            .position(|v| v == current)
+            .expect("vocab is observed");
         let replacement = vocab[(pos + 1) % vocab.len()].clone();
         out.set(i, label_col, Value::Str(replacement))?;
     }

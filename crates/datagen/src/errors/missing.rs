@@ -82,8 +82,11 @@ fn weighted_top(
     // Rank candidates by value.
     let mut order: Vec<usize> = candidates.to_vec();
     order.sort_by(|&a, &b| value_of(a).total_cmp(&value_of(b)));
-    let rank_of: std::collections::HashMap<usize, usize> =
-        order.iter().enumerate().map(|(rank, &row)| (row, rank)).collect();
+    let rank_of: std::collections::HashMap<usize, usize> = order
+        .iter()
+        .enumerate()
+        .map(|(rank, &row)| (row, rank))
+        .collect();
     // Exponential race: key = Exp(1)/weight; take the n smallest keys.
     let mut keyed: Vec<(f64, usize)> = candidates
         .iter()
@@ -139,7 +142,9 @@ mod tests {
             &t,
             "rating",
             0.2,
-            Mechanism::Mar { driver: "driver".into() },
+            Mechanism::Mar {
+                driver: "driver".into(),
+            },
             3,
         )
         .unwrap();
@@ -179,7 +184,9 @@ mod tests {
             &t,
             "rating",
             0.5,
-            Mechanism::Mar { driver: "nope".into() },
+            Mechanism::Mar {
+                driver: "nope".into()
+            },
             0
         )
         .is_err());

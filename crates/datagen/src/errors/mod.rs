@@ -93,7 +93,10 @@ mod tests {
 
     #[test]
     fn empty_report_edge_cases() {
-        let report = InjectionReport { affected: vec![], description: String::new() };
+        let report = InjectionReport {
+            affected: vec![],
+            description: String::new(),
+        };
         assert_eq!(report.recall_at_k(&[0, 1], 2), 0.0);
         assert_eq!(report.count(), 0);
     }

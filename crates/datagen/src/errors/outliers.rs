@@ -32,8 +32,9 @@ pub fn inject_outliers(
             .max(1e-9)
     };
 
-    let mut candidates: Vec<usize> =
-        (0..table.num_rows()).filter(|&i| vals[i].is_some()).collect();
+    let mut candidates: Vec<usize> = (0..table.num_rows())
+        .filter(|&i| vals[i].is_some())
+        .collect();
     let mut rng = StdRng::seed_from_u64(seed);
     candidates.shuffle(&mut rng);
     let n = ((candidates.len() as f64) * fraction.clamp(0.0, 1.0)).round() as usize;
@@ -72,7 +73,7 @@ mod tests {
         assert_eq!(report.count(), 10);
         for &i in &report.affected {
             let v = dirty.get(i, "x").unwrap().as_float().unwrap();
-            assert!(v < -10.0 || v > 20.0, "value {v} is not extreme");
+            assert!(!(-10.0..=20.0).contains(&v), "value {v} is not extreme");
         }
     }
 

@@ -37,7 +37,10 @@ mod tests {
 
     #[test]
     fn shifts_all_non_null_cells() {
-        let t = Table::builder().float("x", [Some(1.0), None, Some(3.0)]).build().unwrap();
+        let t = Table::builder()
+            .float("x", [Some(1.0), None, Some(3.0)])
+            .build()
+            .unwrap();
         let (s, report) = inject_shift(&t, "x", 2.0, 10.0).unwrap();
         assert_eq!(s.get(0, "x").unwrap(), Value::Float(12.0));
         assert_eq!(s.get(1, "x").unwrap(), Value::Null);

@@ -14,8 +14,14 @@ pub const SECTORS: &[&str] = &["healthcare", "finance", "retail", "education"];
 /// Employer names for the fuzzy-join side table (§3.1 mentions "(fuzzy)
 /// joins" over dirty keys).
 pub const EMPLOYERS: &[&str] = &[
-    "Acme Health", "Globex Care", "Initech Medical", "Umbrella Clinics", "Stark Wellness",
-    "Wayne Biolabs", "Tyrell Pharma", "Cyberdyne Diagnostics",
+    "Acme Health",
+    "Globex Care",
+    "Initech Medical",
+    "Umbrella Clinics",
+    "Stark Wellness",
+    "Wayne Biolabs",
+    "Tyrell Pharma",
+    "Cyberdyne Diagnostics",
 ];
 
 /// Degree vocabulary for the one-hot-encoded `degree` column.
@@ -122,7 +128,11 @@ impl HiringScenario {
         let mut sentiment = Vec::with_capacity(total);
 
         for i in 0..total {
-            let s = if i % 2 == 0 { Sentiment::Positive } else { Sentiment::Negative };
+            let s = if i % 2 == 0 {
+                Sentiment::Positive
+            } else {
+                Sentiment::Negative
+            };
             letter_id.push(i as i64);
             person_id.push(i as i64);
             job_id.push(rng.random_range(0..config.n_jobs as i64));
@@ -168,8 +178,7 @@ impl HiringScenario {
 
         // Contiguous splits keep the alternating class balance in each split.
         let train_idx: Vec<usize> = (0..config.n_train).collect();
-        let valid_idx: Vec<usize> =
-            (config.n_train..config.n_train + config.n_valid).collect();
+        let valid_idx: Vec<usize> = (config.n_train..config.n_train + config.n_valid).collect();
         let test_idx: Vec<usize> = (config.n_train + config.n_valid..total).collect();
 
         // Job details.
@@ -179,7 +188,12 @@ impl HiringScenario {
         for j in 0..config.n_jobs {
             // Deterministic striping gives ~40% healthcare jobs.
             sector.push(
-                if j % 5 < 2 { "healthcare" } else { SECTORS[1 + j % 3] }.to_owned(),
+                if j % 5 < 2 {
+                    "healthcare"
+                } else {
+                    SECTORS[1 + j % 3]
+                }
+                .to_owned(),
             );
             seniority.push(["junior", "mid", "senior"][j % 3].to_owned());
             salary_band.push(rng.random_range(1i64..=5));
@@ -256,7 +270,12 @@ mod tests {
 
     #[test]
     fn split_sizes_match_config() {
-        let cfg = HiringConfig { n_train: 50, n_valid: 20, n_test: 10, ..Default::default() };
+        let cfg = HiringConfig {
+            n_train: 50,
+            n_valid: 20,
+            n_test: 10,
+            ..Default::default()
+        };
         let s = HiringScenario::generate(&cfg);
         assert_eq!(s.train.num_rows(), 50);
         assert_eq!(s.valid.num_rows(), 20);
@@ -267,7 +286,12 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let cfg = HiringConfig { n_train: 30, n_valid: 10, n_test: 10, ..Default::default() };
+        let cfg = HiringConfig {
+            n_train: 30,
+            n_valid: 10,
+            n_test: 10,
+            ..Default::default()
+        };
         let a = HiringScenario::generate(&cfg);
         let b = HiringScenario::generate(&cfg);
         assert_eq!(a.train, b.train);
@@ -276,7 +300,12 @@ mod tests {
 
     #[test]
     fn classes_are_balanced() {
-        let cfg = HiringConfig { n_train: 100, n_valid: 0, n_test: 0, ..Default::default() };
+        let cfg = HiringConfig {
+            n_train: 100,
+            n_valid: 0,
+            n_test: 0,
+            ..Default::default()
+        };
         let s = HiringScenario::generate(&cfg);
         let labels = HiringScenario::labels(&s.train);
         assert_eq!(labels.iter().filter(|&&l| l == 1).count(), 50);
@@ -284,7 +313,12 @@ mod tests {
 
     #[test]
     fn employer_rating_correlates_with_label() {
-        let cfg = HiringConfig { n_train: 200, n_valid: 0, n_test: 0, ..Default::default() };
+        let cfg = HiringConfig {
+            n_train: 200,
+            n_valid: 0,
+            n_test: 0,
+            ..Default::default()
+        };
         let s = HiringScenario::generate(&cfg);
         let labels = HiringScenario::labels(&s.train);
         let ratings = s.train.column("employer_rating").unwrap().to_f64().unwrap();

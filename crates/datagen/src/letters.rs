@@ -127,7 +127,9 @@ impl LetterGenerator {
         };
         for slot in 0..(self.body_phrases + self.filler_phrases) {
             let phrase = if slot % 2 == 1 && slot / 2 < self.filler_phrases {
-                NEUTRAL_PHRASES.choose(&mut self.rng).expect("non-empty pool")
+                NEUTRAL_PHRASES
+                    .choose(&mut self.rng)
+                    .expect("non-empty pool")
             } else if self.rng.random_bool(self.signal) {
                 own.choose(&mut self.rng).expect("non-empty pool")
             } else {
@@ -143,7 +145,11 @@ impl LetterGenerator {
     pub fn letters(&mut self, n: usize) -> Vec<(String, Sentiment)> {
         (0..n)
             .map(|i| {
-                let s = if i % 2 == 0 { Sentiment::Positive } else { Sentiment::Negative };
+                let s = if i % 2 == 0 {
+                    Sentiment::Positive
+                } else {
+                    Sentiment::Negative
+                };
                 (self.letter(s), s)
             })
             .collect()
@@ -192,7 +198,10 @@ mod tests {
         assert_eq!(batch.len(), 10);
         assert_eq!(batch[0].1, Sentiment::Positive);
         assert_eq!(batch[1].1, Sentiment::Negative);
-        let positives = batch.iter().filter(|(_, s)| *s == Sentiment::Positive).count();
+        let positives = batch
+            .iter()
+            .filter(|(_, s)| *s == Sentiment::Positive)
+            .count();
         assert_eq!(positives, 5);
     }
 

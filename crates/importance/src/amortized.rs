@@ -11,17 +11,16 @@ use nde_learners::{LearnError, Result};
 /// with its (noisy) attribution estimate; the returned vector predicts a
 /// score for *every* example from its features (and label, appended as an
 /// extra feature so same-location/different-label points can diverge).
-pub fn amortize_scores(
-    data: &ClassDataset,
-    labeled: &[(usize, f64)],
-    l2: f64,
-) -> Result<Vec<f64>> {
+pub fn amortize_scores(data: &ClassDataset, labeled: &[(usize, f64)], l2: f64) -> Result<Vec<f64>> {
     if labeled.is_empty() {
         return Err(LearnError::EmptyDataset);
     }
     if let Some(&(bad, _)) = labeled.iter().find(|(i, _)| *i >= data.len()) {
         return Err(LearnError::DimensionMismatch {
-            detail: format!("labeled index {bad} out of range for {} examples", data.len()),
+            detail: format!(
+                "labeled index {bad} out of range for {} examples",
+                data.len()
+            ),
         });
     }
     let featurize = |i: usize| -> Vec<f64> {
@@ -36,7 +35,9 @@ pub fn amortize_scores(
     let targets: Vec<f64> = labeled.iter().map(|&(_, s)| s).collect();
     let train = RegDataset::new(nde_learners::Matrix::from_rows(&rows)?, targets)?;
     let model = LinearRegression::new(l2.max(1e-8)).fit(&train)?;
-    Ok((0..data.len()).map(|i| model.predict(&featurize(i))).collect())
+    Ok((0..data.len())
+        .map(|i| model.predict(&featurize(i)))
+        .collect())
 }
 
 #[cfg(test)]

@@ -21,7 +21,11 @@ pub struct AumConfig {
 
 impl Default for AumConfig {
     fn default() -> Self {
-        AumConfig { learning_rate: 0.5, epochs: 60, l2: 1e-3 }
+        AumConfig {
+            learning_rate: 0.5,
+            epochs: 60,
+            l2: 1e-3,
+        }
     }
 }
 
@@ -43,10 +47,11 @@ pub fn aum_scores(data: &ClassDataset, cfg: &AumConfig) -> Vec<f64> {
     for _ in 0..cfg.epochs {
         grad_w.iter_mut().for_each(|g| *g = 0.0);
         grad_b.iter_mut().for_each(|g| *g = 0.0);
-        for i in 0..n {
+        for (i, ms) in margin_sum.iter_mut().enumerate().take(n) {
             let xi = data.x.row(i);
-            let logits: Vec<f64> =
-                (0..c).map(|k| dot(&w[k * d..(k + 1) * d], xi) + b[k]).collect();
+            let logits: Vec<f64> = (0..c)
+                .map(|k| dot(&w[k * d..(k + 1) * d], xi) + b[k])
+                .collect();
             // Margin of the assigned class over the best other class.
             let yi = data.y[i];
             let best_other = logits
@@ -55,7 +60,7 @@ pub fn aum_scores(data: &ClassDataset, cfg: &AumConfig) -> Vec<f64> {
                 .filter(|&(k, _)| k != yi)
                 .map(|(_, &z)| z)
                 .fold(f64::NEG_INFINITY, f64::max);
-            margin_sum[i] += logits[yi] - best_other;
+            *ms += logits[yi] - best_other;
 
             let probs = softmax(&logits);
             for k in 0..c {
@@ -68,12 +73,17 @@ pub fn aum_scores(data: &ClassDataset, cfg: &AumConfig) -> Vec<f64> {
         }
         for k in 0..c {
             b[k] -= cfg.learning_rate * grad_b[k] * inv_n;
-            for (wj, &gj) in w[k * d..(k + 1) * d].iter_mut().zip(&grad_w[k * d..(k + 1) * d]) {
+            for (wj, &gj) in w[k * d..(k + 1) * d]
+                .iter_mut()
+                .zip(&grad_w[k * d..(k + 1) * d])
+            {
                 *wj -= cfg.learning_rate * (gj * inv_n + cfg.l2 * *wj);
             }
         }
     }
-    margin_sum.iter_mut().for_each(|m| *m /= cfg.epochs.max(1) as f64);
+    margin_sum
+        .iter_mut()
+        .for_each(|m| *m /= cfg.epochs.max(1) as f64);
     margin_sum
 }
 

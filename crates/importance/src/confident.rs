@@ -67,9 +67,10 @@ pub fn confident_learning(
     let mut suspect_of: Vec<Option<usize>> = vec![None; n];
     for i in 0..n {
         let above: Vec<usize> = (0..c).filter(|&k| probs[i][k] >= thresholds[k]).collect();
-        let Some(&kstar) = above.iter().max_by(|&&a, &&b| {
-            probs[i][a].total_cmp(&probs[i][b]).then(b.cmp(&a))
-        }) else {
+        let Some(&kstar) = above
+            .iter()
+            .max_by(|&&a, &&b| probs[i][a].total_cmp(&probs[i][b]).then(b.cmp(&a)))
+        else {
             continue;
         };
         joint_counts[data.y[i]][kstar] += 1;
@@ -84,7 +85,13 @@ pub fn confident_learning(
         .iter()
         .map(|row| {
             row.iter()
-                .map(|&v| if total > 0 { v as f64 / total as f64 } else { 0.0 })
+                .map(|&v| {
+                    if total > 0 {
+                        v as f64 / total as f64
+                    } else {
+                        0.0
+                    }
+                })
                 .collect()
         })
         .collect();
@@ -98,7 +105,11 @@ pub fn confident_learning(
 
     // Rank candidate errors by self-confidence, lowest first; keep n_errors.
     let mut candidates: Vec<usize> = (0..n).filter(|&i| suspect_of[i].is_some()).collect();
-    candidates.sort_by(|&a, &b| probs[a][data.y[a]].total_cmp(&probs[b][data.y[b]]).then(a.cmp(&b)));
+    candidates.sort_by(|&a, &b| {
+        probs[a][data.y[a]]
+            .total_cmp(&probs[b][data.y[b]])
+            .then(a.cmp(&b))
+    });
     candidates.truncate(n_errors);
     let flagged_set: std::collections::HashSet<usize> = candidates.iter().copied().collect();
 
@@ -122,7 +133,12 @@ pub fn confident_learning(
         })
         .collect();
 
-    Ok(ConfidentReport { scores, flagged: candidates, suggested, joint })
+    Ok(ConfidentReport {
+        scores,
+        flagged: candidates,
+        suggested,
+        joint,
+    })
 }
 
 fn k_fold_indices(
@@ -146,7 +162,11 @@ fn k_fold_indices(
     for f in 0..folds {
         let test: Vec<usize> = idx.iter().copied().skip(f).step_by(folds).collect();
         let test_set: std::collections::HashSet<usize> = test.iter().copied().collect();
-        let train: Vec<usize> = idx.iter().copied().filter(|i| !test_set.contains(i)).collect();
+        let train: Vec<usize> = idx
+            .iter()
+            .copied()
+            .filter(|i| !test_set.contains(i))
+            .collect();
         out.push((train, test));
     }
     Ok(out)
@@ -216,8 +236,7 @@ mod tests {
             assert_eq!(report.suggested[f], Some(1 - data.y[f]), "row {f}");
         }
         // Unflagged rows carry no suggestion.
-        let flagged: std::collections::HashSet<usize> =
-            report.flagged.iter().copied().collect();
+        let flagged: std::collections::HashSet<usize> = report.flagged.iter().copied().collect();
         for i in 0..data.len() {
             assert_eq!(report.suggested[i].is_some(), flagged.contains(&i));
         }

@@ -15,17 +15,16 @@ pub struct Pattern {
 impl Pattern {
     /// Whether row `i` of `table` satisfies every conjunct.
     pub fn matches(&self, table: &Table, i: usize) -> bool {
-        self.predicates.iter().all(|(col, val)| {
-            table
-                .get(i, col)
-                .map(|cell| &cell == val)
-                .unwrap_or(false)
-        })
+        self.predicates
+            .iter()
+            .all(|(col, val)| table.get(i, col).map(|cell| &cell == val).unwrap_or(false))
     }
 
     /// All matching row indices.
     pub fn support(&self, table: &Table) -> Vec<usize> {
-        (0..table.num_rows()).filter(|&i| self.matches(table, i)).collect()
+        (0..table.num_rows())
+            .filter(|&i| self.matches(table, i))
+            .collect()
     }
 }
 
@@ -86,7 +85,9 @@ pub fn fairness_explanations(
     // Single-conjunct patterns.
     for (col, vals) in &column_values {
         for v in vals {
-            patterns.push(Pattern { predicates: vec![(col.clone(), v.clone())] });
+            patterns.push(Pattern {
+                predicates: vec![(col.clone(), v.clone())],
+            });
         }
     }
     // Two-conjunct patterns across distinct columns.
@@ -141,7 +142,9 @@ mod tests {
     #[test]
     fn pattern_matching_and_support() {
         let t = demo();
-        let p = Pattern { predicates: vec![("sex".into(), Value::from("f"))] };
+        let p = Pattern {
+            predicates: vec![("sex".into(), Value::from("f"))],
+        };
         assert_eq!(p.support(&t), vec![0, 1, 4]);
         let p2 = Pattern {
             predicates: vec![

@@ -36,11 +36,7 @@ impl Utility for GroupUtility<'_> {
 }
 
 /// Monte Carlo group Shapley values (one value per group).
-pub fn group_shapley_mc(
-    base: &dyn Utility,
-    groups: &[Vec<usize>],
-    cfg: &McConfig,
-) -> Vec<f64> {
+pub fn group_shapley_mc(base: &dyn Utility, groups: &[Vec<usize>], cfg: &McConfig) -> Vec<f64> {
     let util = GroupUtility::new(base, groups);
     tmc_shapley(&util, cfg)
 }
@@ -72,7 +68,9 @@ mod tests {
 
     #[test]
     fn group_value_of_additive_game_is_group_sum() {
-        let base = AdditiveUtility { weights: vec![1.0, 2.0, 3.0, 4.0] };
+        let base = AdditiveUtility {
+            weights: vec![1.0, 2.0, 3.0, 4.0],
+        };
         let groups = vec![vec![0, 1], vec![2, 3]];
         let phi = group_shapley_exact(&base, &groups).unwrap();
         assert!((phi[0] - 3.0).abs() < 1e-12);
@@ -81,7 +79,9 @@ mod tests {
 
     #[test]
     fn mc_matches_exact_for_groups() {
-        let base = AdditiveUtility { weights: vec![1.0, -1.0, 0.5, 0.5, 2.0] };
+        let base = AdditiveUtility {
+            weights: vec![1.0, -1.0, 0.5, 0.5, 2.0],
+        };
         let groups = vec![vec![0], vec![1, 2], vec![3, 4]];
         let exact = group_shapley_exact(&base, &groups).unwrap();
         let mc = group_shapley_mc(&base, &groups, &McConfig::new(2000, 3));

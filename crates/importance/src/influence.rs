@@ -25,7 +25,11 @@ pub struct InfluenceConfig {
 
 impl Default for InfluenceConfig {
     fn default() -> Self {
-        InfluenceConfig { learning_rate: 0.5, epochs: 300, l2: 1e-3 }
+        InfluenceConfig {
+            learning_rate: 0.5,
+            epochs: 300,
+            l2: 1e-3,
+        }
     }
 }
 
@@ -122,7 +126,9 @@ pub fn influence_scores(
             *a += b;
         }
     }
-    g_val.iter_mut().for_each(|g| *g /= valid.len().max(1) as f64);
+    g_val
+        .iter_mut()
+        .for_each(|g| *g /= valid.len().max(1) as f64);
 
     // s = H⁻¹ g_val, then φᵢ = s · ∇ℓᵢ.
     let s = h.solve(&g_val)?;
@@ -166,7 +172,10 @@ mod tests {
         let phi = influence_scores(&train, &valid, &InfluenceConfig::default()).unwrap();
         let ranking = crate::rank::rank_ascending(&phi);
         let worst_two: std::collections::HashSet<usize> = ranking[..2].iter().copied().collect();
-        assert!(worst_two.contains(&0) && worst_two.contains(&7), "{ranking:?}");
+        assert!(
+            worst_two.contains(&0) && worst_two.contains(&7),
+            "{ranking:?}"
+        );
         assert!(phi[0] < 0.0 && phi[7] < 0.0);
     }
 

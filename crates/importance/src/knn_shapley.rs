@@ -11,6 +11,38 @@
 
 use nde_learners::dataset::ClassDataset;
 use nde_learners::matrix::sq_dist;
+use nde_parallel::{par_reduce, par_reduce_with, NeighborCache};
+
+/// Validation points per work chunk for the parallel/cached paths. Chunk
+/// boundaries depend only on the validation count, so results are
+/// bit-identical for any thread count.
+const VALID_CHUNK: usize = 8;
+
+/// Backward recursion of Jia et al. (Theorem 1) for one validation point,
+/// given training indices sorted ascending by (distance, index). Adds the
+/// per-point (unaveraged) Shapley contributions into `scores`.
+fn accumulate_one(scores: &mut [f64], order: &[u32], train_y: &[usize], yv: usize, k: usize) {
+    let n = order.len();
+    let matches = |i: u32| f64::from(u8::from(train_y[i as usize] == yv));
+    // The base case uses min(K, N): when the training set is smaller
+    // than K, the farthest point still occupies a guaranteed vote slot.
+    let mut s_next = matches(order[n - 1]) * k.min(n) as f64 / (k as f64 * n as f64);
+    scores[order[n - 1] as usize] += s_next;
+    for j in (1..n).rev() {
+        // position j (1-indexed) is order[j-1]; its successor is order[j].
+        let i = order[j - 1];
+        let s = s_next + (matches(i) - matches(order[j])) / k as f64 * (k.min(j) as f64 / j as f64);
+        scores[i as usize] += s;
+        s_next = s;
+    }
+}
+
+fn elementwise_add(mut acc: Vec<f64>, part: Vec<f64>) -> Vec<f64> {
+    for (a, p) in acc.iter_mut().zip(part) {
+        *a += p;
+    }
+    acc
+}
 
 /// Exact Shapley values of every training point under the K-NN utility,
 /// averaged over all validation points. Lower = more harmful; mislabeled
@@ -37,94 +69,177 @@ use nde_learners::matrix::sq_dist;
 /// assert!(phi[3] < 0.0);
 /// ```
 pub fn knn_shapley(train: &ClassDataset, valid: &ClassDataset, k: usize) -> Vec<f64> {
-    let n = train.len();
-    if n == 0 || valid.is_empty() {
-        return vec![0.0; n];
-    }
-    let k = k.max(1);
-    let mut scores = vec![0.0f64; n];
-    let mut order: Vec<usize> = (0..n).collect();
-    for v in 0..valid.len() {
-        let (xv, yv) = (valid.x.row(v), valid.y[v]);
-        // Sort training indices by distance to the validation point
-        // (ties by index, for determinism).
-        order.sort_by(|&a, &b| {
-            sq_dist(train.x.row(a), xv)
-                .total_cmp(&sq_dist(train.x.row(b), xv))
-                .then(a.cmp(&b))
-        });
-        // Backward recursion of Jia et al. (Theorem 1), 1-indexed positions.
-        // The base case uses min(K, N): when the training set is smaller
-        // than K, the farthest point still occupies a guaranteed vote slot.
-        let matches = |i: usize| f64::from(u8::from(train.y[i] == yv));
-        let mut s_next =
-            matches(order[n - 1]) * k.min(n) as f64 / (k as f64 * n as f64);
-        scores[order[n - 1]] += s_next;
-        for j in (1..n).rev() {
-            // position j (1-indexed) is order[j-1]; its successor is order[j].
-            let i = order[j - 1];
-            let s = s_next
-                + (matches(i) - matches(order[j])) / k as f64 * (k.min(j) as f64 / j as f64);
-            scores[i] += s;
-            s_next = s;
-        }
-    }
-    // Average contribution per validation point.
-    scores.iter_mut().for_each(|s| *s /= valid.len() as f64);
-    scores
+    // The single-worker parallel path is the serial algorithm: identical
+    // chunk decomposition and fold order, so `knn_shapley` and
+    // `knn_shapley_parallel` agree bit-for-bit at every thread count.
+    knn_shapley_parallel(train, valid, k, 1)
 }
 
 /// Multi-threaded [`knn_shapley`]: validation points are embarrassingly
-/// parallel, so the scores are split across `threads` workers and summed.
-/// Produces exactly the same values as the serial version (addition order
-/// per training point is preserved by summing per-worker partials in
-/// worker order).
+/// parallel. Work is split into fixed-size chunks whose boundaries depend
+/// only on the validation count, and chunk partials are summed in chunk
+/// order — so the result is bit-identical for any `threads` value
+/// (including 1), and [`knn_shapley`] is exactly the 1-worker case.
 pub fn knn_shapley_parallel(
     train: &ClassDataset,
     valid: &ClassDataset,
     k: usize,
     threads: usize,
 ) -> Vec<f64> {
-    let threads = threads.max(1);
-    if threads == 1 || valid.len() < 2 * threads {
-        return knn_shapley(train, valid, k);
-    }
     let n = train.len();
     if n == 0 || valid.is_empty() {
         return vec![0.0; n];
     }
-    let chunk = valid.len().div_ceil(threads);
-    let mut partials: Vec<Vec<f64>> = Vec::with_capacity(threads);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|t| {
-                scope.spawn(move || {
-                    let lo = t * chunk;
-                    let hi = ((t + 1) * chunk).min(valid.len());
-                    if lo >= hi {
-                        return vec![0.0; n];
-                    }
-                    let idx: Vec<usize> = (lo..hi).collect();
-                    let sub = valid.subset(&idx);
-                    // Undo the per-point averaging so partials are sums.
-                    let mut scores = knn_shapley(train, &sub, k);
-                    let weight = sub.len() as f64;
-                    scores.iter_mut().for_each(|s| *s *= weight);
-                    scores
-                })
-            })
-            .collect();
-        for handle in handles {
-            partials.push(handle.join().expect("knn-shapley worker panicked"));
-        }
-    });
-    let mut total = vec![0.0f64; n];
-    for partial in partials {
-        for (acc, v) in total.iter_mut().zip(partial) {
-            *acc += v;
-        }
-    }
+    let k = k.max(1);
+    let mut total = par_reduce_with(
+        threads,
+        valid.len(),
+        VALID_CHUNK,
+        vec![0.0f64; n],
+        |chunk| {
+            let mut scores = vec![0.0f64; n];
+            let mut order: Vec<u32> = (0..n as u32).collect();
+            for v in chunk {
+                let (xv, yv) = (valid.x.row(v), valid.y[v]);
+                order.sort_by(|&a, &b| {
+                    sq_dist(train.x.row(a as usize), xv)
+                        .total_cmp(&sq_dist(train.x.row(b as usize), xv))
+                        .then(a.cmp(&b))
+                });
+                accumulate_one(&mut scores, &order, &train.y, yv, k);
+            }
+            scores
+        },
+        elementwise_add,
+    );
     total.iter_mut().for_each(|s| *s /= valid.len() as f64);
+    total
+}
+
+/// Builds a [`NeighborCache`] of the train→valid distance structure — the
+/// one-time cost that [`knn_shapley_cached`], [`knn_utility_cached`] and
+/// [`knn_loo_cached`] amortize across repeated re-scoring (e.g. every
+/// round of a cleaning loop, with [`NeighborCache::update_row`] keeping it
+/// current as rows are repaired).
+pub fn build_neighbor_cache(train: &ClassDataset, valid: &ClassDataset) -> NeighborCache {
+    NeighborCache::build(train.len(), valid.len(), |t, v| {
+        sq_dist(train.x.row(t), valid.x.row(v))
+    })
+}
+
+/// [`knn_shapley`] from a prebuilt [`NeighborCache`]: skips every distance
+/// computation and sort. Labels are passed separately so a cleaning loop
+/// can re-score after label repairs without touching the cache. Equals
+/// [`knn_shapley`] on the same data to rounding, and is bit-identical
+/// across thread counts.
+pub fn knn_shapley_cached(
+    cache: &NeighborCache,
+    train_y: &[usize],
+    valid_y: &[usize],
+    k: usize,
+) -> Vec<f64> {
+    let n = cache.n_train();
+    let m = cache.n_valid();
+    assert_eq!(n, train_y.len(), "train_y length must match the cache");
+    assert_eq!(m, valid_y.len(), "valid_y length must match the cache");
+    if n == 0 || m == 0 {
+        return vec![0.0; n];
+    }
+    let k = k.max(1);
+    let mut total = par_reduce(
+        m,
+        VALID_CHUNK,
+        vec![0.0f64; n],
+        |chunk| {
+            let mut scores = vec![0.0f64; n];
+            let mut order: Vec<u32> = Vec::with_capacity(n);
+            for v in chunk {
+                order.clear();
+                order.extend(cache.neighbors(v).iter().map(|&(_, t)| t));
+                accumulate_one(&mut scores, &order, train_y, valid_y[v], k);
+            }
+            scores
+        },
+        elementwise_add,
+    );
+    total.iter_mut().for_each(|s| *s /= m as f64);
+    total
+}
+
+/// [`knn_utility`] from a prebuilt [`NeighborCache`].
+pub fn knn_utility_cached(
+    cache: &NeighborCache,
+    train_y: &[usize],
+    valid_y: &[usize],
+    k: usize,
+) -> f64 {
+    let n = cache.n_train();
+    let m = cache.n_valid();
+    if n == 0 || m == 0 {
+        return 0.0;
+    }
+    let k = k.max(1);
+    let total = par_reduce(
+        m,
+        VALID_CHUNK,
+        0.0f64,
+        |chunk| {
+            let mut acc = 0.0;
+            for v in chunk {
+                let kk = k.min(n);
+                let correct = cache.neighbors(v)[..kk]
+                    .iter()
+                    .filter(|&&(_, t)| train_y[t as usize] == valid_y[v])
+                    .count();
+                acc += correct as f64 / k as f64;
+            }
+            acc
+        },
+        |acc, part| acc + part,
+    );
+    total / m as f64
+}
+
+/// Closed-form leave-one-out values of the K-NN utility from a prebuilt
+/// [`NeighborCache`]: `LOO_i = v(D) − v(D∖{i})`. Removing `i` only matters
+/// for validation points where `i` is among the K nearest — its vote slot
+/// is inherited by the (K+1)-th neighbor — so each point costs O(K)
+/// instead of the n·O(utility) evaluations of the generic estimator.
+pub fn knn_loo_cached(
+    cache: &NeighborCache,
+    train_y: &[usize],
+    valid_y: &[usize],
+    k: usize,
+) -> Vec<f64> {
+    let n = cache.n_train();
+    let m = cache.n_valid();
+    if n == 0 || m == 0 {
+        return vec![0.0; n];
+    }
+    let k = k.max(1);
+    let mut total = par_reduce(
+        m,
+        VALID_CHUNK,
+        vec![0.0f64; n],
+        |chunk| {
+            let mut deltas = vec![0.0f64; n];
+            for v in chunk {
+                let yv = valid_y[v];
+                let list = cache.neighbors(v);
+                let kk = k.min(n);
+                let matches = |e: &(f64, u32)| f64::from(u8::from(train_y[e.1 as usize] == yv));
+                // The successor that inherits the freed vote slot (none
+                // when the training set is no larger than K).
+                let succ = if n > kk { matches(&list[kk]) } else { 0.0 };
+                for entry in &list[..kk] {
+                    deltas[entry.1 as usize] += (matches(entry) - succ) / k as f64;
+                }
+            }
+            deltas
+        },
+        elementwise_add,
+    );
+    total.iter_mut().for_each(|s| *s /= m as f64);
     total
 }
 
@@ -194,7 +309,11 @@ mod tests {
         let valid = dataset(&[(0.2, 0), (3.5, 1)]);
         for k in [1usize, 2, 3] {
             let fast = knn_shapley(&train, &valid, k);
-            let game = KnnGame { train: &train, valid: &valid, k };
+            let game = KnnGame {
+                train: &train,
+                valid: &valid,
+                k,
+            };
             let slow = exact_shapley(&game).unwrap();
             for (f, s) in fast.iter().zip(&slow) {
                 assert!((f - s).abs() < 1e-10, "k={k}: {fast:?} vs {slow:?}");
@@ -210,7 +329,10 @@ mod tests {
             let phi = knn_shapley(&train, &valid, k);
             let total: f64 = phi.iter().sum();
             let util = knn_utility(&train, &valid, k);
-            assert!((total - util).abs() < 1e-10, "k={k}: Σφ={total}, v(D)={util}");
+            assert!(
+                (total - util).abs() < 1e-10,
+                "k={k}: Σφ={total}, v(D)={util}"
+            );
         }
     }
 
@@ -296,5 +418,88 @@ mod tests {
         let a = knn_shapley(&train, &valid, 2);
         let b = knn_shapley(&train, &valid, 2);
         assert_eq!(a, b);
+    }
+
+    fn bigger_pair() -> (ClassDataset, ClassDataset) {
+        let train = dataset(&[
+            (0.0, 0),
+            (0.5, 1),
+            (1.0, 0),
+            (2.0, 1),
+            (3.0, 0),
+            (4.0, 1),
+            (5.0, 0),
+            (0.1, 1),
+            (4.9, 0),
+        ]);
+        let valid = dataset(&[
+            (0.2, 0),
+            (1.5, 1),
+            (2.5, 0),
+            (3.5, 1),
+            (4.5, 0),
+            (0.9, 1),
+            (2.2, 0),
+            (3.8, 1),
+            (1.1, 0),
+            (4.2, 1),
+        ]);
+        (train, valid)
+    }
+
+    #[test]
+    fn cached_shapley_and_utility_match_direct() {
+        let (train, valid) = bigger_pair();
+        let cache = build_neighbor_cache(&train, &valid);
+        for k in [1usize, 3, 5] {
+            let direct = knn_shapley(&train, &valid, k);
+            let cached = knn_shapley_cached(&cache, &train.y, &valid.y, k);
+            for (d, c) in direct.iter().zip(&cached) {
+                assert!((d - c).abs() < 1e-12, "k={k}: {direct:?} vs {cached:?}");
+            }
+            let u_direct = knn_utility(&train, &valid, k);
+            let u_cached = knn_utility_cached(&cache, &train.y, &valid.y, k);
+            assert!((u_direct - u_cached).abs() < 1e-12, "k={k}");
+        }
+    }
+
+    #[test]
+    fn cached_loo_matches_generic_estimator() {
+        let (train, valid) = bigger_pair();
+        let cache = build_neighbor_cache(&train, &valid);
+        for k in [1usize, 3] {
+            let fast = knn_loo_cached(&cache, &train.y, &valid.y, k);
+            let game = KnnGame {
+                train: &train,
+                valid: &valid,
+                k,
+            };
+            let slow = crate::loo::leave_one_out(&game);
+            for (f, s) in fast.iter().zip(&slow) {
+                assert!((f - s).abs() < 1e-10, "k={k}: {fast:?} vs {slow:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn cache_update_tracks_label_and_feature_repairs() {
+        let (mut train, valid) = bigger_pair();
+        let mut cache = build_neighbor_cache(&train, &valid);
+        // Feature repair: move the stray point at x=0.1 back toward its
+        // labeled blob, then re-rank only that row.
+        train.x.row_mut(7)[0] = 4.6;
+        cache.update_row(7, |v| sq_dist(train.x.row(7), valid.x.row(v)));
+        // Label repair needs no cache change at all.
+        train.y[8] = 1;
+        let rebuilt = build_neighbor_cache(&train, &valid);
+        for k in [1usize, 3] {
+            let warm = knn_shapley_cached(&cache, &train.y, &valid.y, k);
+            let cold = knn_shapley_cached(&rebuilt, &train.y, &valid.y, k);
+            assert_eq!(warm, cold, "k={k}");
+            let direct = knn_shapley(&train, &valid, k);
+            for (w, d) in warm.iter().zip(&direct) {
+                assert!((w - d).abs() < 1e-12, "k={k}");
+            }
+        }
     }
 }

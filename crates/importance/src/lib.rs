@@ -53,7 +53,6 @@ pub use knn_shapley::{knn_shapley, knn_shapley_parallel, knn_utility};
 pub use loo::leave_one_out;
 pub use rank::{rank_ascending, rank_descending, spearman};
 pub use semivalue::{
-    banzhaf_msr, beta_shapley, exact_banzhaf, exact_shapley, tmc_shapley, ImportanceError,
-    McConfig,
+    banzhaf_msr, beta_shapley, exact_banzhaf, exact_shapley, tmc_shapley, ImportanceError, McConfig,
 };
 pub use utility::{CachedUtility, ModelUtility, Utility, UtilityMetric};

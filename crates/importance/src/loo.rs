@@ -29,7 +29,9 @@ mod tests {
 
     #[test]
     fn additive_game_loo_is_weights() {
-        let util = AdditiveUtility { weights: vec![3.0, -1.0, 0.0] };
+        let util = AdditiveUtility {
+            weights: vec![3.0, -1.0, 0.0],
+        };
         assert_eq!(leave_one_out(&util), vec![3.0, -1.0, 0.0]);
     }
 

@@ -28,11 +28,7 @@ pub struct RagCorpus {
 
 impl RagCorpus {
     /// Embeds raw documents with the deterministic sentence embedder.
-    pub fn from_texts(
-        docs: &[(String, usize)],
-        n_answers: usize,
-        dims: usize,
-    ) -> Result<Self> {
+    pub fn from_texts(docs: &[(String, usize)], n_answers: usize, dims: usize) -> Result<Self> {
         if docs.is_empty() {
             return Err(LearnError::EmptyDataset);
         }
@@ -40,9 +36,16 @@ impl RagCorpus {
         let rows: Vec<Vec<f64>> = docs.iter().map(|(t, _)| embedder.embed(t)).collect();
         let labels: Vec<usize> = docs.iter().map(|&(_, l)| l).collect();
         if let Some(&bad) = labels.iter().find(|&&l| l >= n_answers) {
-            return Err(LearnError::UnknownLabel { label: bad, n_classes: n_answers });
+            return Err(LearnError::UnknownLabel {
+                label: bad,
+                n_classes: n_answers,
+            });
         }
-        Ok(RagCorpus { embeddings: Matrix::from_rows(&rows)?, labels, n_answers })
+        Ok(RagCorpus {
+            embeddings: Matrix::from_rows(&rows)?,
+            labels,
+            n_answers,
+        })
     }
 
     /// Number of documents.
@@ -170,7 +173,11 @@ mod tests {
         let corpus = RagCorpus::from_texts(&corpus_texts(), 2, 64).unwrap();
         let eval = RagEvalSet::from_texts(&eval_texts(), 64).unwrap();
         for i in 0..eval.gold.len() {
-            assert_eq!(corpus.answer(eval.queries.row(i), 3), eval.gold[i], "query {i}");
+            assert_eq!(
+                corpus.answer(eval.queries.row(i), 3),
+                eval.gold[i],
+                "query {i}"
+            );
         }
     }
 
@@ -187,8 +194,7 @@ mod tests {
         assert_eq!(ranking[0], poisoned, "phi = {phi:?}");
         // The poisoned document is clearly below the clean-document average
         // (it can still net ≥ 0 when it also answers same-label queries).
-        let clean_mean: f64 =
-            phi[..poisoned].iter().sum::<f64>() / poisoned as f64;
+        let clean_mean: f64 = phi[..poisoned].iter().sum::<f64>() / poisoned as f64;
         assert!(phi[poisoned] < clean_mean - 1e-6, "phi = {phi:?}");
     }
 

@@ -4,10 +4,16 @@
 //! maximum-sample-reuse Data Banzhaf estimator (Wang & Jia 2023).
 
 use crate::utility::Utility;
+use nde_parallel::{chunk_seed, par_reduce_with};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use std::fmt;
+
+/// Samples per RNG chunk for the Monte Carlo estimators. Chunk boundaries
+/// (and hence per-chunk seeds) depend only on the sample count, so the
+/// estimates are bit-identical for any thread count.
+const SAMPLE_CHUNK: usize = 8;
 
 /// Errors from the valuation algorithms.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -25,7 +31,10 @@ impl fmt::Display for ImportanceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ImportanceError::TooManyPlayers { n, max } => {
-                write!(f, "exact enumeration over {n} players exceeds the limit of {max}")
+                write!(
+                    f,
+                    "exact enumeration over {n} players exceeds the limit of {max}"
+                )
             }
         }
     }
@@ -44,21 +53,32 @@ pub struct McConfig {
     /// the full-set value, the rest of the permutation's marginals are
     /// treated as zero. `None` disables truncation.
     pub truncation: Option<f64>,
-    /// Worker threads (permutations are split across threads; results are
-    /// deterministic for a fixed seed *and* thread count).
+    /// Worker threads. Purely a scheduling knob: samples are split into
+    /// fixed-size seed chunks and partials are folded in chunk order, so
+    /// for a fixed seed the results are bit-identical for any value here.
     pub threads: usize,
 }
 
 impl Default for McConfig {
     fn default() -> Self {
-        McConfig { samples: 200, seed: 42, truncation: Some(1e-4), threads: 1 }
+        McConfig {
+            samples: 200,
+            seed: 42,
+            truncation: Some(1e-4),
+            threads: nde_parallel::num_threads(),
+        }
     }
 }
 
 impl McConfig {
     /// Config with the given sample count and seed, no truncation.
     pub fn new(samples: usize, seed: u64) -> Self {
-        McConfig { samples, seed, truncation: None, threads: 1 }
+        McConfig {
+            samples,
+            seed,
+            truncation: None,
+            threads: 1,
+        }
     }
 
     /// Enables TMC truncation with tolerance `tol`.
@@ -102,7 +122,10 @@ fn exact_semivalue(
 ) -> Result<Vec<f64>, ImportanceError> {
     let n = util.n();
     if n > EXACT_LIMIT {
-        return Err(ImportanceError::TooManyPlayers { n, max: EXACT_LIMIT });
+        return Err(ImportanceError::TooManyPlayers {
+            n,
+            max: EXACT_LIMIT,
+        });
     }
     if n == 0 {
         return Ok(Vec::new());
@@ -116,14 +139,14 @@ fn exact_semivalue(
         *slot = util.eval(&members);
     }
     let mut phi = vec![0.0f64; n];
-    for i in 0..n {
+    for (i, p) in phi.iter_mut().enumerate() {
         let bit = 1usize << i;
         for mask in 0..(1usize << n) {
             if mask & bit != 0 {
                 continue;
             }
             let s = (mask as u32).count_ones() as usize;
-            phi[i] += weight(n, s) * (values[mask | bit] - values[mask]);
+            *p += weight(n, s) * (values[mask | bit] - values[mask]);
         }
     }
     Ok(phi)
@@ -165,9 +188,7 @@ pub fn beta_weights(n: usize, alpha: f64, beta: f64) -> Vec<f64> {
         .map(|s| {
             let j = (s + 1) as f64;
             let nf = n as f64;
-            let log_w = (nf).ln()
-                + ln_choose(n - 1, s)
-                + ln_beta(j + beta - 1.0, nf - j + alpha)
+            let log_w = (nf).ln() + ln_choose(n - 1, s) + ln_beta(j + beta - 1.0, nf - j + alpha)
                 - ln_beta(alpha, beta);
             log_w.exp()
         })
@@ -190,52 +211,51 @@ fn permutation_semivalue(
         (util.eval(&all), tol)
     });
 
-    let threads = cfg.threads.max(1).min(cfg.samples);
-    let mut sums = vec![0.0f64; n];
-    std::thread::scope(|scope| {
-        let weight = &weight;
-        let handles: Vec<_> = (0..threads)
-            .map(|t| {
-                let mut local = vec![0.0f64; n];
-                let my_samples = cfg.samples / threads + usize::from(t < cfg.samples % threads);
-                let seed = cfg.seed.wrapping_add(0x9E37_79B9 * (t as u64 + 1));
-                scope.spawn(move || {
-                    let mut rng = StdRng::seed_from_u64(seed);
-                    let mut perm: Vec<usize> = (0..n).collect();
-                    let mut prefix: Vec<usize> = Vec::with_capacity(n);
-                    for _ in 0..my_samples {
-                        perm.shuffle(&mut rng);
-                        prefix.clear();
-                        let mut prev = util.eval(&prefix);
-                        let mut truncated = false;
-                        for (pos, &i) in perm.iter().enumerate() {
-                            if truncated {
-                                // Marginals treated as exactly zero.
-                                continue;
-                            }
-                            if let Some((full, tol)) = full_value {
-                                if (full - prev).abs() < tol && pos > 0 {
-                                    truncated = true;
-                                    continue;
-                                }
-                            }
-                            prefix.push(i);
-                            let curr = util.eval(&prefix);
-                            local[i] += weight(n, pos) * (curr - prev);
-                            prev = curr;
+    // Fixed-size sample chunks, each with its own seed derived from the
+    // chunk index; partials fold in chunk order. The thread count only
+    // schedules chunks, so the estimate is identical for any `threads`.
+    let mut sums = par_reduce_with(
+        cfg.threads,
+        cfg.samples,
+        SAMPLE_CHUNK,
+        vec![0.0f64; n],
+        |chunk| {
+            let chunk_idx = (chunk.start / SAMPLE_CHUNK) as u64;
+            let mut rng = StdRng::seed_from_u64(chunk_seed(cfg.seed, chunk_idx));
+            let mut local = vec![0.0f64; n];
+            let mut perm: Vec<usize> = (0..n).collect();
+            let mut prefix: Vec<usize> = Vec::with_capacity(n);
+            for _ in chunk {
+                perm.shuffle(&mut rng);
+                prefix.clear();
+                let mut prev = util.eval(&prefix);
+                let mut truncated = false;
+                for (pos, &i) in perm.iter().enumerate() {
+                    if truncated {
+                        // Marginals treated as exactly zero.
+                        continue;
+                    }
+                    if let Some((full, tol)) = full_value {
+                        if (full - prev).abs() < tol && pos > 0 {
+                            truncated = true;
+                            continue;
                         }
                     }
-                    local
-                })
-            })
-            .collect();
-        for handle in handles {
-            let local = handle.join().expect("estimator worker panicked");
-            for (acc, v) in sums.iter_mut().zip(local) {
-                *acc += v;
+                    prefix.push(i);
+                    let curr = util.eval(&prefix);
+                    local[i] += weight(n, pos) * (curr - prev);
+                    prev = curr;
+                }
             }
-        }
-    });
+            local
+        },
+        |mut acc, local| {
+            for (a, v) in acc.iter_mut().zip(local) {
+                *a += v;
+            }
+            acc
+        },
+    );
     sums.iter_mut().for_each(|s| *s /= cfg.samples as f64);
     sums
 }
@@ -249,36 +269,81 @@ pub fn banzhaf_msr(util: &dyn Utility, cfg: &McConfig) -> Vec<f64> {
     if n == 0 || cfg.samples == 0 {
         return vec![0.0; n];
     }
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut sum_in = vec![0.0f64; n];
-    let mut cnt_in = vec![0usize; n];
-    let mut sum_out = vec![0.0f64; n];
-    let mut cnt_out = vec![0usize; n];
-    let mut subset = Vec::with_capacity(n);
-    let mut member = vec![false; n];
-    for _ in 0..cfg.samples {
-        subset.clear();
-        for i in 0..n {
-            member[i] = rng.random_bool(0.5);
-            if member[i] {
-                subset.push(i);
-            }
-        }
-        let v = util.eval(&subset);
-        for i in 0..n {
-            if member[i] {
-                sum_in[i] += v;
-                cnt_in[i] += 1;
-            } else {
-                sum_out[i] += v;
-                cnt_out[i] += 1;
-            }
-        }
+    // Same fixed-chunk scheme as the permutation engine: per-chunk seeds
+    // and in-order folding make the estimate thread-count independent.
+    struct MsrPartial {
+        sum_in: Vec<f64>,
+        cnt_in: Vec<usize>,
+        sum_out: Vec<f64>,
+        cnt_out: Vec<usize>,
     }
+    let (sum_in, cnt_in, sum_out, cnt_out) = {
+        let folded = par_reduce_with(
+            cfg.threads,
+            cfg.samples,
+            SAMPLE_CHUNK,
+            MsrPartial {
+                sum_in: vec![0.0; n],
+                cnt_in: vec![0; n],
+                sum_out: vec![0.0; n],
+                cnt_out: vec![0; n],
+            },
+            |chunk| {
+                let chunk_idx = (chunk.start / SAMPLE_CHUNK) as u64;
+                let mut rng = StdRng::seed_from_u64(chunk_seed(cfg.seed, chunk_idx));
+                let mut local = MsrPartial {
+                    sum_in: vec![0.0; n],
+                    cnt_in: vec![0; n],
+                    sum_out: vec![0.0; n],
+                    cnt_out: vec![0; n],
+                };
+                let mut subset = Vec::with_capacity(n);
+                let mut member = vec![false; n];
+                for _ in chunk {
+                    subset.clear();
+                    for (i, m) in member.iter_mut().enumerate() {
+                        *m = rng.random_bool(0.5);
+                        if *m {
+                            subset.push(i);
+                        }
+                    }
+                    let v = util.eval(&subset);
+                    for (i, &m) in member.iter().enumerate() {
+                        if m {
+                            local.sum_in[i] += v;
+                            local.cnt_in[i] += 1;
+                        } else {
+                            local.sum_out[i] += v;
+                            local.cnt_out[i] += 1;
+                        }
+                    }
+                }
+                local
+            },
+            |mut acc, local| {
+                for i in 0..n {
+                    acc.sum_in[i] += local.sum_in[i];
+                    acc.cnt_in[i] += local.cnt_in[i];
+                    acc.sum_out[i] += local.sum_out[i];
+                    acc.cnt_out[i] += local.cnt_out[i];
+                }
+                acc
+            },
+        );
+        (folded.sum_in, folded.cnt_in, folded.sum_out, folded.cnt_out)
+    };
     (0..n)
         .map(|i| {
-            let mean_in = if cnt_in[i] > 0 { sum_in[i] / cnt_in[i] as f64 } else { 0.0 };
-            let mean_out = if cnt_out[i] > 0 { sum_out[i] / cnt_out[i] as f64 } else { 0.0 };
+            let mean_in = if cnt_in[i] > 0 {
+                sum_in[i] / cnt_in[i] as f64
+            } else {
+                0.0
+            };
+            let mean_out = if cnt_out[i] > 0 {
+                sum_out[i] / cnt_out[i] as f64
+            } else {
+                0.0
+            };
             mean_in - mean_out
         })
         .collect()
@@ -287,14 +352,14 @@ pub fn banzhaf_msr(util: &dyn Utility, cfg: &McConfig) -> Vec<f64> {
 /// Natural log of the gamma function (Lanczos approximation, g=7, n=9).
 pub fn ln_gamma(x: f64) -> f64 {
     const COEFFS: [f64; 9] = [
-        0.999_999_999_999_809_93,
+        0.999_999_999_999_809_9,
         676.520_368_121_885_1,
         -1_259.139_216_722_402_8,
-        771.323_428_777_653_13,
+        771.323_428_777_653_1,
         -176.615_029_162_140_6,
         12.507_343_278_686_905,
         -0.138_571_095_265_720_12,
-        9.984_369_578_019_571_6e-6,
+        9.984_369_578_019_572e-6,
         1.505_632_735_149_311_6e-7,
     ];
     if x < 0.5 {
@@ -330,14 +395,18 @@ mod tests {
 
     #[test]
     fn exact_shapley_of_additive_game_is_weights() {
-        let util = AdditiveUtility { weights: vec![1.0, -2.0, 0.5, 3.0] };
+        let util = AdditiveUtility {
+            weights: vec![1.0, -2.0, 0.5, 3.0],
+        };
         let phi = exact_shapley(&util).unwrap();
         assert!(close(&phi, &util.weights, 1e-12), "{phi:?}");
     }
 
     #[test]
     fn exact_banzhaf_of_additive_game_is_weights() {
-        let util = AdditiveUtility { weights: vec![1.0, -2.0, 0.5] };
+        let util = AdditiveUtility {
+            weights: vec![1.0, -2.0, 0.5],
+        };
         let phi = exact_banzhaf(&util).unwrap();
         assert!(close(&phi, &util.weights, 1e-12), "{phi:?}");
     }
@@ -357,7 +426,9 @@ mod tests {
 
     #[test]
     fn exact_rejects_large_games() {
-        let util = AdditiveUtility { weights: vec![0.0; 30] };
+        let util = AdditiveUtility {
+            weights: vec![0.0; 30],
+        };
         assert!(matches!(
             exact_shapley(&util),
             Err(ImportanceError::TooManyPlayers { n: 30, .. })
@@ -366,7 +437,9 @@ mod tests {
 
     #[test]
     fn tmc_matches_exact_on_small_game() {
-        let util = AdditiveUtility { weights: vec![2.0, -1.0, 0.0, 1.0, 0.5] };
+        let util = AdditiveUtility {
+            weights: vec![2.0, -1.0, 0.0, 1.0, 0.5],
+        };
         let exact = exact_shapley(&util).unwrap();
         let mc = tmc_shapley(&util, &McConfig::new(3000, 1));
         assert!(close(&mc, &exact, 0.1), "{mc:?} vs {exact:?}");
@@ -376,14 +449,18 @@ mod tests {
     fn tmc_truncation_preserves_estimates_for_flat_tails() {
         // Additive game has no flat tail, but truncation with a tiny
         // tolerance must not corrupt the estimate.
-        let util = AdditiveUtility { weights: vec![1.0, 1.0, 1.0] };
+        let util = AdditiveUtility {
+            weights: vec![1.0, 1.0, 1.0],
+        };
         let mc = tmc_shapley(&util, &McConfig::new(500, 2).with_truncation(1e-9));
         assert!(close(&mc, &[1.0, 1.0, 1.0], 1e-9), "{mc:?}");
     }
 
     #[test]
     fn multithreaded_tmc_is_consistent() {
-        let util = AdditiveUtility { weights: vec![2.0, -1.0, 0.5, 1.5] };
+        let util = AdditiveUtility {
+            weights: vec![2.0, -1.0, 0.5, 1.5],
+        };
         let mc = tmc_shapley(&util, &McConfig::new(2000, 3).with_threads(4));
         assert!(close(&mc, &util.weights, 0.15), "{mc:?}");
     }
@@ -419,7 +496,9 @@ mod tests {
 
     #[test]
     fn beta_shapley_recovers_additive_weights() {
-        let util = AdditiveUtility { weights: vec![1.0, 0.0, -1.0] };
+        let util = AdditiveUtility {
+            weights: vec![1.0, 0.0, -1.0],
+        };
         let phi = beta_shapley(&util, 1.0, 4.0, &McConfig::new(4000, 5));
         // Additive games: every semivalue equals the weights.
         assert!(close(&phi, &util.weights, 0.12), "{phi:?}");
@@ -427,7 +506,9 @@ mod tests {
 
     #[test]
     fn banzhaf_msr_matches_exact() {
-        let util = AdditiveUtility { weights: vec![1.5, -0.5, 0.0, 2.0] };
+        let util = AdditiveUtility {
+            weights: vec![1.5, -0.5, 0.0, 2.0],
+        };
         let exact = exact_banzhaf(&util).unwrap();
         let msr = banzhaf_msr(&util, &McConfig::new(6000, 7));
         assert!(close(&msr, &exact, 0.15), "{msr:?} vs {exact:?}");
@@ -456,7 +537,9 @@ mod tests {
 
     #[test]
     fn mc_estimators_are_seed_deterministic() {
-        let util = AdditiveUtility { weights: vec![1.0, 2.0, 3.0] };
+        let util = AdditiveUtility {
+            weights: vec![1.0, 2.0, 3.0],
+        };
         let a = tmc_shapley(&util, &McConfig::new(50, 11));
         let b = tmc_shapley(&util, &McConfig::new(50, 11));
         assert_eq!(a, b);

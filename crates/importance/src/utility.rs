@@ -46,7 +46,12 @@ impl<'a> ModelUtility<'a> {
         valid: &'a ClassDataset,
         metric: UtilityMetric,
     ) -> Self {
-        ModelUtility { learner, train, valid, metric }
+        ModelUtility {
+            learner,
+            train,
+            valid,
+            metric,
+        }
     }
 
     /// The underlying training set.
@@ -128,7 +133,8 @@ impl Utility for CachedUtility<'_> {
             return v;
         }
         let v = self.inner.eval(&key);
-        self.misses.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.misses
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         self.cache.lock().expect("cache poisoned").insert(key, v);
         v
     }
@@ -224,7 +230,9 @@ mod tests {
     #[test]
     fn cached_utility_is_transparent_and_counts() {
         use super::test_util::AdditiveUtility;
-        let base = AdditiveUtility { weights: vec![1.0, 2.0, 3.0] };
+        let base = AdditiveUtility {
+            weights: vec![1.0, 2.0, 3.0],
+        };
         let cached = CachedUtility::new(&base);
         assert_eq!(cached.n(), 3);
         assert_eq!(cached.eval(&[0, 2]), 4.0);
@@ -241,7 +249,9 @@ mod tests {
         use super::test_util::AdditiveUtility;
         use crate::group::group_shapley_mc;
         use crate::semivalue::McConfig;
-        let base = AdditiveUtility { weights: vec![1.0, 2.0, 3.0, 4.0] };
+        let base = AdditiveUtility {
+            weights: vec![1.0, 2.0, 3.0, 4.0],
+        };
         let cached = CachedUtility::new(&base);
         let groups = vec![vec![0, 1], vec![2], vec![3]];
         let phi = group_shapley_mc(&cached, &groups, &McConfig::new(200, 1));

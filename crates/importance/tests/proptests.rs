@@ -32,10 +32,7 @@ impl Utility for SynthGame {
 }
 
 fn arb_game() -> impl Strategy<Value = SynthGame> {
-    (
-        prop::collection::vec(-3.0f64..3.0, 2..7),
-        -1.0f64..1.0,
-    )
+    (prop::collection::vec(-3.0f64..3.0, 2..7), -1.0f64..1.0)
         .prop_map(|(weights, bonus)| SynthGame { weights, bonus })
 }
 

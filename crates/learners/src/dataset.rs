@@ -25,10 +25,15 @@ impl ClassDataset {
             });
         }
         if n_classes == 0 {
-            return Err(LearnError::InvalidParameter { detail: "n_classes must be > 0".into() });
+            return Err(LearnError::InvalidParameter {
+                detail: "n_classes must be > 0".into(),
+            });
         }
         if let Some(&bad) = y.iter().find(|&&l| l >= n_classes) {
-            return Err(LearnError::UnknownLabel { label: bad, n_classes });
+            return Err(LearnError::UnknownLabel {
+                label: bad,
+                n_classes,
+            });
         }
         Ok(ClassDataset { x, y, n_classes })
     }

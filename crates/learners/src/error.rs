@@ -56,7 +56,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = LearnError::UnknownLabel { label: 5, n_classes: 2 };
+        let e = LearnError::UnknownLabel {
+            label: 5,
+            n_classes: 2,
+        };
         assert!(e.to_string().contains("label 5"));
         assert!(LearnError::EmptyDataset.to_string().contains("empty"));
     }

@@ -19,7 +19,11 @@ impl Matrix {
     pub fn new(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
         if data.len() != rows * cols {
             return Err(LearnError::DimensionMismatch {
-                detail: format!("{rows}x{cols} matrix needs {} values, got {}", rows * cols, data.len()),
+                detail: format!(
+                    "{rows}x{cols} matrix needs {} values, got {}",
+                    rows * cols,
+                    data.len()
+                ),
             });
         }
         Ok(Matrix { rows, cols, data })
@@ -27,7 +31,11 @@ impl Matrix {
 
     /// A matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// The identity matrix.
@@ -52,7 +60,11 @@ impl Matrix {
             }
             data.extend_from_slice(row);
         }
-        Ok(Matrix { rows: n, cols, data })
+        Ok(Matrix {
+            rows: n,
+            cols,
+            data,
+        })
     }
 
     /// Number of rows.
@@ -96,7 +108,11 @@ impl Matrix {
         for &i in indices {
             data.extend_from_slice(self.row(i));
         }
-        Matrix { rows: indices.len(), cols: self.cols, data }
+        Matrix {
+            rows: indices.len(),
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Matrix–vector product.
@@ -106,16 +122,17 @@ impl Matrix {
                 detail: format!("matvec: {} cols vs vector of {}", self.cols, v.len()),
             });
         }
-        Ok((0..self.rows)
-            .map(|i| dot(self.row(i), v))
-            .collect())
+        Ok((0..self.rows).map(|i| dot(self.row(i), v)).collect())
     }
 
     /// Matrix–matrix product `self * other`.
     pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
         if self.cols != other.rows {
             return Err(LearnError::DimensionMismatch {
-                detail: format!("matmul: {}x{} * {}x{}", self.rows, self.cols, other.rows, other.cols),
+                detail: format!(
+                    "matmul: {}x{} * {}x{}",
+                    self.rows, self.cols, other.rows, other.cols
+                ),
             });
         }
         let mut out = Matrix::zeros(self.rows, other.cols);
@@ -154,8 +171,8 @@ impl Matrix {
                 if a == 0.0 {
                     continue;
                 }
-                for j in i..self.cols {
-                    out.data[i * self.cols + j] += a * row[j];
+                for (j, &rj) in row.iter().enumerate().skip(i) {
+                    out.data[i * self.cols + j] += a * rj;
                 }
             }
         }
@@ -173,7 +190,10 @@ impl Matrix {
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
         if self.rows != self.cols {
             return Err(LearnError::DimensionMismatch {
-                detail: format!("solve needs a square matrix, got {}x{}", self.rows, self.cols),
+                detail: format!(
+                    "solve needs a square matrix, got {}x{}",
+                    self.rows, self.cols
+                ),
             });
         }
         if b.len() != self.rows {
@@ -187,9 +207,7 @@ impl Matrix {
         for col in 0..n {
             // Partial pivot.
             let pivot = (col..n)
-                .max_by(|&i, &j| {
-                    a[i * n + col].abs().total_cmp(&a[j * n + col].abs())
-                })
+                .max_by(|&i, &j| a[i * n + col].abs().total_cmp(&a[j * n + col].abs()))
                 .expect("non-empty range");
             if a[pivot * n + col].abs() < 1e-12 {
                 return Err(LearnError::SingularMatrix);

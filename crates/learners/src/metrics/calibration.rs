@@ -32,7 +32,11 @@ pub fn reliability_diagram(
         let p = p.clamp(0.0, 1.0);
         // Prediction implied by the probability; confidence is the
         // probability of the predicted class.
-        let (pred, conf) = if p >= 0.5 { (1usize, p) } else { (0usize, 1.0 - p) };
+        let (pred, conf) = if p >= 0.5 {
+            (1usize, p)
+        } else {
+            (0usize, 1.0 - p)
+        };
         let bin = ((conf / width) as usize).min(n_bins - 1);
         conf_sum[bin] += conf;
         correct[bin] += usize::from(pred == y);

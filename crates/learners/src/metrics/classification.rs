@@ -63,7 +63,10 @@ pub fn macro_f1(y_true: &[usize], y_pred: &[usize], n_classes: usize) -> f64 {
     if n_classes == 0 {
         return 0.0;
     }
-    (0..n_classes).map(|c| f1_score(y_true, y_pred, c)).sum::<f64>() / n_classes as f64
+    (0..n_classes)
+        .map(|c| f1_score(y_true, y_pred, c))
+        .sum::<f64>()
+        / n_classes as f64
 }
 
 /// Cross-entropy of predicted probabilities against true labels, with

@@ -19,7 +19,12 @@ pub struct GroupRates {
 
 /// Computes confusion rates for the examples where `group[i] == which`.
 /// Undefined rates (empty denominators) are reported as 0.
-pub fn group_rates(y_true: &[usize], y_pred: &[usize], group: &[usize], which: usize) -> GroupRates {
+pub fn group_rates(
+    y_true: &[usize],
+    y_pred: &[usize],
+    group: &[usize],
+    which: usize,
+) -> GroupRates {
     let mut n = 0usize;
     let (mut pred_pos, mut pos, mut tp, mut neg, mut fp) = (0usize, 0usize, 0usize, 0usize, 0usize);
     for ((&t, &p), &g) in y_true.iter().zip(y_pred).zip(group) {

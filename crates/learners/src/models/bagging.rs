@@ -38,7 +38,12 @@ pub struct BaggingClassifier {
 impl BaggingClassifier {
     /// Creates a bootstrap bagging ensemble.
     pub fn bootstrap(base: Arc<dyn Learner>, n_estimators: usize, seed: u64) -> Self {
-        BaggingClassifier { base, n_estimators, mode: BaggingMode::Bootstrap, seed }
+        BaggingClassifier {
+            base,
+            n_estimators,
+            mode: BaggingMode::Bootstrap,
+            seed,
+        }
     }
 
     /// Creates a disjoint-partition ensemble for certified robustness.
@@ -63,7 +68,9 @@ impl BaggingClassifier {
                     let idx: Vec<usize> = if data.is_empty() {
                         Vec::new()
                     } else {
-                        (0..data.len()).map(|_| rng.random_range(0..data.len())).collect()
+                        (0..data.len())
+                            .map(|_| rng.random_range(0..data.len()))
+                            .collect()
                     };
                     members.push(self.base.fit(&data.subset(&idx))?);
                 }
@@ -72,8 +79,7 @@ impl BaggingClassifier {
                 // Deterministic assignment: example i -> partition i mod m.
                 // (The certification only needs *data-independent* assignment.)
                 for part in 0..m {
-                    let idx: Vec<usize> =
-                        (0..data.len()).filter(|&i| i % m == part).collect();
+                    let idx: Vec<usize> = (0..data.len()).filter(|&i| i % m == part).collect();
                     members.push(self.base.fit(&data.subset(&idx))?);
                 }
             }
@@ -81,7 +87,10 @@ impl BaggingClassifier {
         if members.is_empty() {
             members.push(Box::new(ConstantModel::new(0, data.n_classes)));
         }
-        Ok(FittedBagging { members, n_classes: data.n_classes })
+        Ok(FittedBagging {
+            members,
+            n_classes: data.n_classes,
+        })
     }
 }
 

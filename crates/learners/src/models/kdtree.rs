@@ -40,7 +40,10 @@ struct BestK {
 
 impl BestK {
     fn new(k: usize) -> Self {
-        BestK { k, items: Vec::with_capacity(k + 1) }
+        BestK {
+            k,
+            items: Vec::with_capacity(k + 1),
+        }
     }
 
     fn worst_distance(&self) -> f64 {
@@ -74,7 +77,11 @@ impl KdTree {
         let leaf_size = leaf_size.max(1);
         let indices: Vec<usize> = (0..data.nrows()).collect();
         let root = build_node(&data, indices, 0, leaf_size);
-        KdTree { data, root, leaf_size }
+        KdTree {
+            data,
+            root,
+            leaf_size,
+        }
     }
 
     /// Number of indexed points.
@@ -138,9 +145,18 @@ fn search(data: &Matrix, node: &Node, query: &[f64], best: &mut BestK) {
                 best.offer(sq_dist(data.row(i), query), i);
             }
         }
-        Node::Split { axis, threshold, left, right } => {
+        Node::Split {
+            axis,
+            threshold,
+            left,
+            right,
+        } => {
             let diff = query[*axis] - threshold;
-            let (near, far) = if diff < 0.0 { (left, right) } else { (right, left) };
+            let (near, far) = if diff < 0.0 {
+                (left, right)
+            } else {
+                (right, left)
+            };
             search(data, near, query, best);
             // Prune the far side when even its closest possible point is
             // farther than the current worst candidate.
@@ -168,7 +184,11 @@ mod tests {
 
     fn grid_data(n: usize, d: usize) -> Matrix {
         let rows: Vec<Vec<f64>> = (0..n)
-            .map(|i| (0..d).map(|j| ((i * 37 + j * 13) % 101) as f64 / 7.0).collect())
+            .map(|i| {
+                (0..d)
+                    .map(|j| ((i * 37 + j * 13) % 101) as f64 / 7.0)
+                    .collect()
+            })
             .collect();
         Matrix::from_rows(&rows).unwrap()
     }

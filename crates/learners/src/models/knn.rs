@@ -24,12 +24,18 @@ pub struct KnnClassifier {
 impl KnnClassifier {
     /// Creates a brute-force k-NN learner with `k` neighbors.
     pub fn new(k: usize) -> Self {
-        KnnClassifier { k: k.max(1), use_kdtree: false }
+        KnnClassifier {
+            k: k.max(1),
+            use_kdtree: false,
+        }
     }
 
     /// Creates a k-d-tree-indexed k-NN learner with `k` neighbors.
     pub fn indexed(k: usize) -> Self {
-        KnnClassifier { k: k.max(1), use_kdtree: true }
+        KnnClassifier {
+            k: k.max(1),
+            use_kdtree: true,
+        }
     }
 }
 
@@ -80,12 +86,7 @@ impl FittedKnn {
         if let Some(tree) = &self.index {
             return tree.nearest(query, self.k);
         }
-        let mut order: Vec<(f64, usize)> = (0..self.x.nrows())
-            .map(|i| (sq_dist(self.x.row(i), query), i))
-            .collect();
-        order.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-        order.truncate(self.k.min(order.len()));
-        order.into_iter().map(|(_, i)| i).collect()
+        top_k_neighbors(self.x.nrows(), self.k, |i| sq_dist(self.x.row(i), query))
     }
 
     /// The effective number of neighbors.
@@ -117,6 +118,50 @@ impl Model for FittedKnn {
         }
         probs
     }
+}
+
+/// The `k` indices with smallest `dist(i)`, ordered by `(distance, index)`
+/// ascending — a bounded max-heap over the candidates, so selection costs
+/// O(n log k) instead of the O(n log n) of sorting every distance. The
+/// tie-break matches a full sort exactly: a candidate displaces the heap
+/// top only when strictly smaller under the `(distance, index)` order.
+fn top_k_neighbors(n: usize, k: usize, dist: impl Fn(usize) -> f64) -> Vec<usize> {
+    use std::collections::BinaryHeap;
+
+    /// `(distance, index)` with `Ord` by distance then index — distances
+    /// come from `sq_dist`, which never yields NaN.
+    #[derive(PartialEq)]
+    struct Entry(f64, usize);
+    impl Eq for Entry {}
+    impl PartialOrd for Entry {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Entry {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
+        }
+    }
+
+    let k = k.min(n);
+    if k == 0 {
+        return Vec::new();
+    }
+    // Max-heap of the k best so far: the top is the current worst keeper.
+    let mut heap: BinaryHeap<Entry> = BinaryHeap::with_capacity(k + 1);
+    for i in 0..n {
+        let entry = Entry(dist(i), i);
+        if heap.len() < k {
+            heap.push(entry);
+        } else if entry < *heap.peek().expect("heap is non-empty") {
+            heap.pop();
+            heap.push(entry);
+        }
+    }
+    let mut best = heap.into_sorted_vec();
+    debug_assert!(best.len() == k);
+    best.drain(..).map(|Entry(_, i)| i).collect()
 }
 
 /// Index of the maximum value (first on ties).
@@ -210,6 +255,36 @@ mod tests {
             let query = [q as f64, (q * 3 % 15) as f64];
             assert_eq!(brute.predict(&query), indexed.predict(&query));
             assert_eq!(brute.predict_proba(&query), indexed.predict_proba(&query));
+        }
+    }
+
+    #[test]
+    fn top_k_selection_equals_full_sort_on_random_data() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        for trial in 0..30 {
+            let n = rng.random_range(1..60usize);
+            let dims = rng.random_range(1..4usize);
+            let mut rows: Vec<Vec<f64>> = (0..n)
+                .map(|_| (0..dims).map(|_| rng.random_range(0.0..4.0)).collect())
+                .collect();
+            // Duplicate some rows so distance ties actually occur.
+            for i in 1..n {
+                if rng.random_bool(0.3) {
+                    rows[i] = rows[i - 1].clone();
+                }
+            }
+            let query: Vec<f64> = (0..dims).map(|_| rng.random_range(0.0..4.0)).collect();
+            for k in [1usize, 3, n, n + 5] {
+                let fast = top_k_neighbors(n, k, |i| sq_dist(&rows[i], &query));
+                let mut reference: Vec<(f64, usize)> =
+                    (0..n).map(|i| (sq_dist(&rows[i], &query), i)).collect();
+                reference.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+                reference.truncate(k.min(n));
+                let slow: Vec<usize> = reference.into_iter().map(|(_, i)| i).collect();
+                assert_eq!(fast, slow, "trial={trial} n={n} k={k}");
+            }
         }
     }
 

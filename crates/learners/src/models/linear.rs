@@ -18,20 +18,29 @@ pub struct LinearRegression {
 
 impl Default for LinearRegression {
     fn default() -> Self {
-        LinearRegression { l2: 1e-6, fit_intercept: true }
+        LinearRegression {
+            l2: 1e-6,
+            fit_intercept: true,
+        }
     }
 }
 
 impl LinearRegression {
     /// Creates a trainer with the given ridge strength and an intercept.
     pub fn new(l2: f64) -> Self {
-        LinearRegression { l2, fit_intercept: true }
+        LinearRegression {
+            l2,
+            fit_intercept: true,
+        }
     }
 
     /// Solves `(XᵀX + λI) w = Xᵀy`.
     pub fn fit(&self, data: &RegDataset) -> Result<FittedLinear> {
         if data.is_empty() {
-            return Ok(FittedLinear { weights: vec![0.0; data.n_features()], intercept: 0.0 });
+            return Ok(FittedLinear {
+                weights: vec![0.0; data.n_features()],
+                intercept: 0.0,
+            });
         }
         let (x, y) = if self.fit_intercept {
             // Augment with a constant column.
@@ -68,9 +77,15 @@ impl LinearRegression {
         };
         if self.fit_intercept {
             let (intercept, weights) = sol.split_last().expect("at least the intercept");
-            Ok(FittedLinear { weights: weights.to_vec(), intercept: *intercept })
+            Ok(FittedLinear {
+                weights: weights.to_vec(),
+                intercept: *intercept,
+            })
         } else {
-            Ok(FittedLinear { weights: sol, intercept: 0.0 })
+            Ok(FittedLinear {
+                weights: sol,
+                intercept: 0.0,
+            })
         }
     }
 }
@@ -127,7 +142,10 @@ mod tests {
     fn without_intercept() {
         let x = Matrix::from_rows(&[vec![1.0], vec![2.0]]).unwrap();
         let data = RegDataset::new(x, vec![3.0, 6.0]).unwrap();
-        let trainer = LinearRegression { l2: 0.0, fit_intercept: false };
+        let trainer = LinearRegression {
+            l2: 0.0,
+            fit_intercept: false,
+        };
         let m = trainer.fit(&data).unwrap();
         assert!((m.weights[0] - 3.0).abs() < 1e-10);
         assert_eq!(m.intercept, 0.0);
@@ -150,12 +168,7 @@ mod tests {
     #[test]
     fn collinear_features_fall_back_to_ridge() {
         // Duplicate feature makes XtX singular under pure OLS.
-        let x = Matrix::from_rows(&[
-            vec![1.0, 1.0],
-            vec![2.0, 2.0],
-            vec![3.0, 3.0],
-        ])
-        .unwrap();
+        let x = Matrix::from_rows(&[vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]]).unwrap();
         let data = RegDataset::new(x, vec![2.0, 4.0, 6.0]).unwrap();
         let m = LinearRegression::new(0.0).fit(&data).unwrap();
         // Predictions are still accurate even though weights are not unique.
@@ -164,7 +177,10 @@ mod tests {
 
     #[test]
     fn mse_measures_fit() {
-        let m = FittedLinear { weights: vec![0.0], intercept: 0.0 };
+        let m = FittedLinear {
+            weights: vec![0.0],
+            intercept: 0.0,
+        };
         let data = line_data();
         // Mean of squared targets: (1 + 9 + 25 + 49) / 4 = 21.
         assert!((m.mse(&data) - 21.0).abs() < 1e-12);

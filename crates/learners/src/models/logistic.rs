@@ -22,13 +22,21 @@ pub struct LogisticRegression {
 impl LogisticRegression {
     /// Creates a learner with the given hyperparameters.
     pub fn new(learning_rate: f64, epochs: usize, l2: f64) -> Self {
-        LogisticRegression { learning_rate, epochs, l2 }
+        LogisticRegression {
+            learning_rate,
+            epochs,
+            l2,
+        }
     }
 }
 
 impl Default for LogisticRegression {
     fn default() -> Self {
-        LogisticRegression { learning_rate: 0.5, epochs: 200, l2: 1e-3 }
+        LogisticRegression {
+            learning_rate: 0.5,
+            epochs: 200,
+            l2: 1e-3,
+        }
     }
 }
 
@@ -66,8 +74,9 @@ impl Learner for LogisticRegression {
             grad_b.iter_mut().for_each(|g| *g = 0.0);
             for i in 0..n {
                 let xi = data.x.row(i);
-                let logits: Vec<f64> =
-                    (0..c).map(|k| dot(&w[k * d..(k + 1) * d], xi) + b[k]).collect();
+                let logits: Vec<f64> = (0..c)
+                    .map(|k| dot(&w[k * d..(k + 1) * d], xi) + b[k])
+                    .collect();
                 let probs = softmax(&logits);
                 for k in 0..c {
                     let err = probs[k] - f64::from(u8::from(data.y[i] == k));
@@ -88,7 +97,12 @@ impl Learner for LogisticRegression {
             }
         }
 
-        Ok(Box::new(FittedLogistic { w, b, d, n_classes: c }))
+        Ok(Box::new(FittedLogistic {
+            w,
+            b,
+            d,
+            n_classes: c,
+        }))
     }
 
     fn name(&self) -> &'static str {
@@ -170,13 +184,17 @@ mod tests {
 
     #[test]
     fn learns_linearly_separable_data() {
-        let model = LogisticRegression::default().fit(&xor_free_dataset()).unwrap();
+        let model = LogisticRegression::default()
+            .fit(&xor_free_dataset())
+            .unwrap();
         assert_eq!(accuracy_on(model.as_ref(), &xor_free_dataset()), 1.0);
     }
 
     #[test]
     fn probabilities_sum_to_one() {
-        let model = LogisticRegression::default().fit(&xor_free_dataset()).unwrap();
+        let model = LogisticRegression::default()
+            .fit(&xor_free_dataset())
+            .unwrap();
         let p = model.predict_proba(&[1.0, 1.0]);
         assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
@@ -198,8 +216,12 @@ mod tests {
 
     #[test]
     fn training_is_deterministic() {
-        let a = LogisticRegression::default().fit(&xor_free_dataset()).unwrap();
-        let b = LogisticRegression::default().fit(&xor_free_dataset()).unwrap();
+        let a = LogisticRegression::default()
+            .fit(&xor_free_dataset())
+            .unwrap();
+        let b = LogisticRegression::default()
+            .fit(&xor_free_dataset())
+            .unwrap();
         let p1 = a.predict_proba(&[0.7, 0.7]);
         let p2 = b.predict_proba(&[0.7, 0.7]);
         assert_eq!(p1, p2);
@@ -207,12 +229,7 @@ mod tests {
 
     #[test]
     fn multiclass_softmax() {
-        let x = Matrix::from_rows(&[
-            vec![0.0, 0.0],
-            vec![5.0, 0.0],
-            vec![0.0, 5.0],
-        ])
-        .unwrap();
+        let x = Matrix::from_rows(&[vec![0.0, 0.0], vec![5.0, 0.0], vec![0.0, 5.0]]).unwrap();
         let data = ClassDataset::new(x, vec![0, 1, 2], 3).unwrap();
         let model = LogisticRegression::new(0.5, 500, 0.0).fit(&data).unwrap();
         assert_eq!(model.predict(&[0.0, 0.0]), 0);

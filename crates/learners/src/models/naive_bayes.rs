@@ -14,7 +14,9 @@ pub struct GaussianNb {
 
 impl Default for GaussianNb {
     fn default() -> Self {
-        GaussianNb { var_smoothing: 1e-9 }
+        GaussianNb {
+            var_smoothing: 1e-9,
+        }
     }
 }
 
@@ -55,7 +57,11 @@ impl Learner for GaussianNb {
             .max(1.0);
         for k in 0..c {
             for v in vars[k].iter_mut() {
-                *v = if counts[k] > 0 { *v / counts[k] as f64 } else { 0.0 };
+                *v = if counts[k] > 0 {
+                    *v / counts[k] as f64
+                } else {
+                    0.0
+                };
                 *v += self.var_smoothing * max_var + 1e-12;
             }
         }
@@ -69,7 +75,12 @@ impl Learner for GaussianNb {
                 }
             })
             .collect();
-        Ok(Box::new(FittedGaussianNb { means, vars, log_priors: priors, n_classes: c }))
+        Ok(Box::new(FittedGaussianNb {
+            means,
+            vars,
+            log_priors: priors,
+            n_classes: c,
+        }))
     }
 
     fn name(&self) -> &'static str {
@@ -105,12 +116,16 @@ impl Model for FittedGaussianNb {
     }
 
     fn predict(&self, x: &[f64]) -> usize {
-        let lls: Vec<f64> = (0..self.n_classes).map(|k| self.log_likelihood(k, x)).collect();
+        let lls: Vec<f64> = (0..self.n_classes)
+            .map(|k| self.log_likelihood(k, x))
+            .collect();
         argmax(&lls)
     }
 
     fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
-        let lls: Vec<f64> = (0..self.n_classes).map(|k| self.log_likelihood(k, x)).collect();
+        let lls: Vec<f64> = (0..self.n_classes)
+            .map(|k| self.log_likelihood(k, x))
+            .collect();
         crate::models::logistic::softmax(&lls)
     }
 }

@@ -17,7 +17,10 @@ pub struct LinearSvm {
 
 impl Default for LinearSvm {
     fn default() -> Self {
-        LinearSvm { lambda: 1e-2, epochs: 100 }
+        LinearSvm {
+            lambda: 1e-2,
+            epochs: 100,
+        }
     }
 }
 
@@ -144,7 +147,10 @@ mod tests {
 
     #[test]
     fn proba_is_monotone_in_margin() {
-        let m = FittedSvm { w: vec![1.0], b: 0.0 };
+        let m = FittedSvm {
+            w: vec![1.0],
+            b: 0.0,
+        };
         let p_far = m.predict_proba(&[3.0])[1];
         let p_near = m.predict_proba(&[0.5])[1];
         assert!(p_far > p_near);

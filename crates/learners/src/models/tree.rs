@@ -20,14 +20,20 @@ pub struct DecisionTree {
 
 impl Default for DecisionTree {
     fn default() -> Self {
-        DecisionTree { max_depth: 8, min_samples_split: 2 }
+        DecisionTree {
+            max_depth: 8,
+            min_samples_split: 2,
+        }
     }
 }
 
 impl DecisionTree {
     /// Creates a learner with the given maximum depth.
     pub fn with_depth(max_depth: usize) -> Self {
-        DecisionTree { max_depth, ..DecisionTree::default() }
+        DecisionTree {
+            max_depth,
+            ..DecisionTree::default()
+        }
     }
 }
 
@@ -106,7 +112,7 @@ fn best_split(data: &ClassDataset, rows: &[usize]) -> Option<(usize, f64, f64)> 
             // concepts need them, and recursion still terminates because the
             // partition is strictly smaller on both sides.
             let gain = parent_gini - weighted;
-            if best.map_or(true, |(_, _, g)| gain > g) {
+            if best.is_none_or(|(_, _, g)| gain > g) {
                 best = Some((feature, threshold, gain));
             }
         }
@@ -143,7 +149,10 @@ impl Learner for DecisionTree {
         }
         let rows: Vec<usize> = (0..data.len()).collect();
         let root = grow(data, &rows, 0, self);
-        Ok(Box::new(FittedTree { root, n_classes: data.n_classes }))
+        Ok(Box::new(FittedTree {
+            root,
+            n_classes: data.n_classes,
+        }))
     }
 
     fn name(&self) -> &'static str {
@@ -185,8 +194,17 @@ impl Model for FittedTree {
         loop {
             match node {
                 Node::Leaf { probs } => return probs.clone(),
-                Node::Split { feature, threshold, left, right } => {
-                    node = if x[*feature] <= *threshold { left } else { right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if x[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -258,13 +276,18 @@ mod tests {
         let boxed = learner.fit(&data).unwrap();
         drop(boxed);
         let rows: Vec<usize> = (0..data.len()).collect();
-        let tree = FittedTree { root: grow(&data, &rows, 0, &learner), n_classes: 2 };
+        let tree = FittedTree {
+            root: grow(&data, &rows, 0, &learner),
+            n_classes: 2,
+        };
         assert!(tree.n_leaves() >= 3);
     }
 
     #[test]
     fn empty_dataset_constant() {
-        let model = DecisionTree::default().fit(&xor_dataset().subset(&[])).unwrap();
+        let model = DecisionTree::default()
+            .fit(&xor_dataset().subset(&[]))
+            .unwrap();
         assert_eq!(model.predict(&[0.0, 0.0]), 0);
     }
 }

@@ -47,7 +47,10 @@ impl ColumnSpec {
 
     /// Text spec.
     pub fn text(name: impl Into<String>, dims: usize) -> Self {
-        ColumnSpec::Text { name: name.into(), dims }
+        ColumnSpec::Text {
+            name: name.into(),
+            dims,
+        }
     }
 
     /// The column this spec reads.
@@ -68,9 +71,19 @@ pub struct TableEncoder {
 }
 
 enum FittedSpec {
-    Numeric { name: String, mean: f64, std: f64 },
-    Categorical { name: String, encoder: OneHotEncoder },
-    Text { name: String, embedder: SentenceEmbedder },
+    Numeric {
+        name: String,
+        mean: f64,
+        std: f64,
+    },
+    Categorical {
+        name: String,
+        encoder: OneHotEncoder,
+    },
+    Text {
+        name: String,
+        embedder: SentenceEmbedder,
+    },
 }
 
 /// A fitted encoder: holds per-column statistics/vocabularies and the label
@@ -86,7 +99,10 @@ impl TableEncoder {
     /// Creates an encoder for `specs`, with `label` as the target column
     /// (a string column; its sorted distinct values become classes 0..k).
     pub fn new(specs: Vec<ColumnSpec>, label: impl Into<String>) -> Self {
-        TableEncoder { specs, label: label.into() }
+        TableEncoder {
+            specs,
+            label: label.into(),
+        }
     }
 
     /// Fits statistics/vocabularies on `table`.
@@ -96,12 +112,14 @@ impl TableEncoder {
         for spec in &self.specs {
             match spec {
                 ColumnSpec::Numeric { name } => {
-                    let col = table
-                        .column(name)
-                        .map_err(|e| LearnError::Encoding { detail: e.to_string() })?;
+                    let col = table.column(name).map_err(|e| LearnError::Encoding {
+                        detail: e.to_string(),
+                    })?;
                     let vals: Vec<f64> = col
                         .to_f64()
-                        .map_err(|e| LearnError::Encoding { detail: e.to_string() })?
+                        .map_err(|e| LearnError::Encoding {
+                            detail: e.to_string(),
+                        })?
                         .into_iter()
                         .flatten()
                         .collect();
@@ -118,17 +136,24 @@ impl TableEncoder {
                     };
                     let std = if var.sqrt() < 1e-12 { 1.0 } else { var.sqrt() };
                     width += 1;
-                    fitted.push(FittedSpec::Numeric { name: name.clone(), mean, std });
+                    fitted.push(FittedSpec::Numeric {
+                        name: name.clone(),
+                        mean,
+                        std,
+                    });
                 }
                 ColumnSpec::Categorical { name } => {
                     let encoder = OneHotEncoder::fit(table, name)?;
                     width += encoder.width();
-                    fitted.push(FittedSpec::Categorical { name: name.clone(), encoder });
+                    fitted.push(FittedSpec::Categorical {
+                        name: name.clone(),
+                        encoder,
+                    });
                 }
                 ColumnSpec::Text { name, dims } => {
-                    table
-                        .column(name)
-                        .map_err(|e| LearnError::Encoding { detail: e.to_string() })?;
+                    table.column(name).map_err(|e| LearnError::Encoding {
+                        detail: e.to_string(),
+                    })?;
                     width += *dims;
                     fitted.push(FittedSpec::Text {
                         name: name.clone(),
@@ -146,7 +171,12 @@ impl TableEncoder {
                 detail: format!("label column {:?} has no non-null values", self.label),
             });
         }
-        Ok(FittedTableEncoder { fitted, label: self.label.clone(), classes, width })
+        Ok(FittedTableEncoder {
+            fitted,
+            label: self.label.clone(),
+            classes,
+            width,
+        })
     }
 
     /// Fit on `table` and transform it in one call.
@@ -158,9 +188,9 @@ impl TableEncoder {
 }
 
 fn label_strings(table: &Table, label: &str) -> Result<Vec<Option<String>>> {
-    let col = table
-        .column(label)
-        .map_err(|e| LearnError::Encoding { detail: e.to_string() })?;
+    let col = table.column(label).map_err(|e| LearnError::Encoding {
+        detail: e.to_string(),
+    })?;
     col.as_str()
         .map(|cells| cells.to_vec())
         .ok_or_else(|| LearnError::Encoding {
@@ -181,7 +211,9 @@ impl FittedTableEncoder {
 
     /// The class index for a label string, if known.
     pub fn class_index(&self, label: &str) -> Option<usize> {
-        self.classes.binary_search_by(|c| c.as_str().cmp(label)).ok()
+        self.classes
+            .binary_search_by(|c| c.as_str().cmp(label))
+            .ok()
     }
 
     /// Encodes only the features of `table` (row `i` of the output comes
@@ -192,12 +224,12 @@ impl FittedTableEncoder {
         for spec in &self.fitted {
             match spec {
                 FittedSpec::Numeric { name, mean, std } => {
-                    let col = table
-                        .column(name)
-                        .map_err(|e| LearnError::Encoding { detail: e.to_string() })?;
-                    let vals = col
-                        .to_f64()
-                        .map_err(|e| LearnError::Encoding { detail: e.to_string() })?;
+                    let col = table.column(name).map_err(|e| LearnError::Encoding {
+                        detail: e.to_string(),
+                    })?;
+                    let vals = col.to_f64().map_err(|e| LearnError::Encoding {
+                        detail: e.to_string(),
+                    })?;
                     for (row, v) in rows.iter_mut().zip(vals) {
                         let x = v.unwrap_or(*mean);
                         row.push((x - mean) / std);
@@ -210,9 +242,9 @@ impl FittedTableEncoder {
                     }
                 }
                 FittedSpec::Text { name, embedder } => {
-                    let col = table
-                        .column(name)
-                        .map_err(|e| LearnError::Encoding { detail: e.to_string() })?;
+                    let col = table.column(name).map_err(|e| LearnError::Encoding {
+                        detail: e.to_string(),
+                    })?;
                     let cells = col.as_str().ok_or_else(|| LearnError::Encoding {
                         detail: format!("text column {name:?} must be a string column"),
                     })?;
@@ -236,9 +268,11 @@ impl FittedTableEncoder {
             let label = label.as_deref().ok_or_else(|| LearnError::Encoding {
                 detail: format!("row {i}: null label"),
             })?;
-            let idx = self.class_index(label).ok_or_else(|| LearnError::Encoding {
-                detail: format!("row {i}: unseen label {label:?}"),
-            })?;
+            let idx = self
+                .class_index(label)
+                .ok_or_else(|| LearnError::Encoding {
+                    detail: format!("row {i}: unseen label {label:?}"),
+                })?;
             y.push(idx);
         }
         ClassDataset::new(x, y, self.classes.len())
@@ -262,7 +296,10 @@ mod tests {
                     "mediocre average performance",
                 ],
             )
-            .str("sentiment", ["positive", "negative", "positive", "negative"])
+            .str(
+                "sentiment",
+                ["positive", "negative", "positive", "negative"],
+            )
             .build()
             .unwrap()
     }

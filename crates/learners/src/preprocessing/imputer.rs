@@ -33,9 +33,9 @@ impl Imputer {
 
     /// Computes the fill value for `column` of `table`.
     pub fn fit(&self, table: &Table, column: &str) -> Result<Value> {
-        let col = table
-            .column(column)
-            .map_err(|e| LearnError::Encoding { detail: e.to_string() })?;
+        let col = table.column(column).map_err(|e| LearnError::Encoding {
+            detail: e.to_string(),
+        })?;
         let fill = match &self.strategy {
             ImputeStrategy::Constant(v) => v.clone(),
             ImputeStrategy::Mean => {
@@ -45,7 +45,9 @@ impl Imputer {
             ImputeStrategy::Median => {
                 let mut vals: Vec<f64> = col
                     .to_f64()
-                    .map_err(|e| LearnError::Encoding { detail: e.to_string() })?
+                    .map_err(|e| LearnError::Encoding {
+                        detail: e.to_string(),
+                    })?
                     .into_iter()
                     .flatten()
                     .collect();
@@ -81,7 +83,9 @@ impl Imputer {
 fn apply_fill(table: &Table, column: &str, fill: &Value) -> Result<Table> {
     table
         .map_column(column, |v| if v.is_null() { fill.clone() } else { v })
-        .map_err(|e| LearnError::Encoding { detail: e.to_string() })
+        .map_err(|e| LearnError::Encoding {
+            detail: e.to_string(),
+        })
 }
 
 /// Most frequent non-null value of a column (first occurrence wins ties).
@@ -116,7 +120,9 @@ mod tests {
 
     #[test]
     fn mean_imputation() {
-        let t = Imputer::new(ImputeStrategy::Mean).fit_transform(&demo(), "x").unwrap();
+        let t = Imputer::new(ImputeStrategy::Mean)
+            .fit_transform(&demo(), "x")
+            .unwrap();
         let mean = (1.0 + 3.0 + 100.0) / 3.0;
         assert_eq!(t.get(1, "x").unwrap().as_float(), Some(mean));
         assert_eq!(t.null_count(), 1); // "cat" untouched
@@ -124,13 +130,17 @@ mod tests {
 
     #[test]
     fn median_is_robust_to_outlier() {
-        let t = Imputer::new(ImputeStrategy::Median).fit_transform(&demo(), "x").unwrap();
+        let t = Imputer::new(ImputeStrategy::Median)
+            .fit_transform(&demo(), "x")
+            .unwrap();
         assert_eq!(t.get(1, "x").unwrap().as_float(), Some(3.0));
     }
 
     #[test]
     fn mode_for_categoricals() {
-        let t = Imputer::new(ImputeStrategy::Mode).fit_transform(&demo(), "cat").unwrap();
+        let t = Imputer::new(ImputeStrategy::Mode)
+            .fit_transform(&demo(), "cat")
+            .unwrap();
         assert_eq!(t.get(2, "cat").unwrap(), Value::from("a"));
     }
 
@@ -143,14 +153,19 @@ mod tests {
 
     #[test]
     fn all_null_numeric_column_errors() {
-        let t = Table::builder().float("x", [None::<f64>, None]).build().unwrap();
+        let t = Table::builder()
+            .float("x", [None::<f64>, None])
+            .build()
+            .unwrap();
         assert!(Imputer::new(ImputeStrategy::Mean).fit(&t, "x").is_err());
         assert!(Imputer::new(ImputeStrategy::Mode).fit(&t, "x").is_err());
     }
 
     #[test]
     fn missing_column_errors() {
-        assert!(Imputer::new(ImputeStrategy::Mean).fit(&demo(), "nope").is_err());
+        assert!(Imputer::new(ImputeStrategy::Mean)
+            .fit(&demo(), "nope")
+            .is_err());
     }
 
     #[test]

@@ -15,9 +15,9 @@ pub struct OneHotEncoder {
 impl OneHotEncoder {
     /// Learns the category vocabulary from `column` of `table`.
     pub fn fit(table: &Table, column: &str) -> Result<Self> {
-        let col = table
-            .column(column)
-            .map_err(|e| LearnError::Encoding { detail: e.to_string() })?;
+        let col = table.column(column).map_err(|e| LearnError::Encoding {
+            detail: e.to_string(),
+        })?;
         let cells = col.as_str().ok_or_else(|| LearnError::Encoding {
             detail: format!("one-hot column {column:?} must be a string column"),
         })?;
@@ -50,13 +50,11 @@ impl OneHotEncoder {
 
     /// Encodes a whole column into row vectors.
     pub fn transform(&self, table: &Table, column: &str) -> Result<Vec<Vec<f64>>> {
-        let col = table
-            .column(column)
-            .map_err(|e| LearnError::Encoding { detail: e.to_string() })?;
+        let col = table.column(column).map_err(|e| LearnError::Encoding {
+            detail: e.to_string(),
+        })?;
         match col {
-            Column::Str(cells) => {
-                Ok(cells.iter().map(|c| self.encode(c.as_deref())).collect())
-            }
+            Column::Str(cells) => Ok(cells.iter().map(|c| self.encode(c.as_deref())).collect()),
             _ => Err(LearnError::Encoding {
                 detail: format!("one-hot column {column:?} must be a string column"),
             }),

@@ -48,7 +48,11 @@ impl StandardScaler {
     pub fn transform(&self, x: &Matrix) -> Result<Matrix> {
         if x.ncols() != self.means.len() {
             return Err(LearnError::DimensionMismatch {
-                detail: format!("scaler fitted on {} cols, got {}", self.means.len(), x.ncols()),
+                detail: format!(
+                    "scaler fitted on {} cols, got {}",
+                    self.means.len(),
+                    x.ncols()
+                ),
             });
         }
         let mut out = x.clone();
@@ -103,7 +107,11 @@ impl MinMaxScaler {
     pub fn transform(&self, x: &Matrix) -> Result<Matrix> {
         if x.ncols() != self.mins.len() {
             return Err(LearnError::DimensionMismatch {
-                detail: format!("scaler fitted on {} cols, got {}", self.mins.len(), x.ncols()),
+                detail: format!(
+                    "scaler fitted on {} cols, got {}",
+                    self.mins.len(),
+                    x.ncols()
+                ),
             });
         }
         let mut out = x.clone();

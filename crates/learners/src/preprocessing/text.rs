@@ -141,7 +141,10 @@ mod tests {
     #[test]
     fn embeddings_are_deterministic() {
         let e = SentenceEmbedder::new(32);
-        assert_eq!(e.embed("the quick brown fox"), e.embed("the quick brown fox"));
+        assert_eq!(
+            e.embed("the quick brown fox"),
+            e.embed("the quick brown fox")
+        );
     }
 
     #[test]

@@ -47,11 +47,19 @@ pub fn three_way_split(
     let n_test = (n * test_fraction).round() as usize;
     let (valid_idx, rest) = idx.split_at(n_valid.min(idx.len()));
     let (test_idx, train_idx) = rest.split_at(n_test.min(rest.len()));
-    Ok((data.subset(train_idx), data.subset(valid_idx), data.subset(test_idx)))
+    Ok((
+        data.subset(train_idx),
+        data.subset(valid_idx),
+        data.subset(test_idx),
+    ))
 }
 
 /// Yields `k` (train, test) folds for cross-validation, shuffled by `seed`.
-pub fn k_fold(data: &ClassDataset, k: usize, seed: u64) -> Result<Vec<(ClassDataset, ClassDataset)>> {
+pub fn k_fold(
+    data: &ClassDataset,
+    k: usize,
+    seed: u64,
+) -> Result<Vec<(ClassDataset, ClassDataset)>> {
     if k < 2 || k > data.len().max(1) {
         return Err(LearnError::InvalidParameter {
             detail: format!("k must be in 2..={}, got {k}", data.len()),
@@ -64,7 +72,11 @@ pub fn k_fold(data: &ClassDataset, k: usize, seed: u64) -> Result<Vec<(ClassData
     for fold in 0..k {
         let test_idx: Vec<usize> = idx.iter().copied().skip(fold).step_by(k).collect();
         let test_set: std::collections::HashSet<usize> = test_idx.iter().copied().collect();
-        let train_idx: Vec<usize> = idx.iter().copied().filter(|i| !test_set.contains(i)).collect();
+        let train_idx: Vec<usize> = idx
+            .iter()
+            .copied()
+            .filter(|i| !test_set.contains(i))
+            .collect();
         folds.push((data.subset(&train_idx), data.subset(&test_idx)));
     }
     Ok(folds)

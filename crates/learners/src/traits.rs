@@ -56,7 +56,10 @@ pub struct ConstantModel {
 impl ConstantModel {
     /// Creates a constant model predicting `class` out of `n_classes`.
     pub fn new(class: usize, n_classes: usize) -> Self {
-        ConstantModel { class, n_classes: n_classes.max(1) }
+        ConstantModel {
+            class,
+            n_classes: n_classes.max(1),
+        }
     }
 }
 

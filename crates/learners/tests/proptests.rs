@@ -19,10 +19,7 @@ fn arb_labels(n: usize) -> impl Strategy<Value = Vec<usize>> {
 fn arb_dataset() -> impl Strategy<Value = ClassDataset> {
     (2usize..40, 1usize..4).prop_flat_map(|(n, d)| {
         (
-            prop::collection::vec(
-                prop::collection::vec(-100.0f64..100.0, d..=d),
-                n..=n,
-            ),
+            prop::collection::vec(prop::collection::vec(-100.0f64..100.0, d..=d), n..=n),
             prop::collection::vec(0usize..3, n..=n),
         )
             .prop_map(|(rows, y)| {
@@ -211,8 +208,8 @@ proptest! {
     ) {
         let n = diag.len().min(x.len());
         let mut a = Matrix::zeros(n, n);
-        for i in 0..n {
-            a.set(i, i, diag[i]);
+        for (i, &dv) in diag.iter().enumerate().take(n) {
+            a.set(i, i, dv);
             if i + 1 < n {
                 a.set(i, i + 1, 0.5);
             }

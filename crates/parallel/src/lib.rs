@@ -1,0 +1,287 @@
+#![deny(missing_docs)]
+//! Deterministic parallel execution layer (std-only).
+//!
+//! Two pieces, shared by the Identify/Debug/Learn hot paths:
+//!
+//! 1. **Fixed-chunk fan-out** ([`par_map_chunks`], [`par_reduce`],
+//!    [`par_for_each_mut`]): work is split into chunks whose boundaries
+//!    depend only on the input length — never on the worker count — and
+//!    reductions fold chunk results in chunk order. Randomized chunks seed
+//!    from [`chunk_seed`]. Together these make every result bit-identical
+//!    for 1, 2, or N threads, so parallelism can be turned up without
+//!    perturbing any seed-pinned experiment.
+//! 2. **[`NeighborCache`]**: per-validation-point sorted neighbor orderings
+//!    for k-NN utilities, with incremental invalidation when a single
+//!    training row is repaired — the cleaning loop's re-score drops from a
+//!    full O(m·n·(d + log n)) rebuild to O(m·n) list surgery.
+//!
+//! Worker count comes from [`num_threads`]: the `NDE_THREADS` environment
+//! variable when set, else `std::thread::available_parallelism()`.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+mod neighbor_cache;
+
+pub use neighbor_cache::NeighborCache;
+
+/// Worker count for all fan-out primitives: `NDE_THREADS` when set to a
+/// positive integer, otherwise `std::thread::available_parallelism()`
+/// (falling back to 1 if that is unavailable). Read on every call so tests
+/// can vary it; it bounds *scheduling* only — results never depend on it.
+pub fn num_threads() -> usize {
+    if let Ok(v) = std::env::var("NDE_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Mixes a base seed with a chunk index (splitmix64 finalizer) so each
+/// chunk gets an independent, reproducible RNG stream. Chunk indices are a
+/// function of input length only, so the derived seeds — and hence any
+/// randomized computation — are identical for every thread count.
+pub fn chunk_seed(base: u64, chunk: u64) -> u64 {
+    let mut z = base ^ chunk.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn chunk_range(chunk: usize, chunk_len: usize, len: usize) -> Range<usize> {
+    let start = chunk * chunk_len;
+    start..((start + chunk_len).min(len))
+}
+
+/// Applies `f` to fixed-size index chunks of `0..len` and returns the
+/// results **in chunk order**. Chunk boundaries are
+/// `[0, chunk_len, 2·chunk_len, …]` regardless of worker count, and the
+/// returned `Vec` is ordered by chunk index, so the output is a pure
+/// function of `(len, chunk_len, f)`. Workers claim chunks through an
+/// atomic counter (work stealing), so uneven chunks still balance.
+pub fn par_map_chunks<R, F>(len: usize, chunk_len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    par_map_chunks_with(num_threads(), len, chunk_len, f)
+}
+
+/// [`par_map_chunks`] with an explicit worker cap instead of
+/// [`num_threads`]. The cap bounds *scheduling* only — the chunk
+/// decomposition and output are identical for every `workers` value.
+pub fn par_map_chunks_with<R, F>(workers: usize, len: usize, chunk_len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let n_chunks = len.div_ceil(chunk_len);
+    if n_chunks == 0 {
+        return Vec::new();
+    }
+    let workers = workers.max(1).min(n_chunks);
+    if workers <= 1 {
+        // Same chunk decomposition as the parallel path: f sees identical
+        // ranges, so per-chunk state (RNG streams, partial sums) matches.
+        return (0..n_chunks)
+            .map(|c| f(chunk_range(c, chunk_len, len)))
+            .collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n_chunks);
+    slots.resize_with(n_chunks, || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut produced = Vec::new();
+                    loop {
+                        let c = next.fetch_add(1, Ordering::Relaxed);
+                        if c >= n_chunks {
+                            break;
+                        }
+                        produced.push((c, f(chunk_range(c, chunk_len, len))));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (c, r) in handle.join().expect("parallel worker panicked") {
+                slots[c] = Some(r);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every chunk is claimed exactly once"))
+        .collect()
+}
+
+/// Fused map + ordered fold: chunk results from [`par_map_chunks`] are
+/// folded **in chunk index order**, so non-associative accumulations
+/// (floating-point sums included) come out bit-identical for any thread
+/// count.
+pub fn par_reduce<A, R, F, G>(len: usize, chunk_len: usize, init: A, map: F, fold: G) -> A
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+    G: FnMut(A, R) -> A,
+{
+    par_map_chunks(len, chunk_len, map)
+        .into_iter()
+        .fold(init, fold)
+}
+
+/// [`par_reduce`] with an explicit worker cap instead of [`num_threads`].
+/// As with [`par_map_chunks_with`], the result never depends on `workers`.
+pub fn par_reduce_with<A, R, F, G>(
+    workers: usize,
+    len: usize,
+    chunk_len: usize,
+    init: A,
+    map: F,
+    fold: G,
+) -> A
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+    G: FnMut(A, R) -> A,
+{
+    par_map_chunks_with(workers, len, chunk_len, map)
+        .into_iter()
+        .fold(init, fold)
+}
+
+/// Applies `f(index, &mut item)` to every element of `items` in parallel.
+/// Elements are updated independently (each worker owns disjoint chunk
+/// slices), so the final state never depends on scheduling.
+pub fn par_for_each_mut<T, F>(items: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let len = items.len();
+    let n_chunks = len.div_ceil(chunk_len);
+    let workers = num_threads().min(n_chunks);
+    if workers <= 1 {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+
+    // Static round-robin assignment of chunk slices to workers. Each item
+    // is touched by exactly one worker, so this is deterministic no matter
+    // how the threads interleave.
+    let mut per_worker: Vec<Vec<(usize, &mut [T])>> = (0..workers).map(|_| Vec::new()).collect();
+    for (c, slice) in items.chunks_mut(chunk_len).enumerate() {
+        per_worker[c % workers].push((c * chunk_len, slice));
+    }
+    std::thread::scope(|scope| {
+        for assignment in per_worker {
+            let f = &f;
+            scope.spawn(move || {
+                for (base, slice) in assignment {
+                    for (offset, item) in slice.iter_mut().enumerate() {
+                        f(base + offset, item);
+                    }
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn with_threads<R>(n: usize, body: impl FnOnce() -> R) -> R {
+        // Tests in this crate run serially per-process env mutation; the
+        // integration determinism suite covers cross-crate behavior.
+        std::env::set_var("NDE_THREADS", n.to_string());
+        let out = body();
+        std::env::remove_var("NDE_THREADS");
+        out
+    }
+
+    #[test]
+    fn num_threads_honors_env() {
+        assert_eq!(with_threads(3, num_threads), 3);
+        assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn map_chunks_is_ordered_and_complete() {
+        for &threads in &[1usize, 2, 5, 16] {
+            let out = with_threads(threads, || {
+                par_map_chunks(103, 10, |r| r.collect::<Vec<usize>>())
+            });
+            assert_eq!(out.len(), 11);
+            let flat: Vec<usize> = out.into_iter().flatten().collect();
+            assert_eq!(flat, (0..103).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn reduce_is_bit_identical_across_thread_counts() {
+        // A deliberately ill-conditioned float sum: any reassociation
+        // changes the low bits, so bit equality proves ordered folding.
+        let values: Vec<f64> = (0..1000)
+            .map(|i| {
+                ((i * 2654435761u64 as usize) as f64).sqrt() * if i % 3 == 0 { 1e-9 } else { 1e6 }
+            })
+            .collect();
+        let sum_with = |threads: usize| {
+            with_threads(threads, || {
+                par_reduce(
+                    values.len(),
+                    7,
+                    0.0f64,
+                    |r| r.map(|i| values[i]).fold(0.0f64, |a, b| a + b),
+                    |acc, part| acc + part,
+                )
+            })
+        };
+        let reference = sum_with(1);
+        for &threads in &[2usize, 3, 8] {
+            assert_eq!(sum_with(threads).to_bits(), reference.to_bits());
+        }
+    }
+
+    #[test]
+    fn chunk_seeds_are_stable_and_distinct() {
+        assert_eq!(chunk_seed(42, 7), chunk_seed(42, 7));
+        let seeds: std::collections::HashSet<u64> = (0..100).map(|c| chunk_seed(42, c)).collect();
+        assert_eq!(seeds.len(), 100);
+        assert_ne!(chunk_seed(1, 0), chunk_seed(2, 0));
+    }
+
+    #[test]
+    fn for_each_mut_touches_every_item_once() {
+        for &threads in &[1usize, 4] {
+            let mut items: Vec<usize> = vec![0; 97];
+            with_threads(threads, || {
+                par_for_each_mut(&mut items, 8, |i, item| *item += i + 1);
+            });
+            assert!(items.iter().enumerate().all(|(i, &v)| v == i + 1));
+        }
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        assert!(par_map_chunks(0, 4, |r| r.len()).is_empty());
+        let mut empty: [u8; 0] = [];
+        par_for_each_mut(&mut empty, 4, |_, _| {});
+    }
+}

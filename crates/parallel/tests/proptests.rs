@@ -1,0 +1,70 @@
+//! Property-based tests for the deterministic parallel layer: the
+//! incremental [`NeighborCache`] repair path must be indistinguishable from
+//! rebuilding the cache from scratch, for any data and repair sequence.
+
+use nde_parallel::NeighborCache;
+use proptest::prelude::*;
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+fn arb_points(n: usize, d: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(-50.0f64..50.0, d..=d), n..=n)
+}
+
+proptest! {
+    /// A sequence of single-row repairs applied with `update_row` yields
+    /// exactly the cache that `build` would produce from the final state —
+    /// same neighbors, same order, same distances, bit for bit.
+    #[test]
+    fn incremental_repair_matches_full_rebuild(
+        (train, valid, repairs) in (2usize..12, 1usize..8, 1usize..3).prop_flat_map(
+            |(n_train, n_valid, d)| {
+                (
+                    arb_points(n_train, d),
+                    arb_points(n_valid, d),
+                    prop::collection::vec(
+                        ((0..n_train), prop::collection::vec(-50.0f64..50.0, d..=d)),
+                        1..6,
+                    ),
+                )
+            },
+        )
+    ) {
+        let mut train = train;
+        let mut cache = NeighborCache::build(train.len(), valid.len(), |t, v| {
+            sq_dist(&train[t], &valid[v])
+        });
+        for (row, new_point) in repairs {
+            train[row] = new_point;
+            let train_ref = &train;
+            let valid_ref = &valid;
+            cache.update_row(row, |v| sq_dist(&train_ref[row], &valid_ref[v]));
+        }
+        let rebuilt = NeighborCache::build(train.len(), valid.len(), |t, v| {
+            sq_dist(&train[t], &valid[v])
+        });
+        prop_assert_eq!(&cache, &rebuilt);
+    }
+
+    /// Chunked parallel reduction of a float sum is bit-identical to the
+    /// single-worker fold for any worker cap.
+    #[test]
+    fn par_reduce_is_worker_count_invariant(
+        values in prop::collection::vec(-1e6f64..1e6, 0..80),
+        workers in 1usize..9,
+    ) {
+        let sum = |w: usize| {
+            nde_parallel::par_reduce_with(
+                w,
+                values.len(),
+                5,
+                0.0f64,
+                |r| r.map(|i| values[i]).fold(0.0f64, |a, b| a + b),
+                |acc, part| acc + part,
+            )
+        };
+        prop_assert_eq!(sum(workers).to_bits(), sum(1).to_bits());
+    }
+}

@@ -110,7 +110,9 @@ pub fn screen(
 pub fn provenance_leakage(train: &TracedTable, test: &TracedTable) -> Vec<(String, usize)> {
     let mut leaks = Vec::new();
     for (src_idx, name) in train.source_names.iter().enumerate() {
-        let Some(test_src) = test.source_index(name) else { continue };
+        let Some(test_src) = test.source_index(name) else {
+            continue;
+        };
         let train_rows: HashSet<usize> = train
             .lineage
             .iter()
@@ -133,8 +135,7 @@ fn row_key(row: &[f64]) -> Vec<u64> {
 }
 
 fn check_feature_leakage(report: &mut ScreeningReport, train: &ClassDataset, test: &ClassDataset) {
-    let train_rows: HashSet<Vec<u64>> =
-        (0..train.len()).map(|i| row_key(train.x.row(i))).collect();
+    let train_rows: HashSet<Vec<u64>> = (0..train.len()).map(|i| row_key(train.x.row(i))).collect();
     let dupes = (0..test.len())
         .filter(|&i| train_rows.contains(&row_key(test.x.row(i))))
         .count();
@@ -232,13 +233,19 @@ fn column_stats(data: &ClassDataset, j: usize) -> (f64, f64) {
     (mean, var.sqrt())
 }
 
-fn check_class_imbalance(cfg: &ScreeningConfig, report: &mut ScreeningReport, train: &ClassDataset) {
+fn check_class_imbalance(
+    cfg: &ScreeningConfig,
+    report: &mut ScreeningReport,
+    train: &ClassDataset,
+) {
     if train.is_empty() {
         return;
     }
     let counts = train.class_counts();
-    let min_share =
-        counts.iter().map(|&c| c as f64 / train.len() as f64).fold(f64::INFINITY, f64::min);
+    let min_share = counts
+        .iter()
+        .map(|&c| c as f64 / train.len() as f64)
+        .fold(f64::INFINITY, f64::min);
     if min_share < cfg.min_class_share {
         report.issues.push(Issue {
             check: "class_imbalance",
@@ -306,12 +313,8 @@ mod tests {
         let shifted_rows: Vec<Vec<f64>> = (0..test.len())
             .map(|i| vec![test.x.get(i, 0) + 0.0057, 0.0])
             .collect();
-        let test = ClassDataset::new(
-            Matrix::from_rows(&shifted_rows).unwrap(),
-            test.y.clone(),
-            2,
-        )
-        .unwrap();
+        let test = ClassDataset::new(Matrix::from_rows(&shifted_rows).unwrap(), test.y.clone(), 2)
+            .unwrap();
         let learner = KnnClassifier::new(3);
         let report = screen(&ScreeningConfig::default(), &learner, &train, &test, None).unwrap();
         assert!(report.passed(), "{:?}", report.issues);
@@ -334,13 +337,18 @@ mod tests {
         let train = blobs(20, &flips);
         let test = {
             let t = blobs(10, &[]);
-            let rows: Vec<Vec<f64>> =
-                (0..t.len()).map(|i| vec![t.x.get(i, 0) + 0.017, 0.0]).collect();
+            let rows: Vec<Vec<f64>> = (0..t.len())
+                .map(|i| vec![t.x.get(i, 0) + 0.017, 0.0])
+                .collect();
             ClassDataset::new(Matrix::from_rows(&rows).unwrap(), t.y.clone(), 2).unwrap()
         };
         let learner = KnnClassifier::new(3);
         let report = screen(&ScreeningConfig::default(), &learner, &train, &test, None).unwrap();
-        assert!(!report.of_check("label_errors").is_empty(), "{:?}", report.issues);
+        assert!(
+            !report.of_check("label_errors").is_empty(),
+            "{:?}",
+            report.issues
+        );
         // Warnings don't fail the gate.
         assert!(report.passed());
     }
@@ -353,21 +361,28 @@ mod tests {
         idx.extend(0..5);
         let train = base.subset(&idx);
         let test = {
-            let rows: Vec<Vec<f64>> =
-                (0..base.len()).map(|i| vec![base.x.get(i, 0) + 0.017, 0.0]).collect();
+            let rows: Vec<Vec<f64>> = (0..base.len())
+                .map(|i| vec![base.x.get(i, 0) + 0.017, 0.0])
+                .collect();
             ClassDataset::new(Matrix::from_rows(&rows).unwrap(), base.y.clone(), 2).unwrap()
         };
         let learner = KnnClassifier::new(3);
         let report = screen(&ScreeningConfig::default(), &learner, &train, &test, None).unwrap();
-        assert!(!report.of_check("duplicates").is_empty(), "{:?}", report.issues);
+        assert!(
+            !report.of_check("duplicates").is_empty(),
+            "{:?}",
+            report.issues
+        );
     }
 
     #[test]
     fn shifted_test_set_flags_covariate_shift() {
         let train = blobs(15, &[]);
-        let rows: Vec<Vec<f64>> =
-            (0..train.len()).map(|i| vec![train.x.get(i, 0) + 10.0, 0.0]).collect();
-        let test = ClassDataset::new(Matrix::from_rows(&rows).unwrap(), train.y.clone(), 2).unwrap();
+        let rows: Vec<Vec<f64>> = (0..train.len())
+            .map(|i| vec![train.x.get(i, 0) + 10.0, 0.0])
+            .collect();
+        let test =
+            ClassDataset::new(Matrix::from_rows(&rows).unwrap(), train.y.clone(), 2).unwrap();
         let learner = KnnClassifier::new(3);
         let report = screen(&ScreeningConfig::default(), &learner, &train, &test, None).unwrap();
         assert!(!report.of_check("covariate_shift").is_empty());
@@ -375,10 +390,14 @@ mod tests {
 
     #[test]
     fn imbalance_detected() {
-        let train = blobs(20, &[]).subset(&(0..30).filter(|i| i % 2 == 0 || *i < 4).collect::<Vec<_>>());
+        let train =
+            blobs(20, &[]).subset(&(0..30).filter(|i| i % 2 == 0 || *i < 4).collect::<Vec<_>>());
         let learner = KnnClassifier::new(3);
         let report = screen(
-            &ScreeningConfig { min_class_share: 0.4, ..Default::default() },
+            &ScreeningConfig {
+                min_class_share: 0.4,
+                ..Default::default()
+            },
             &learner,
             &train,
             &blobs(3, &[]),
@@ -416,14 +435,22 @@ mod tests {
         let data = ClassDataset::new(Matrix::from_rows(&rows).unwrap(), y, 2).unwrap();
         let learner = KnnClassifier::new(3);
         let report = screen(
-            &ScreeningConfig { shift_threshold: 100.0, label_error_fraction: 1.1, ..Default::default() },
+            &ScreeningConfig {
+                shift_threshold: 100.0,
+                label_error_fraction: 1.1,
+                ..Default::default()
+            },
             &learner,
             &data,
             &data,
             Some(&groups),
         )
         .unwrap();
-        assert!(!report.of_check("fairness").is_empty(), "{:?}", report.issues);
+        assert!(
+            !report.of_check("fairness").is_empty(),
+            "{:?}",
+            report.issues
+        );
     }
 
     #[test]

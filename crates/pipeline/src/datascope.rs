@@ -45,7 +45,9 @@ pub fn datascope_importance(
     }
     let src = traced
         .source_index(source)
-        .ok_or_else(|| PipelineError::UnknownSource { name: source.to_owned() })?;
+        .ok_or_else(|| PipelineError::UnknownSource {
+            name: source.to_owned(),
+        })?;
 
     let output_scores = knn_shapley(train, valid, k);
     let index = invert_lineage(&traced.lineage, src);
@@ -133,8 +135,7 @@ mod tests {
         let traced = plan.run_traced(&sources(vec![("t", t.clone())])).unwrap();
         let train = encoded(&traced.table);
         let valid = valid_set();
-        let scores =
-            datascope_importance(&traced, &train, &valid, 1, "t", t.num_rows()).unwrap();
+        let scores = datascope_importance(&traced, &train, &valid, 1, "t", t.num_rows()).unwrap();
         let output_scores = knn_shapley(&train, &valid, 1);
         assert!((scores[0] - (output_scores[0] + output_scores[2])).abs() < 1e-12);
         assert!((scores[1] - (output_scores[1] + output_scores[3])).abs() < 1e-12);
@@ -173,13 +174,25 @@ mod tests {
 
     #[test]
     fn misaligned_dataset_rejected() {
-        let t = Table::builder().float("x", [0.1]).int("y", [0]).build().unwrap();
-        let traced = Plan::source("t").run_traced(&sources(vec![("t", t)])).unwrap();
+        let t = Table::builder()
+            .float("x", [0.1])
+            .int("y", [0])
+            .build()
+            .unwrap();
+        let traced = Plan::source("t")
+            .run_traced(&sources(vec![("t", t)]))
+            .unwrap();
         let wrong = valid_set(); // 2 rows ≠ 1 output row
         let r = datascope_importance(&traced, &wrong, &valid_set(), 1, "t", 1);
         assert!(matches!(r, Err(PipelineError::Invalid { .. })));
-        let t2 = Table::builder().float("x", [0.1]).int("y", [0]).build().unwrap();
-        let traced2 = Plan::source("t").run_traced(&sources(vec![("t", t2)])).unwrap();
+        let t2 = Table::builder()
+            .float("x", [0.1])
+            .int("y", [0])
+            .build()
+            .unwrap();
+        let traced2 = Plan::source("t")
+            .run_traced(&sources(vec![("t", t2)]))
+            .unwrap();
         let train = encoded(&traced2.table);
         assert!(matches!(
             datascope_importance(&traced2, &train, &valid_set(), 1, "nope", 1),

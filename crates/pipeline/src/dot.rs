@@ -26,7 +26,11 @@ impl Plan {
             };
             for (i, child) in children.iter().enumerate() {
                 let last = i + 1 == children.len();
-                let p = if prefix.is_empty() { "  ".to_owned() } else { child_prefix.clone() };
+                let p = if prefix.is_empty() {
+                    "  ".to_owned()
+                } else {
+                    child_prefix.clone()
+                };
                 walk(child, &p, last, out);
             }
         }
@@ -42,7 +46,11 @@ impl Plan {
             let id = *next_id;
             *next_id += 1;
             let label = node.label().replace('"', "'");
-            let shape = if matches!(node, Node::Source { .. }) { "box" } else { "ellipse" };
+            let shape = if matches!(node, Node::Source { .. }) {
+                "box"
+            } else {
+                "ellipse"
+            };
             let _ = writeln!(out, "  n{id} [label=\"{label}\", shape={shape}];");
             for child in node.children() {
                 let cid = walk(child, next_id, out);
@@ -65,7 +73,9 @@ mod tests {
     fn demo() -> Plan {
         Plan::source("train_df")
             .join(Plan::source("jobdetail_df"), "job_id", "job_id")
-            .filter("sector == healthcare", |r| r.str("sector") == Some("healthcare"))
+            .filter("sector == healthcare", |r| {
+                r.str("sector") == Some("healthcare")
+            })
     }
 
     #[test]

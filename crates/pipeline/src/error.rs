@@ -60,7 +60,9 @@ mod tests {
 
     #[test]
     fn display_and_source_chain() {
-        let e = PipelineError::UnknownSource { name: "social".into() };
+        let e = PipelineError::UnknownSource {
+            name: "social".into(),
+        };
         assert!(e.to_string().contains("social"));
         let e: PipelineError = nde_tabular::TableError::ColumnNotFound { name: "x".into() }.into();
         assert!(e.to_string().contains('x'));

@@ -69,7 +69,11 @@ impl Plan {
     ) -> Result<TracedTable> {
         let mut source_names = Vec::new();
         let (table, lineage) = eval(&self.node, sources, &mut source_names, observer)?;
-        Ok(TracedTable { table, lineage, source_names })
+        Ok(TracedTable {
+            table,
+            lineage,
+            source_names,
+        })
     }
 }
 
@@ -81,7 +85,13 @@ fn eval_plain(node: &Node, sources: &Sources) -> Result<Table> {
             .get(name)
             .cloned()
             .ok_or_else(|| PipelineError::UnknownSource { name: name.clone() }),
-        Node::Join { left, right, left_key, right_key, how } => {
+        Node::Join {
+            left,
+            right,
+            left_key,
+            right_key,
+            how,
+        } => {
             let lt = eval_plain(left, sources)?;
             let rt = eval_plain(right, sources)?;
             match how {
@@ -89,17 +99,21 @@ fn eval_plain(node: &Node, sources: &Sources) -> Result<Table> {
                 PlanJoin::Left => Ok(lt.left_join(&rt, left_key, right_key)?),
             }
         }
-        Node::FuzzyJoin { left, right, left_key, right_key, max_distance } => {
+        Node::FuzzyJoin {
+            left,
+            right,
+            left_key,
+            right_key,
+            max_distance,
+        } => {
             let lt = eval_plain(left, sources)?;
             let rt = eval_plain(right, sources)?;
             Ok(lt.fuzzy_join(&rt, left_key, right_key, *max_distance)?)
         }
-        Node::Filter { input, pred, .. } => {
-            Ok(eval_plain(input, sources)?.filter(|r| pred(r))?)
-        }
-        Node::WithColumn { input, name, udf, .. } => {
-            Ok(eval_plain(input, sources)?.with_column(name, |r| udf(r))?)
-        }
+        Node::Filter { input, pred, .. } => Ok(eval_plain(input, sources)?.filter(|r| pred(r))?),
+        Node::WithColumn {
+            input, name, udf, ..
+        } => Ok(eval_plain(input, sources)?.with_column(name, |r| udf(r))?),
         Node::Project { input, columns } => {
             let names: Vec<&str> = columns.iter().map(String::as_str).collect();
             Ok(eval_plain(input, sources)?.select(&names)?)
@@ -112,6 +126,28 @@ fn eval_plain(node: &Node, sources: &Sources) -> Result<Table> {
             Ok(eval_plain(top, sources)?.concat(&eval_plain(bottom, sources)?)?)
         }
     }
+}
+
+/// Gathers the lineage of the kept rows by *moving* monomials out of the
+/// input lineage instead of cloning them — `kept` is strictly increasing
+/// (filter/drop-nulls preserve row order), so each monomial is taken at
+/// most once and the discarded ones are dropped with the input vector.
+fn gather_lineage(lineage: Vec<Monomial>, kept: &[usize]) -> Vec<Monomial> {
+    debug_assert!(kept.windows(2).all(|w| w[0] < w[1]));
+    let mut out = Vec::with_capacity(kept.len());
+    let mut kept_iter = kept.iter().peekable();
+    for (i, monomial) in lineage.into_iter().enumerate() {
+        match kept_iter.peek() {
+            Some(&&next) if next == i => {
+                out.push(monomial);
+                kept_iter.next();
+            }
+            Some(_) => {}
+            None => break,
+        }
+    }
+    debug_assert_eq!(out.len(), kept.len());
+    out
 }
 
 fn intern(source_names: &mut Vec<String>, name: &str) -> usize {
@@ -141,10 +177,20 @@ fn eval(
                 .collect();
             (table, lineage)
         }
-        Node::Join { left, right, left_key, right_key, how } => {
+        Node::Join {
+            left,
+            right,
+            left_key,
+            right_key,
+            how,
+        } => {
             let (lt, ll) = eval(left, sources, source_names, observer)?;
             let (rt, rl) = eval(right, sources, source_names, observer)?;
-            let jt = if *how == PlanJoin::Inner { JoinType::Inner } else { JoinType::Left };
+            let jt = if *how == PlanJoin::Inner {
+                JoinType::Inner
+            } else {
+                JoinType::Left
+            };
             let (out, trace) = lt.join_traced(&rt, left_key, right_key, jt)?;
             let lineage = trace
                 .iter()
@@ -155,7 +201,13 @@ fn eval(
                 .collect();
             (out, lineage)
         }
-        Node::FuzzyJoin { left, right, left_key, right_key, max_distance } => {
+        Node::FuzzyJoin {
+            left,
+            right,
+            left_key,
+            right_key,
+            max_distance,
+        } => {
             let (lt, ll) = eval(left, sources, source_names, observer)?;
             let (rt, rl) = eval(right, sources, source_names, observer)?;
             let (out, trace) = lt.fuzzy_join_traced(&rt, left_key, right_key, *max_distance)?;
@@ -171,10 +223,12 @@ fn eval(
         Node::Filter { input, pred, .. } => {
             let (t, l) = eval(input, sources, source_names, observer)?;
             let (out, kept) = t.filter_traced(|r| pred(r))?;
-            let lineage = kept.iter().map(|&i| l[i].clone()).collect();
+            let lineage = gather_lineage(l, &kept);
             (out, lineage)
         }
-        Node::WithColumn { input, name, udf, .. } => {
+        Node::WithColumn {
+            input, name, udf, ..
+        } => {
             let (t, l) = eval(input, sources, source_names, observer)?;
             let out = t.with_column(name, |r| udf(r))?;
             (out, l)
@@ -188,7 +242,7 @@ fn eval(
             let (t, l) = eval(input, sources, source_names, observer)?;
             let names: Vec<&str> = columns.iter().map(String::as_str).collect();
             let (out, kept) = t.drop_nulls_traced(&names)?;
-            let lineage = kept.iter().map(|&i| l[i].clone()).collect();
+            let lineage = gather_lineage(l, &kept);
             (out, lineage)
         }
         Node::Concat { top, bottom } => {
@@ -229,14 +283,20 @@ mod tests {
             )
             .build()
             .unwrap();
-        sources(vec![("train_df", train), ("jobdetail_df", jobs), ("social_df", social)])
+        sources(vec![
+            ("train_df", train),
+            ("jobdetail_df", jobs),
+            ("social_df", social),
+        ])
     }
 
     fn figure3_plan() -> Plan {
         Plan::source("train_df")
             .join(Plan::source("jobdetail_df"), "job_id", "job_id")
             .join(Plan::source("social_df"), "person_id", "person_id")
-            .filter("sector == healthcare", |r| r.str("sector") == Some("healthcare"))
+            .filter("sector == healthcare", |r| {
+                r.str("sector") == Some("healthcare")
+            })
             .with_column("has_twitter", "twitter not null", |r| {
                 Value::Bool(!r.is_null("twitter"))
             })
@@ -281,9 +341,15 @@ mod tests {
     #[test]
     fn left_join_keeps_left_lineage_for_unmatched() {
         let left = Table::builder().int("k", [1, 2]).build().unwrap();
-        let right = Table::builder().int("k", [1]).str("v", ["x"]).build().unwrap();
+        let right = Table::builder()
+            .int("k", [1])
+            .str("v", ["x"])
+            .build()
+            .unwrap();
         let plan = Plan::source("l").left_join(Plan::source("r"), "k", "k");
-        let traced = plan.run_traced(&sources(vec![("l", left), ("r", right)])).unwrap();
+        let traced = plan
+            .run_traced(&sources(vec![("l", left), ("r", right)]))
+            .unwrap();
         assert_eq!(traced.lineage[0].tokens().len(), 2);
         assert_eq!(traced.lineage[1].tokens().len(), 1);
     }
@@ -322,7 +388,11 @@ mod tests {
     #[test]
     fn fuzzy_join_lineage() {
         let l = Table::builder().str("k", ["acme", "zzz"]).build().unwrap();
-        let r = Table::builder().str("k", ["acmee"]).int("v", [7]).build().unwrap();
+        let r = Table::builder()
+            .str("k", ["acmee"])
+            .int("v", [7])
+            .build()
+            .unwrap();
         let plan = Plan::source("l").fuzzy_join(Plan::source("r"), "k", "k", 1);
         let traced = plan.run_traced(&sources(vec![("l", l), ("r", r)])).unwrap();
         assert_eq!(traced.table.num_rows(), 1);

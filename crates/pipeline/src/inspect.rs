@@ -63,7 +63,12 @@ fn shares(table: &Table, column: &str) -> Option<HashMap<String, f64>> {
         let key = cell.clone().unwrap_or_else(|| "<null>".to_owned());
         *counts.entry(key).or_default() += 1;
     }
-    Some(counts.into_iter().map(|(k, c)| (k, c as f64 / n as f64)).collect())
+    Some(
+        counts
+            .into_iter()
+            .map(|(k, c)| (k, c as f64 / n as f64))
+            .collect(),
+    )
 }
 
 /// Runs the plan over `sources` with inspections attached. `watched` names
@@ -112,13 +117,17 @@ pub fn inspect(
 
     let mut warnings = Vec::new();
     for (idx, report) in reports.iter().enumerate() {
-        let Some(child_idx) = first_child_of[idx] else { continue };
+        let Some(child_idx) = first_child_of[idx] else {
+            continue;
+        };
         let child = &reports[child_idx];
         let mut cols: Vec<&String> = report.group_shares.keys().collect();
         cols.sort();
         for col in cols {
             let after = &report.group_shares[col];
-            let Some(before) = child.group_shares.get(col) else { continue };
+            let Some(before) = child.group_shares.get(col) else {
+                continue;
+            };
             let mut values: Vec<&String> = before.keys().collect();
             values.sort();
             for value in values {
@@ -151,7 +160,10 @@ pub fn inspect(
             }
         }
     }
-    Ok(InspectionReport { operators: reports, warnings })
+    Ok(InspectionReport {
+        operators: reports,
+        warnings,
+    })
 }
 
 #[cfg(test)]
@@ -239,11 +251,13 @@ mod tests {
     fn numeric_drift_is_reported() {
         // Filtering to score >= 10 raises the mean of the watched numeric
         // column far beyond its input std.
-        let plan =
-            Plan::source("train").filter("score >= 10", |r| r.int("score").unwrap() >= 10);
+        let plan = Plan::source("train").filter("score >= 10", |r| r.int("score").unwrap() >= 10);
         let report = inspect(&plan, &demo_sources(), &["score"], 0.3).unwrap();
         assert!(
-            report.warnings.iter().any(|w| w.contains("mean of score drifted")),
+            report
+                .warnings
+                .iter()
+                .any(|w| w.contains("mean of score drifted")),
             "{:?}",
             report.warnings
         );

@@ -69,11 +69,25 @@ impl Node {
     pub(crate) fn label(&self) -> String {
         match self {
             Node::Source { name } => format!("Source[{name}]"),
-            Node::Join { left_key, right_key, how, .. } => {
-                let h = if *how == PlanJoin::Inner { "inner" } else { "left" };
+            Node::Join {
+                left_key,
+                right_key,
+                how,
+                ..
+            } => {
+                let h = if *how == PlanJoin::Inner {
+                    "inner"
+                } else {
+                    "left"
+                };
                 format!("Join[{h}: {left_key} = {right_key}]")
             }
-            Node::FuzzyJoin { left_key, right_key, max_distance, .. } => {
+            Node::FuzzyJoin {
+                left_key,
+                right_key,
+                max_distance,
+                ..
+            } => {
                 format!("FuzzyJoin[{left_key} ≈ {right_key}, d ≤ {max_distance}]")
             }
             Node::Filter { label, .. } => format!("Filter[{label}]"),
@@ -96,7 +110,10 @@ impl Node {
             Node::Source { .. } => vec![],
             Node::Join { left, right, .. }
             | Node::FuzzyJoin { left, right, .. }
-            | Node::Concat { top: left, bottom: right } => vec![left, right],
+            | Node::Concat {
+                top: left,
+                bottom: right,
+            } => vec![left, right],
             Node::Filter { input, .. }
             | Node::WithColumn { input, .. }
             | Node::Project { input, .. }
@@ -128,11 +145,18 @@ pub struct Plan {
 impl Plan {
     /// A leaf referencing a named source table.
     pub fn source(name: impl Into<String>) -> Plan {
-        Plan { node: Node::Source { name: name.into() } }
+        Plan {
+            node: Node::Source { name: name.into() },
+        }
     }
 
     /// Inner hash join with `right` on the given keys.
-    pub fn join(self, right: Plan, left_key: impl Into<String>, right_key: impl Into<String>) -> Plan {
+    pub fn join(
+        self,
+        right: Plan,
+        left_key: impl Into<String>,
+        right_key: impl Into<String>,
+    ) -> Plan {
         Plan {
             node: Node::Join {
                 left: Box::new(self.node),
@@ -236,7 +260,10 @@ impl Plan {
     /// Unions rows of `other` below this plan's rows (schemas must match).
     pub fn concat(self, other: Plan) -> Plan {
         Plan {
-            node: Node::Concat { top: Box::new(self.node), bottom: Box::new(other.node) },
+            node: Node::Concat {
+                top: Box::new(self.node),
+                bottom: Box::new(other.node),
+            },
         }
     }
 
@@ -275,7 +302,9 @@ mod tests {
         Plan::source("train_df")
             .join(Plan::source("jobdetail_df"), "job_id", "job_id")
             .join(Plan::source("social_df"), "person_id", "person_id")
-            .filter("sector == healthcare", |r| r.str("sector") == Some("healthcare"))
+            .filter("sector == healthcare", |r| {
+                r.str("sector") == Some("healthcare")
+            })
             .with_column("has_twitter", "twitter not null", |r| {
                 Value::Bool(!r.is_null("twitter"))
             })
@@ -284,7 +313,10 @@ mod tests {
     #[test]
     fn source_names_in_first_use_order() {
         let plan = figure3_plan();
-        assert_eq!(plan.source_names(), vec!["train_df", "jobdetail_df", "social_df"]);
+        assert_eq!(
+            plan.source_names(),
+            vec!["train_df", "jobdetail_df", "social_df"]
+        );
     }
 
     #[test]

@@ -42,7 +42,9 @@ impl Monomial {
 
     /// A single-token monomial.
     pub fn of(token: ProvToken) -> Self {
-        Monomial { tokens: vec![token] }
+        Monomial {
+            tokens: vec![token],
+        }
     }
 
     /// The product of two monomials (sorted token-set union).
@@ -74,7 +76,10 @@ impl Monomial {
 
     /// The tokens belonging to one source table.
     pub fn rows_of_source(&self, source: usize) -> impl Iterator<Item = usize> + '_ {
-        self.tokens.iter().filter(move |t| t.source == source).map(|t| t.row)
+        self.tokens
+            .iter()
+            .filter(move |t| t.source == source)
+            .map(|t| t.row)
     }
 
     /// A copy of `m` with every token of `source` shifted by `offset` —
@@ -224,7 +229,11 @@ impl Polynomial {
     }
 
     /// Evaluates the polynomial in any semiring, given a token valuation.
-    pub fn eval<S: Semiring>(&self, semiring: &S, value_of: &dyn Fn(ProvToken) -> S::Elem) -> S::Elem {
+    pub fn eval<S: Semiring>(
+        &self,
+        semiring: &S,
+        value_of: &dyn Fn(ProvToken) -> S::Elem,
+    ) -> S::Elem {
         let mut acc = semiring.zero();
         for m in &self.monomials {
             let mut prod = semiring.one();
@@ -304,8 +313,8 @@ mod tests {
 
     #[test]
     fn counting_evaluation_counts_derivations() {
-        let poly = Polynomial::of(Monomial::of(t(0, 0)))
-            .plus(&Polynomial::of(Monomial::of(t(0, 1))));
+        let poly =
+            Polynomial::of(Monomial::of(t(0, 0))).plus(&Polynomial::of(Monomial::of(t(0, 1))));
         let c = CountingSemiring;
         assert_eq!(poly.eval(&c, &|_| 1), 2);
         assert_eq!(poly.eval(&c, &|tok| u64::from(tok == t(0, 0))), 1);

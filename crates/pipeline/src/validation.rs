@@ -220,11 +220,17 @@ pub fn infer_expectations(reference: &Table, cfg: &ValidationConfig) -> Expectat
 
 /// Validates a table against expectations, returning every anomaly found
 /// (empty = the batch passes).
-pub fn validate(table: &Table, expectations: &Expectations, cfg: &ValidationConfig) -> Vec<Anomaly> {
+pub fn validate(
+    table: &Table,
+    expectations: &Expectations,
+    cfg: &ValidationConfig,
+) -> Vec<Anomaly> {
     let mut anomalies = Vec::new();
     for exp in &expectations.columns {
         let Ok(col) = table.column(&exp.name) else {
-            anomalies.push(Anomaly::MissingColumn { name: exp.name.clone() });
+            anomalies.push(Anomaly::MissingColumn {
+                name: exp.name.clone(),
+            });
             continue;
         };
         if col.dtype() != exp.dtype {
@@ -244,11 +250,7 @@ pub fn validate(table: &Table, expectations: &Expectations, cfg: &ValidationConf
             });
         }
         if let (Some((lo, hi)), Ok(vals)) = (exp.range, col.to_f64()) {
-            let out = vals
-                .iter()
-                .flatten()
-                .filter(|&&v| v < lo || v > hi)
-                .count();
+            let out = vals.iter().flatten().filter(|&&v| v < lo || v > hi).count();
             if out > 0 {
                 anomalies.push(Anomaly::OutOfRange {
                     name: exp.name.clone(),
@@ -268,26 +270,37 @@ pub fn validate(table: &Table, expectations: &Expectations, cfg: &ValidationConf
             unseen.dedup();
             unseen.truncate(10);
             if !unseen.is_empty() {
-                anomalies.push(Anomaly::UnseenCategory { name: exp.name.clone(), values: unseen });
+                anomalies.push(Anomaly::UnseenCategory {
+                    name: exp.name.clone(),
+                    values: unseen,
+                });
             }
         }
         if let (Some((ref_mean, ref_std)), Some(mean)) = (exp.reference_stats, profile.mean) {
             let magnitude = (mean - ref_mean).abs() / ref_std.max(1e-9);
             if magnitude > cfg.drift_threshold {
-                anomalies.push(Anomaly::Drift { name: exp.name.clone(), magnitude });
+                anomalies.push(Anomaly::Drift {
+                    name: exp.name.clone(),
+                    magnitude,
+                });
             }
         }
         if let (Some(reference_sample), Ok(vals)) = (&exp.reference_sample, col.to_f64()) {
             let present: Vec<f64> = vals.into_iter().flatten().collect();
             let ks = ks_distance(reference_sample, &present);
             if ks > cfg.ks_threshold {
-                anomalies.push(Anomaly::DistributionShift { name: exp.name.clone(), ks });
+                anomalies.push(Anomaly::DistributionShift {
+                    name: exp.name.clone(),
+                    ks,
+                });
             }
         }
     }
     for field in table.schema().fields() {
         if !expectations.columns.iter().any(|e| e.name == field.name) {
-            anomalies.push(Anomaly::UnexpectedColumn { name: field.name.clone() });
+            anomalies.push(Anomaly::UnexpectedColumn {
+                name: field.name.clone(),
+            });
         }
     }
     anomalies
@@ -326,7 +339,9 @@ mod tests {
             .unwrap();
         let anomalies = validate(&batch, &exp, &cfg);
         assert!(anomalies.contains(&Anomaly::MissingColumn { name: "age".into() }));
-        assert!(anomalies.contains(&Anomaly::UnexpectedColumn { name: "new_flag".into() }));
+        assert!(anomalies.contains(&Anomaly::UnexpectedColumn {
+            name: "new_flag".into()
+        }));
     }
 
     #[test]
@@ -370,7 +385,10 @@ mod tests {
 
     #[test]
     fn drift_detection() {
-        let cfg = ValidationConfig { drift_threshold: 0.5, ..Default::default() };
+        let cfg = ValidationConfig {
+            drift_threshold: 0.5,
+            ..Default::default()
+        };
         let exp = infer_expectations(&reference(), &cfg);
         // Shift ages by +2 std.
         let batch = reference()
@@ -403,16 +421,25 @@ mod tests {
     fn variance_change_triggers_ks_but_not_mean_drift() {
         // Same mean (3.0), wildly different spread: KS fires, mean-drift
         // does not — the case the shape check exists for.
-        let cfg = ValidationConfig { ks_threshold: 0.3, ..Default::default() };
+        let cfg = ValidationConfig {
+            ks_threshold: 0.3,
+            ..Default::default()
+        };
         let reference = Table::builder()
-            .float("rating", vec![2.8, 2.9, 3.0, 3.1, 3.2, 2.85, 3.15, 2.95, 3.05, 3.0])
+            .float(
+                "rating",
+                vec![2.8, 2.9, 3.0, 3.1, 3.2, 2.85, 3.15, 2.95, 3.05, 3.0],
+            )
             .str("degree", vec!["bsc"; 10])
             .int("age", (0..10i64).map(|i| 30 + i).collect::<Vec<_>>())
             .build()
             .unwrap();
         let exp = infer_expectations(&reference, &cfg);
         let wide = Table::builder()
-            .float("rating", vec![0.5, 5.5, 0.6, 5.4, 0.7, 5.3, 0.8, 5.2, 0.9, 5.1])
+            .float(
+                "rating",
+                vec![0.5, 5.5, 0.6, 5.4, 0.7, 5.3, 0.8, 5.2, 0.9, 5.1],
+            )
             .str("degree", vec!["bsc"; 10])
             .int("age", (0..10i64).map(|i| 30 + i).collect::<Vec<_>>())
             .build()
@@ -425,7 +452,9 @@ mod tests {
             "{anomalies:?}"
         );
         assert!(
-            !anomalies.iter().any(|a| matches!(a, Anomaly::Drift { name, .. } if name == "rating")),
+            !anomalies
+                .iter()
+                .any(|a| matches!(a, Anomaly::Drift { name, .. } if name == "rating")),
             "{anomalies:?}"
         );
     }

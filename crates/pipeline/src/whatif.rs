@@ -38,7 +38,9 @@ pub fn delete_source_rows(
 ) -> Result<DeletionEffect> {
     let src = traced
         .source_index(source)
-        .ok_or_else(|| PipelineError::UnknownSource { name: source.to_owned() })?;
+        .ok_or_else(|| PipelineError::UnknownSource {
+            name: source.to_owned(),
+        })?;
     let deleted: HashSet<ProvToken> = rows.iter().map(|&r| ProvToken::new(src, r)).collect();
     let kept: Vec<usize> = traced
         .lineage
@@ -47,7 +49,10 @@ pub fn delete_source_rows(
         .filter(|(_, m)| m.survives(&|t| !deleted.contains(&t)))
         .map(|(i, _)| i)
         .collect();
-    Ok(DeletionEffect { table: traced.table.take(&kept)?, kept })
+    Ok(DeletionEffect {
+        table: traced.table.take(&kept)?,
+        kept,
+    })
 }
 
 /// Re-runs `plan` with `rows` removed from source `source` — the reference
@@ -61,9 +66,13 @@ pub fn rerun_without_rows(
 ) -> Result<Table> {
     let table = sources
         .get(source)
-        .ok_or_else(|| PipelineError::UnknownSource { name: source.to_owned() })?;
+        .ok_or_else(|| PipelineError::UnknownSource {
+            name: source.to_owned(),
+        })?;
     let remove: HashSet<usize> = rows.iter().copied().collect();
-    let keep: Vec<usize> = (0..table.num_rows()).filter(|i| !remove.contains(i)).collect();
+    let keep: Vec<usize> = (0..table.num_rows())
+        .filter(|i| !remove.contains(i))
+        .collect();
     let mut patched = sources.clone();
     patched.insert(source.to_owned(), table.take(&keep)?);
     plan.run(&patched)
@@ -79,7 +88,9 @@ pub fn rerun_with_repairs(
 ) -> Result<Table> {
     let table = sources
         .get(source)
-        .ok_or_else(|| PipelineError::UnknownSource { name: source.to_owned() })?;
+        .ok_or_else(|| PipelineError::UnknownSource {
+            name: source.to_owned(),
+        })?;
     let mut fixed = table.clone();
     for (row, column, value) in repairs {
         fixed.set(*row, column, value.clone())?;
@@ -116,7 +127,9 @@ pub fn insert_source_rows(
     }
     let base = sources
         .get(source)
-        .ok_or_else(|| PipelineError::UnknownSource { name: source.to_owned() })?;
+        .ok_or_else(|| PipelineError::UnknownSource {
+            name: source.to_owned(),
+        })?;
     let offset = base.num_rows();
     let mut patched = sources.clone();
     patched.insert(source.to_owned(), new_rows.clone());
@@ -133,7 +146,11 @@ pub fn insert_source_rows(
 fn count_source_occurrences(plan: &Plan, source: &str) -> usize {
     fn walk(node: &crate::plan::Node, source: &str) -> usize {
         let own = usize::from(matches!(node, crate::plan::Node::Source { name } if name == source));
-        own + node.children().iter().map(|c| walk(c, source)).sum::<usize>()
+        own + node
+            .children()
+            .iter()
+            .map(|c| walk(c, source))
+            .sum::<usize>()
     }
     walk(&plan.node, source)
 }
@@ -214,8 +231,7 @@ mod tests {
     fn deletion_impact_on_row_count() {
         let (plan, srcs) = demo();
         let traced = plan.run_traced(&srcs).unwrap();
-        let impact =
-            deletion_impact(&traced, "jobs", &[0], &|t| t.num_rows() as f64).unwrap();
+        let impact = deletion_impact(&traced, "jobs", &[0], &|t| t.num_rows() as f64).unwrap();
         // Job 10 feeds persons 0 and 2 → two output rows disappear.
         assert_eq!(impact, -2.0);
     }

@@ -50,11 +50,15 @@ fn build_plan(ops: &[Op], with_join: bool) -> Plan {
         plan = match op {
             Op::FilterAbove(t) => {
                 let t = *t;
-                plan.filter(format!("v > {t}"), move |r| r.int("v").map_or(false, |v| v > t))
+                plan.filter(format!("v > {t}"), move |r| {
+                    r.int("v").is_some_and(|v| v > t)
+                })
             }
             Op::FilterBelow(t) => {
                 let t = *t;
-                plan.filter(format!("v < {t}"), move |r| r.int("v").map_or(false, |v| v < t))
+                plan.filter(format!("v < {t}"), move |r| {
+                    r.int("v").is_some_and(|v| v < t)
+                })
             }
             Op::WithDouble => plan.with_column("v2", "v * 2", |r| {
                 r.int("v").map_or(Value::Null, |v| Value::Int(v * 2))

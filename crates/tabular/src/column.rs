@@ -149,7 +149,10 @@ impl Column {
     /// Overwrites the cell at `idx`. Same coercion rules as [`Column::push`].
     pub fn set(&mut self, idx: usize, value: Value) -> Result<()> {
         if idx >= self.len() {
-            return Err(TableError::RowOutOfBounds { idx, len: self.len() });
+            return Err(TableError::RowOutOfBounds {
+                idx,
+                len: self.len(),
+            });
         }
         match (self, value) {
             (Column::Int(v), Value::Int(x)) => v[idx] = Some(x),

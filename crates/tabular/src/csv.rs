@@ -36,7 +36,10 @@ fn parse_record(line: &str, line_no: usize) -> Result<Vec<String>> {
         }
     }
     if in_quotes {
-        return Err(TableError::Csv { line: line_no, detail: "unterminated quoted field".into() });
+        return Err(TableError::Csv {
+            line: line_no,
+            detail: "unterminated quoted field".into(),
+        });
     }
     fields.push(field);
     Ok(fields)
@@ -147,8 +150,7 @@ impl Table {
 
     /// Writes the table as CSV (nulls as empty fields).
     pub fn to_csv_writer<W: Write>(&self, mut writer: W) -> Result<()> {
-        let header: Vec<String> =
-            self.schema().names().iter().map(|n| escape(n)).collect();
+        let header: Vec<String> = self.schema().names().iter().map(|n| escape(n)).collect();
         writeln!(writer, "{}", header.join(","))?;
         for i in 0..self.num_rows() {
             let record: Vec<String> = self
@@ -172,7 +174,8 @@ impl Table {
     /// Serializes the table to a CSV string.
     pub fn to_csv_string(&self) -> String {
         let mut out = Vec::new();
-        self.to_csv_writer(&mut out).expect("writing to Vec cannot fail");
+        self.to_csv_writer(&mut out)
+            .expect("writing to Vec cannot fail");
         String::from_utf8(out).expect("CSV output is UTF-8")
     }
 }

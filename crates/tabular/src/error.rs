@@ -65,13 +65,18 @@ impl fmt::Display for TableError {
                 write!(f, "type mismatch: expected {expected}, found {found}")
             }
             TableError::LengthMismatch { expected, found } => {
-                write!(f, "length mismatch: expected {expected} rows, found {found}")
+                write!(
+                    f,
+                    "length mismatch: expected {expected} rows, found {found}"
+                )
             }
             TableError::RowOutOfBounds { idx, len } => {
                 write!(f, "row index {idx} out of bounds for table with {len} rows")
             }
             TableError::SchemaMismatch { detail } => write!(f, "schema mismatch: {detail}"),
-            TableError::Csv { line, detail } => write!(f, "csv parse error at line {line}: {detail}"),
+            TableError::Csv { line, detail } => {
+                write!(f, "csv parse error at line {line}: {detail}")
+            }
             TableError::Io { detail } => write!(f, "io error: {detail}"),
         }
     }
@@ -81,7 +86,9 @@ impl std::error::Error for TableError {}
 
 impl From<std::io::Error> for TableError {
     fn from(e: std::io::Error) -> Self {
-        TableError::Io { detail: e.to_string() }
+        TableError::Io {
+            detail: e.to_string(),
+        }
     }
 }
 
@@ -93,9 +100,15 @@ mod tests {
     fn display_messages_are_informative() {
         let e = TableError::ColumnNotFound { name: "age".into() };
         assert!(e.to_string().contains("age"));
-        let e = TableError::TypeMismatch { expected: DataType::Int, found: "str".into() };
+        let e = TableError::TypeMismatch {
+            expected: DataType::Int,
+            found: "str".into(),
+        };
         assert!(e.to_string().contains("expected int"));
-        let e = TableError::Csv { line: 7, detail: "bad quote".into() };
+        let e = TableError::Csv {
+            line: 7,
+            detail: "bad quote".into(),
+        };
         assert!(e.to_string().contains("line 7"));
     }
 }

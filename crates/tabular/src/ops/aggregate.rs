@@ -38,7 +38,11 @@ pub struct AggExpr {
 impl AggExpr {
     /// Creates an aggregation expression.
     pub fn new(column: impl Into<String>, func: AggFn, alias: impl Into<String>) -> Self {
-        AggExpr { column: column.into(), func, alias: alias.into() }
+        AggExpr {
+            column: column.into(),
+            func,
+            alias: alias.into(),
+        }
     }
 }
 
@@ -90,9 +94,7 @@ impl Table {
 fn aggregate(col: &Column, members: &[usize], func: AggFn) -> Value {
     match func {
         AggFn::Count => Value::Int(members.len() as i64),
-        AggFn::NullCount => {
-            Value::Int(members.iter().filter(|&&i| col.is_null(i)).count() as i64)
-        }
+        AggFn::NullCount => Value::Int(members.iter().filter(|&&i| col.is_null(i)).count() as i64),
         AggFn::Sum | AggFn::Mean => {
             let (mut sum, mut n) = (0.0, 0usize);
             for &i in members {
@@ -142,7 +144,10 @@ mod tests {
 
     fn demo() -> Table {
         Table::builder()
-            .str("sector", ["health", "health", "finance", "finance", "finance"])
+            .str(
+                "sector",
+                ["health", "health", "finance", "finance", "finance"],
+            )
             .float("rating", [Some(4.0), Some(2.0), Some(5.0), None, Some(3.0)])
             .int("id", [1, 2, 3, 4, 5])
             .build()
@@ -191,7 +196,9 @@ mod tests {
             .float("x", [None::<f64>])
             .build()
             .unwrap();
-        let g = t.group_by(&["g"], &[AggExpr::new("x", AggFn::Sum, "s")]).unwrap();
+        let g = t
+            .group_by(&["g"], &[AggExpr::new("x", AggFn::Sum, "s")])
+            .unwrap();
         assert_eq!(g.get(0, "s").unwrap(), Value::Null);
     }
 
@@ -202,7 +209,9 @@ mod tests {
             .int("x", [1, 2, 3])
             .build()
             .unwrap();
-        let g = t.group_by(&["g"], &[AggExpr::new("x", AggFn::Count, "n")]).unwrap();
+        let g = t
+            .group_by(&["g"], &[AggExpr::new("x", AggFn::Count, "n")])
+            .unwrap();
         assert_eq!(g.num_rows(), 2);
         assert_eq!(g.get(0, "n").unwrap(), Value::Int(2));
     }
@@ -215,7 +224,9 @@ mod tests {
             .int("v", [10, 20, 30])
             .build()
             .unwrap();
-        let g = t.group_by(&["a", "b"], &[AggExpr::new("v", AggFn::Sum, "s")]).unwrap();
+        let g = t
+            .group_by(&["a", "b"], &[AggExpr::new("v", AggFn::Sum, "s")])
+            .unwrap();
         assert_eq!(g.num_rows(), 2);
         assert_eq!(g.get(0, "s").unwrap(), Value::Float(30.0));
     }

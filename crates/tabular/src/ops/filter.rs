@@ -74,7 +74,9 @@ mod tests {
     #[test]
     fn filter_traced_reports_input_indices() {
         let t = demo();
-        let (_, trace) = t.filter_traced(|r| r.int("id").unwrap_or(0) % 2 == 1).unwrap();
+        let (_, trace) = t
+            .filter_traced(|r| r.int("id").unwrap_or(0) % 2 == 1)
+            .unwrap();
         assert_eq!(trace, vec![0, 2]);
     }
 

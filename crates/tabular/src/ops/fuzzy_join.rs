@@ -1,6 +1,7 @@
 //! Fuzzy (approximate string-match) joins, as used by the paper's hiring
 //! pipeline to link dirty side tables whose keys contain typos.
 
+use crate::ops::join::TracedJoin;
 use crate::table::Table;
 use crate::Result;
 
@@ -45,7 +46,9 @@ impl Table {
         right_key: &str,
         max_distance: usize,
     ) -> Result<Table> {
-        Ok(self.fuzzy_join_traced(right, left_key, right_key, max_distance)?.0)
+        Ok(self
+            .fuzzy_join_traced(right, left_key, right_key, max_distance)?
+            .0)
     }
 
     /// Traced variant of [`Table::fuzzy_join`]; the trace lists
@@ -56,7 +59,7 @@ impl Table {
         left_key: &str,
         right_key: &str,
         max_distance: usize,
-    ) -> Result<(Table, Vec<(usize, Option<usize>)>)> {
+    ) -> Result<TracedJoin> {
         let lcol = self.column(left_key)?;
         let lvals = lcol
             .as_str()
@@ -81,7 +84,7 @@ impl Table {
             for (j, rv) in rvals.iter().enumerate() {
                 let Some(rv) = rv else { continue };
                 if let Some(d) = bounded_edit_distance(lv, rv, max_distance) {
-                    if best.map_or(true, |(bd, _)| d < bd) {
+                    if best.is_none_or(|(bd, _)| d < bd) {
                         best = Some((d, j));
                         if d == 0 {
                             break;
@@ -100,7 +103,10 @@ impl Table {
             if field.name == right_key {
                 continue;
             }
-            let indices: Vec<usize> = trace.iter().map(|&(_, r)| r.expect("inner fuzzy join")).collect();
+            let indices: Vec<usize> = trace
+                .iter()
+                .map(|&(_, r)| r.expect("inner fuzzy join"))
+                .collect();
             let gathered = col.take(&indices);
             let name = if out.schema().contains(&field.name) {
                 format!("{}_right", field.name)
@@ -144,7 +150,9 @@ mod tests {
             .float("rating", [4.0, 3.0, 1.0])
             .build()
             .unwrap();
-        let (j, trace) = left.fuzzy_join_traced(&right, "company", "company", 1).unwrap();
+        let (j, trace) = left
+            .fuzzy_join_traced(&right, "company", "company", 1)
+            .unwrap();
         assert_eq!(j.num_rows(), 2);
         assert_eq!(trace, vec![(0, Some(0)), (1, Some(1))]);
         assert_eq!(j.get(1, "rating").unwrap().as_float(), Some(3.0));

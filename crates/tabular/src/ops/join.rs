@@ -6,6 +6,11 @@ use crate::value::Value;
 use crate::{Result, TableError};
 use std::collections::HashMap;
 
+/// A traced join result: the joined table plus, for every output row, the
+/// `(left_row, right_row)` input pair it came from (`None` for the right
+/// side of unmatched outer rows).
+pub type TracedJoin = (Table, Vec<(usize, Option<usize>)>);
+
 /// Join flavor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JoinType {
@@ -51,12 +56,16 @@ impl Table {
     /// minus the right key; right column names that collide with left names
     /// get a `_right` suffix (mirroring Pandas' suffix behaviour).
     pub fn inner_join(&self, right: &Table, left_key: &str, right_key: &str) -> Result<Table> {
-        Ok(self.join_traced(right, left_key, right_key, JoinType::Inner)?.0)
+        Ok(self
+            .join_traced(right, left_key, right_key, JoinType::Inner)?
+            .0)
     }
 
     /// Left outer hash join; see [`Table::inner_join`] for schema rules.
     pub fn left_join(&self, right: &Table, left_key: &str, right_key: &str) -> Result<Table> {
-        Ok(self.join_traced(right, left_key, right_key, JoinType::Left)?.0)
+        Ok(self
+            .join_traced(right, left_key, right_key, JoinType::Left)?
+            .0)
     }
 
     /// Traced join: also returns, per output row, the input positions
@@ -68,7 +77,7 @@ impl Table {
         left_key: &str,
         right_key: &str,
         how: JoinType,
-    ) -> Result<(Table, Vec<(usize, Option<usize>)>)> {
+    ) -> Result<TracedJoin> {
         let lcol = self.column(left_key)?;
         let rcol = right.column(right_key)?;
 
@@ -119,12 +128,13 @@ fn gather_right(col: &Column, trace: &[(usize, Option<usize>)]) -> Column {
         Column::Float(v) => {
             Column::Float(trace.iter().map(|&(_, r)| r.and_then(|j| v[j])).collect())
         }
-        Column::Str(v) => {
-            Column::Str(trace.iter().map(|&(_, r)| r.and_then(|j| v[j].clone())).collect())
-        }
-        Column::Bool(v) => {
-            Column::Bool(trace.iter().map(|&(_, r)| r.and_then(|j| v[j])).collect())
-        }
+        Column::Str(v) => Column::Str(
+            trace
+                .iter()
+                .map(|&(_, r)| r.and_then(|j| v[j].clone()))
+                .collect(),
+        ),
+        Column::Bool(v) => Column::Bool(trace.iter().map(|&(_, r)| r.and_then(|j| v[j])).collect()),
     }
 }
 
@@ -150,7 +160,9 @@ mod tests {
 
     #[test]
     fn inner_join_matches_and_duplicates() {
-        let j = people().inner_join(&jobs(), "person_id", "person_id").unwrap();
+        let j = people()
+            .inner_join(&jobs(), "person_id", "person_id")
+            .unwrap();
         // person 1 matches twice, person 3 once; 2 and 4 drop out.
         assert_eq!(j.num_rows(), 3);
         assert_eq!(j.schema().names(), vec!["person_id", "name", "sector"]);
@@ -160,7 +172,9 @@ mod tests {
 
     #[test]
     fn left_join_keeps_unmatched_with_nulls() {
-        let j = people().left_join(&jobs(), "person_id", "person_id").unwrap();
+        let j = people()
+            .left_join(&jobs(), "person_id", "person_id")
+            .unwrap();
         assert_eq!(j.num_rows(), 5);
         let bo = j.filter(|r| r.str("name") == Some("bo")).unwrap();
         assert_eq!(bo.get(0, "sector").unwrap(), Value::Null);
@@ -169,7 +183,11 @@ mod tests {
     #[test]
     fn null_keys_never_match() {
         let left = Table::builder().int("k", [None::<i64>]).build().unwrap();
-        let right = Table::builder().int("k", [None::<i64>]).int("v", [9]).build().unwrap();
+        let right = Table::builder()
+            .int("k", [None::<i64>])
+            .int("v", [9])
+            .build()
+            .unwrap();
         let j = left.inner_join(&right, "k", "k").unwrap();
         assert_eq!(j.num_rows(), 0);
     }
@@ -177,7 +195,11 @@ mod tests {
     #[test]
     fn int_and_float_keys_match_numerically() {
         let left = Table::builder().int("k", [1, 2]).build().unwrap();
-        let right = Table::builder().float("k", [1.0, 3.0]).int("v", [10, 30]).build().unwrap();
+        let right = Table::builder()
+            .float("k", [1.0, 3.0])
+            .int("v", [10, 30])
+            .build()
+            .unwrap();
         let j = left.inner_join(&right, "k", "k").unwrap();
         assert_eq!(j.num_rows(), 1);
         assert_eq!(j.get(0, "v").unwrap(), Value::Int(10));
@@ -193,8 +215,16 @@ mod tests {
 
     #[test]
     fn colliding_right_columns_get_suffix() {
-        let left = Table::builder().int("k", [1]).str("name", ["l"]).build().unwrap();
-        let right = Table::builder().int("k", [1]).str("name", ["r"]).build().unwrap();
+        let left = Table::builder()
+            .int("k", [1])
+            .str("name", ["l"])
+            .build()
+            .unwrap();
+        let right = Table::builder()
+            .int("k", [1])
+            .str("name", ["r"])
+            .build()
+            .unwrap();
         let j = left.inner_join(&right, "k", "k").unwrap();
         assert_eq!(j.schema().names(), vec!["k", "name", "name_right"]);
         assert_eq!(j.get(0, "name_right").unwrap(), Value::from("r"));
@@ -209,7 +239,11 @@ mod tests {
     #[test]
     fn different_key_names() {
         let left = Table::builder().int("lid", [1, 2]).build().unwrap();
-        let right = Table::builder().int("rid", [2]).str("s", ["x"]).build().unwrap();
+        let right = Table::builder()
+            .int("rid", [2])
+            .str("s", ["x"])
+            .build()
+            .unwrap();
         let j = left.inner_join(&right, "lid", "rid").unwrap();
         assert_eq!(j.num_rows(), 1);
         assert_eq!(j.schema().names(), vec!["lid", "s"]);

@@ -16,8 +16,8 @@ impl Table {
     where
         F: FnMut(RowRef<'_>) -> Value,
     {
-        let mut f = f;
-        let values: Vec<Value> = self.rows().map(|r| f(r)).collect();
+        let f = f;
+        let values: Vec<Value> = self.rows().map(f).collect();
         let column = Column::from_values(&values)?;
         let mut out = self.clone();
         if out.schema().contains(name) {
@@ -72,7 +72,9 @@ mod tests {
 
     #[test]
     fn with_column_replaces_existing() {
-        let t = demo().with_column("id", |r| Value::Int(r.int("id").unwrap() * 10)).unwrap();
+        let t = demo()
+            .with_column("id", |r| Value::Int(r.int("id").unwrap() * 10))
+            .unwrap();
         assert_eq!(t.get(1, "id").unwrap(), Value::Int(20));
         assert_eq!(t.num_columns(), 2);
     }
@@ -104,7 +106,9 @@ mod tests {
 
     #[test]
     fn map_column_can_change_type() {
-        let t = demo().map_column("id", |v| Value::Float(v.as_float().unwrap())).unwrap();
+        let t = demo()
+            .map_column("id", |v| Value::Float(v.as_float().unwrap()))
+            .unwrap();
         assert_eq!(t.schema().field("id").unwrap().dtype, DataType::Float);
     }
 }

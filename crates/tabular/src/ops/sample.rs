@@ -90,7 +90,11 @@ mod tests {
         let mut sorted = trace1.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(trace1, (0..100).collect::<Vec<_>>(), "seed 7 should permute");
+        assert_ne!(
+            trace1,
+            (0..100).collect::<Vec<_>>(),
+            "seed 7 should permute"
+        );
     }
 
     #[test]

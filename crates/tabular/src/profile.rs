@@ -50,8 +50,7 @@ fn profile_column(name: &str, col: &Column) -> ColumnProfile {
         let present: Vec<f64> = vals.into_iter().flatten().collect();
         if !present.is_empty() {
             let m = present.iter().sum::<f64>() / present.len() as f64;
-            let var =
-                present.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / present.len() as f64;
+            let var = present.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / present.len() as f64;
             mean = Some(m);
             std = Some(var.sqrt());
             min = Some(present.iter().copied().fold(f64::INFINITY, f64::min));
@@ -152,7 +151,10 @@ mod tests {
 
     #[test]
     fn empty_and_all_null_columns() {
-        let t = Table::builder().float("x", Vec::<f64>::new()).build().unwrap();
+        let t = Table::builder()
+            .float("x", Vec::<f64>::new())
+            .build()
+            .unwrap();
         let p = t.describe_column("x").unwrap();
         assert_eq!(p.mean, None);
         assert_eq!(p.null_fraction(), 0.0);

@@ -18,7 +18,10 @@ pub struct Field {
 impl Field {
     /// Creates a field.
     pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
-        Field { name: name.into(), dtype }
+        Field {
+            name: name.into(),
+            dtype,
+        }
     }
 }
 
@@ -41,7 +44,9 @@ impl Schema {
         let mut index = HashMap::with_capacity(fields.len());
         for (i, field) in fields.iter().enumerate() {
             if index.insert(field.name.clone(), i).is_some() {
-                return Err(TableError::DuplicateColumn { name: field.name.clone() });
+                return Err(TableError::DuplicateColumn {
+                    name: field.name.clone(),
+                });
             }
         }
         Ok(Schema { fields, index })
@@ -101,7 +106,9 @@ impl Schema {
     pub fn remove(&mut self, name: &str) -> Result<Field> {
         let idx = self
             .index_of(name)
-            .ok_or_else(|| TableError::ColumnNotFound { name: name.to_owned() })?;
+            .ok_or_else(|| TableError::ColumnNotFound {
+                name: name.to_owned(),
+            })?;
         let field = self.fields.remove(idx);
         self.index.clear();
         for (i, f) in self.fields.iter().enumerate() {
@@ -118,7 +125,9 @@ impl Schema {
         }
         let idx = self
             .index_of(from)
-            .ok_or_else(|| TableError::ColumnNotFound { name: from.to_owned() })?;
+            .ok_or_else(|| TableError::ColumnNotFound {
+                name: from.to_owned(),
+            })?;
         self.index.remove(from);
         self.fields[idx].name = to.clone();
         self.index.insert(to, idx);
@@ -154,7 +163,10 @@ mod tests {
 
     #[test]
     fn rejects_duplicates() {
-        let r = Schema::new(vec![Field::new("a", DataType::Int), Field::new("a", DataType::Str)]);
+        let r = Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("a", DataType::Str),
+        ]);
         assert!(matches!(r, Err(TableError::DuplicateColumn { .. })));
     }
 

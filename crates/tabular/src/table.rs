@@ -23,7 +23,11 @@ pub struct Table {
 impl Table {
     /// Creates an empty table with no columns and no rows.
     pub fn empty() -> Self {
-        Table { schema: Schema::empty(), columns: Vec::new(), num_rows: 0 }
+        Table {
+            schema: Schema::empty(),
+            columns: Vec::new(),
+            num_rows: 0,
+        }
     }
 
     /// Starts a [`TableBuilder`].
@@ -41,14 +45,21 @@ impl Table {
             match num_rows {
                 None => num_rows = Some(col.len()),
                 Some(n) if n != col.len() => {
-                    return Err(TableError::LengthMismatch { expected: n, found: col.len() })
+                    return Err(TableError::LengthMismatch {
+                        expected: n,
+                        found: col.len(),
+                    })
                 }
                 _ => {}
             }
             fields.push(Field::new(name, col.dtype()));
             columns.push(col);
         }
-        Ok(Table { schema: Schema::new(fields)?, columns, num_rows: num_rows.unwrap_or(0) })
+        Ok(Table {
+            schema: Schema::new(fields)?,
+            columns,
+            num_rows: num_rows.unwrap_or(0),
+        })
     }
 
     /// The table's schema.
@@ -76,7 +87,9 @@ impl Table {
         self.schema
             .index_of(name)
             .map(|i| &self.columns[i])
-            .ok_or_else(|| TableError::ColumnNotFound { name: name.to_owned() })
+            .ok_or_else(|| TableError::ColumnNotFound {
+                name: name.to_owned(),
+            })
     }
 
     /// Mutable column lookup by name.
@@ -84,7 +97,9 @@ impl Table {
         let idx = self
             .schema
             .index_of(name)
-            .ok_or_else(|| TableError::ColumnNotFound { name: name.to_owned() })?;
+            .ok_or_else(|| TableError::ColumnNotFound {
+                name: name.to_owned(),
+            })?;
         Ok(&mut self.columns[idx])
     }
 
@@ -101,7 +116,10 @@ impl Table {
     /// A lightweight reference to row `idx`.
     pub fn row(&self, idx: usize) -> Result<RowRef<'_>> {
         if idx >= self.num_rows {
-            return Err(TableError::RowOutOfBounds { idx, len: self.num_rows });
+            return Err(TableError::RowOutOfBounds {
+                idx,
+                len: self.num_rows,
+            });
         }
         Ok(RowRef::new(self, idx))
     }
@@ -114,7 +132,10 @@ impl Table {
     /// Reads the cell at (`row`, `column name`).
     pub fn get(&self, row: usize, name: &str) -> Result<Value> {
         if row >= self.num_rows {
-            return Err(TableError::RowOutOfBounds { idx: row, len: self.num_rows });
+            return Err(TableError::RowOutOfBounds {
+                idx: row,
+                len: self.num_rows,
+            });
         }
         Ok(self.column(name)?.get(row))
     }
@@ -122,7 +143,10 @@ impl Table {
     /// Overwrites the cell at (`row`, `column name`).
     pub fn set(&mut self, row: usize, name: &str, value: Value) -> Result<()> {
         if row >= self.num_rows {
-            return Err(TableError::RowOutOfBounds { idx: row, len: self.num_rows });
+            return Err(TableError::RowOutOfBounds {
+                idx: row,
+                len: self.num_rows,
+            });
         }
         self.column_mut(name)?.set(row, value)
     }
@@ -131,7 +155,10 @@ impl Table {
     /// (any length is accepted when the table has no columns yet).
     pub fn add_column(&mut self, name: impl Into<String>, column: Column) -> Result<()> {
         if !self.columns.is_empty() && column.len() != self.num_rows {
-            return Err(TableError::LengthMismatch { expected: self.num_rows, found: column.len() });
+            return Err(TableError::LengthMismatch {
+                expected: self.num_rows,
+                found: column.len(),
+            });
         }
         if self.columns.is_empty() {
             self.num_rows = column.len();
@@ -146,7 +173,9 @@ impl Table {
         let idx = self
             .schema
             .index_of(name)
-            .ok_or_else(|| TableError::ColumnNotFound { name: name.to_owned() })?;
+            .ok_or_else(|| TableError::ColumnNotFound {
+                name: name.to_owned(),
+            })?;
         self.schema.remove(name)?;
         Ok(self.columns.remove(idx))
     }
@@ -175,7 +204,10 @@ impl Table {
     /// (duplicates and arbitrary order allowed).
     pub fn take(&self, indices: &[usize]) -> Result<Self> {
         if let Some(&bad) = indices.iter().find(|&&i| i >= self.num_rows) {
-            return Err(TableError::RowOutOfBounds { idx: bad, len: self.num_rows });
+            return Err(TableError::RowOutOfBounds {
+                idx: bad,
+                len: self.num_rows,
+            });
         }
         Ok(Table {
             schema: self.schema.clone(),
@@ -202,7 +234,10 @@ impl Table {
     /// Row values in schema order.
     pub fn row_values(&self, idx: usize) -> Result<Vec<Value>> {
         if idx >= self.num_rows {
-            return Err(TableError::RowOutOfBounds { idx, len: self.num_rows });
+            return Err(TableError::RowOutOfBounds {
+                idx,
+                len: self.num_rows,
+            });
         }
         Ok(self.columns.iter().map(|c| c.get(idx)).collect())
     }
@@ -259,7 +294,8 @@ impl TableBuilder {
     where
         I: IntoIterator<Item = Option<String>>,
     {
-        self.pairs.push((name.to_owned(), Column::Str(values.into_iter().collect())));
+        self.pairs
+            .push((name.to_owned(), Column::Str(values.into_iter().collect())));
         self
     }
 
@@ -350,18 +386,24 @@ mod tests {
     #[test]
     fn push_row_checks_arity_and_types() {
         let mut t = demo();
-        t.push_row(vec![Value::Int(4), Value::from("d"), Value::Float(0.4)]).unwrap();
+        t.push_row(vec![Value::Int(4), Value::from("d"), Value::Float(0.4)])
+            .unwrap();
         assert_eq!(t.num_rows(), 4);
         assert!(t.push_row(vec![Value::Int(5)]).is_err());
         assert!(t
-            .push_row(vec![Value::from("oops"), Value::from("d"), Value::Float(0.4)])
+            .push_row(vec![
+                Value::from("oops"),
+                Value::from("d"),
+                Value::Float(0.4)
+            ])
             .is_err());
     }
 
     #[test]
     fn add_and_drop_column() {
         let mut t = demo();
-        t.add_column("flag", Column::Bool(vec![Some(true); 3])).unwrap();
+        t.add_column("flag", Column::Bool(vec![Some(true); 3]))
+            .unwrap();
         assert_eq!(t.num_columns(), 4);
         assert!(t.add_column("short", Column::Int(vec![Some(1)])).is_err());
         let dropped = t.drop_column("flag").unwrap();
@@ -372,7 +414,8 @@ mod tests {
     #[test]
     fn add_column_to_empty_table_sets_row_count() {
         let mut t = Table::empty();
-        t.add_column("a", Column::Int(vec![Some(1), Some(2)])).unwrap();
+        t.add_column("a", Column::Int(vec![Some(1), Some(2)]))
+            .unwrap();
         assert_eq!(t.num_rows(), 2);
     }
 
@@ -398,6 +441,9 @@ mod tests {
     fn row_values_in_schema_order() {
         let t = demo();
         let row = t.row_values(0).unwrap();
-        assert_eq!(row, vec![Value::Int(1), Value::from("a"), Value::Float(0.1)]);
+        assert_eq!(
+            row,
+            vec![Value::Int(1), Value::from("a"), Value::Float(0.1)]
+        );
     }
 }

@@ -211,7 +211,7 @@ mod tests {
 
     #[test]
     fn total_cmp_orders_nulls_first() {
-        let mut vals = vec![Value::Int(2), Value::Null, Value::Int(1)];
+        let mut vals = [Value::Int(2), Value::Null, Value::Int(1)];
         vals.sort_by(|a, b| a.total_cmp(b));
         assert_eq!(vals[0], Value::Null);
         assert_eq!(vals[1], Value::Int(1));

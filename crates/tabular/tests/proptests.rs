@@ -19,7 +19,10 @@ fn arb_key_table(max_rows: usize) -> impl Strategy<Value = Table> {
     prop::collection::vec((0i64..8, any::<i16>()), 0..max_rows).prop_map(|rows| {
         Table::builder()
             .int("k", rows.iter().map(|&(k, _)| k).collect::<Vec<_>>())
-            .int("v", rows.iter().map(|&(_, v)| i64::from(v)).collect::<Vec<_>>())
+            .int(
+                "v",
+                rows.iter().map(|&(_, v)| i64::from(v)).collect::<Vec<_>>(),
+            )
             .build()
             .unwrap()
     })

@@ -38,7 +38,10 @@ pub struct AffineForm {
 impl AffineForm {
     /// The constant form `c`.
     pub fn constant(c: f64) -> Self {
-        AffineForm { center: c, terms: BTreeMap::new() }
+        AffineForm {
+            center: c,
+            terms: BTreeMap::new(),
+        }
     }
 
     /// A fresh uncertain value ranging over `[lo, hi]`, introducing one new
@@ -48,7 +51,10 @@ impl AffineForm {
         if iv.radius() > 0.0 {
             terms.insert(pool.fresh(), iv.radius());
         }
-        AffineForm { center: iv.mid(), terms }
+        AffineForm {
+            center: iv.mid(),
+            terms,
+        }
     }
 
     /// Total deviation `Σ|aᵢ|`.
@@ -59,7 +65,10 @@ impl AffineForm {
     /// The concretization `[c − r, c + r]`.
     pub fn to_interval(&self) -> Interval {
         let r = self.radius();
-        Interval { lo: self.center - r, hi: self.center + r }
+        Interval {
+            lo: self.center - r,
+            hi: self.center + r,
+        }
     }
 
     /// Number of active noise symbols.
@@ -77,7 +86,10 @@ impl AffineForm {
                 terms.remove(&s);
             }
         }
-        AffineForm { center: self.center + other.center, terms }
+        AffineForm {
+            center: self.center + other.center,
+            terms,
+        }
     }
 
     /// Difference. `x.sub(&x)` is exactly zero — the relational payoff.
@@ -98,7 +110,10 @@ impl AffineForm {
 
     /// Adds a constant.
     pub fn add_const(&self, c: f64) -> AffineForm {
-        AffineForm { center: self.center + c, terms: self.terms.clone() }
+        AffineForm {
+            center: self.center + c,
+            terms: self.terms.clone(),
+        }
     }
 
     /// Product of two affine forms. The linear part is exact; the quadratic
@@ -129,8 +144,7 @@ impl AffineForm {
         if self.terms.len() <= keep {
             return self.clone();
         }
-        let mut entries: Vec<(usize, f64)> =
-            self.terms.iter().map(|(&k, &v)| (k, v)).collect();
+        let mut entries: Vec<(usize, f64)> = self.terms.iter().map(|(&k, &v)| (k, v)).collect();
         entries.sort_by(|a, b| b.1.abs().total_cmp(&a.1.abs()).then(a.0.cmp(&b.0)));
         let mut terms: BTreeMap<usize, f64> = entries[..keep].iter().copied().collect();
         let folded: f64 = entries[keep..].iter().map(|(_, a)| a.abs()).sum();
@@ -140,7 +154,10 @@ impl AffineForm {
             // differences between the old and new term sets.
             terms.insert(pool.fresh(), folded + self.radius() * 8.0 * f64::EPSILON);
         }
-        AffineForm { center: self.center, terms }
+        AffineForm {
+            center: self.center,
+            terms,
+        }
     }
 
     /// Evaluates the form at a concrete assignment of noise symbols

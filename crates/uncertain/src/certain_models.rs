@@ -57,8 +57,7 @@ pub fn certain_model(
     l2: f64,
     epsilon: f64,
 ) -> Result<CertainVerdict> {
-    let incomplete: std::collections::HashSet<usize> =
-        x.incomplete_rows().into_iter().collect();
+    let incomplete: std::collections::HashSet<usize> = x.incomplete_rows().into_iter().collect();
     let complete: Vec<usize> = (0..x.nrows()).filter(|i| !incomplete.contains(i)).collect();
 
     // Fit on complete rows only.
@@ -68,7 +67,10 @@ pub fn certain_model(
         .collect();
     let targets: Vec<f64> = complete.iter().map(|&i| y[i]).collect();
     let data = RegDataset::new(Matrix::from_rows(&rows)?, targets)?;
-    let trainer = LinearRegression { l2, fit_intercept: true };
+    let trainer = LinearRegression {
+        l2,
+        fit_intercept: true,
+    };
     let model = trainer.fit(&data)?;
 
     // Check the violation for every incomplete row: |residual using known
@@ -98,7 +100,10 @@ pub fn certain_model(
     if worst <= NUMERICAL_ZERO {
         Ok(CertainVerdict::Certain(model))
     } else if worst <= epsilon {
-        Ok(CertainVerdict::ApproximatelyCertain { model, score: worst })
+        Ok(CertainVerdict::ApproximatelyCertain {
+            model,
+            score: worst,
+        })
     } else {
         Ok(CertainVerdict::Uncertain { score: worst })
     }

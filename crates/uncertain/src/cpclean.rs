@@ -128,10 +128,20 @@ pub fn certain_fraction(data: &IncompleteDataset, queries: &[Vec<f64>], k: usize
     if queries.is_empty() {
         return 0.0;
     }
-    let certain = queries
-        .iter()
-        .filter(|q| certain_prediction(data, q, k).is_some())
-        .count();
+    // Queries are independent; a count is order-insensitive, so the
+    // parallel total is identical for any worker count.
+    let certain: usize = nde_parallel::par_reduce(
+        queries.len(),
+        8,
+        0usize,
+        |range| {
+            queries[range]
+                .iter()
+                .filter(|q| certain_prediction(data, q, k).is_some())
+                .count()
+        },
+        |acc, part| acc + part,
+    );
     certain as f64 / queries.len() as f64
 }
 
@@ -153,20 +163,18 @@ pub fn min_cleaning_greedy(
             return Some(cleaned);
         }
         // Widest-interval incomplete row w.r.t. this query.
-        let candidate = working
-            .x
-            .incomplete_rows()
-            .into_iter()
-            .max_by(|&a, &b| {
-                distance_bounds(working.x.row(a), query)
-                    .width()
-                    .total_cmp(&distance_bounds(working.x.row(b), query).width())
-                    .then(b.cmp(&a))
-            })?;
+        let candidate = working.x.incomplete_rows().into_iter().max_by(|&a, &b| {
+            distance_bounds(working.x.row(a), query)
+                .width()
+                .total_cmp(&distance_bounds(working.x.row(b), query).width())
+                .then(b.cmp(&a))
+        })?;
         for j in 0..working.x.ncols() {
             let iv = working.x.get(candidate, j);
             if iv.width() > 0.0 {
-                working.x.set_missing(candidate, j, Interval::point(truth.get(candidate, j)));
+                working
+                    .x
+                    .set_missing(candidate, j, Interval::point(truth.get(candidate, j)));
             }
         }
         cleaned += 1;
@@ -240,13 +248,17 @@ pub fn min_cleaning_workload(
         cleaned_rows.push(row);
         certain_curve.push(certain_fraction(&working, queries, k));
     }
-    WorkloadCleaningPlan { cleaned_rows, certain_curve }
+    WorkloadCleaningPlan {
+        cleaned_rows,
+        certain_curve,
+    }
 }
 
 fn clean_row(data: &mut IncompleteDataset, truth: &nde_learners::Matrix, row: usize) {
     for j in 0..data.x.ncols() {
         if data.x.get(row, j).width() > 0.0 {
-            data.x.set_missing(row, j, Interval::point(truth.get(row, j)));
+            data.x
+                .set_missing(row, j, Interval::point(truth.get(row, j)));
         }
     }
 }
@@ -259,7 +271,11 @@ mod tests {
     fn dataset(rows: &[(Interval, usize)]) -> IncompleteDataset {
         let cells: Vec<Interval> = rows.iter().map(|&(iv, _)| iv).collect();
         let x = IncompleteMatrix::from_intervals(rows.len(), 1, cells).unwrap();
-        IncompleteDataset { x, y: rows.iter().map(|&(_, y)| y).collect(), n_classes: 2 }
+        IncompleteDataset {
+            x,
+            y: rows.iter().map(|&(_, y)| y).collect(),
+            n_classes: 2,
+        }
     }
 
     fn p(v: f64) -> Interval {
@@ -298,8 +314,7 @@ mod tests {
     fn harmless_missingness_keeps_certainty() {
         // The uncertain row is always farther than both class-0 rows, so
         // the prediction is certain regardless of the missing value.
-        let data =
-            dataset(&[(p(0.0), 0), (p(0.3), 0), (Interval::new(50.0, 99.0), 1)]);
+        let data = dataset(&[(p(0.0), 0), (p(0.3), 0), (Interval::new(50.0, 99.0), 1)]);
         assert_eq!(certain_prediction(&data, &[0.1], 1), Some(0));
         // With k=3 all rows vote, and class 0 holds 2 of 3 votes in every
         // world — still certain.
@@ -329,11 +344,13 @@ mod tests {
         }
         match analytic {
             Some(l) => assert_eq!(labels_seen, std::collections::HashSet::from([l])),
-            None => assert!(labels_seen.len() > 1 || {
-                // Sound approximation may abstain even when worlds agree;
-                // that is allowed, but must not be the common case here.
-                true
-            }),
+            None => assert!(
+                labels_seen.len() > 1 || {
+                    // Sound approximation may abstain even when worlds agree;
+                    // that is allowed, but must not be the common case here.
+                    true
+                }
+            ),
         }
     }
 
@@ -364,7 +381,7 @@ mod tests {
         let query = [1.5];
         assert_eq!(certain_prediction(&data, &query, 1), None);
         let cleaned = min_cleaning_greedy(&data, &truth, &query, 1).unwrap();
-        assert!(cleaned >= 1 && cleaned <= 2, "cleaned = {cleaned}");
+        assert!((1..=2).contains(&cleaned), "cleaned = {cleaned}");
     }
 
     #[test]

@@ -124,7 +124,10 @@ mod tests {
     use super::*;
 
     fn obs(pred: bool, group: Option<usize>) -> GroupObservation {
-        GroupObservation { predicted_positive: pred, group }
+        GroupObservation {
+            predicted_positive: pred,
+            group,
+        }
     }
 
     #[test]
@@ -159,11 +162,7 @@ mod tests {
     #[test]
     fn range_brackets_enumerated_completions() {
         // 3 unknowns: enumerate all 2³ assignments and compare.
-        let base = vec![
-            obs(true, Some(0)),
-            obs(true, Some(1)),
-            obs(false, Some(1)),
-        ];
+        let base = vec![obs(true, Some(0)), obs(true, Some(1)), obs(false, Some(1))];
         let unknowns = [obs(true, None), obs(false, None), obs(true, None)];
         let mut data = base.clone();
         data.extend_from_slice(&unknowns);
@@ -182,8 +181,14 @@ mod tests {
             seen_lo = seen_lo.min(plo);
             seen_hi = seen_hi.max(phi);
         }
-        assert!((lo - seen_lo).abs() < 1e-12, "lo {lo} vs enumerated {seen_lo}");
-        assert!((hi - seen_hi).abs() < 1e-12, "hi {hi} vs enumerated {seen_hi}");
+        assert!(
+            (lo - seen_lo).abs() < 1e-12,
+            "lo {lo} vs enumerated {seen_lo}"
+        );
+        assert!(
+            (hi - seen_hi).abs() < 1e-12,
+            "hi {hi} vs enumerated {seen_hi}"
+        );
     }
 
     #[test]
@@ -225,7 +230,10 @@ mod tests {
         let mut prev = positive_rate_range_under_flips(&data, 0, 0);
         for budget in 1..5 {
             let cur = positive_rate_range_under_flips(&data, 0, budget);
-            assert!(cur.0 <= prev.0 + 1e-12 && cur.1 >= prev.1 - 1e-12, "{cur:?} vs {prev:?}");
+            assert!(
+                cur.0 <= prev.0 + 1e-12 && cur.1 >= prev.1 - 1e-12,
+                "{cur:?} vs {prev:?}"
+            );
             prev = cur;
         }
         assert!(prev.1 > prev.0);

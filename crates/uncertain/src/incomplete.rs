@@ -28,7 +28,11 @@ impl IncompleteMatrix {
     pub fn from_intervals(rows: usize, cols: usize, cells: Vec<Interval>) -> Result<Self> {
         if cells.len() != rows * cols {
             return Err(LearnError::DimensionMismatch {
-                detail: format!("{rows}x{cols} matrix needs {} cells, got {}", rows * cols, cells.len()),
+                detail: format!(
+                    "{rows}x{cols} matrix needs {} cells, got {}",
+                    rows * cols,
+                    cells.len()
+                ),
             });
         }
         Ok(IncompleteMatrix { cells, rows, cols })
@@ -154,9 +158,12 @@ mod tests {
     #[test]
     fn from_intervals_validates_shape() {
         assert!(IncompleteMatrix::from_intervals(2, 2, vec![Interval::point(0.0); 3]).is_err());
-        let im =
-            IncompleteMatrix::from_intervals(1, 2, vec![Interval::point(0.0), Interval::new(0.0, 1.0)])
-                .unwrap();
+        let im = IncompleteMatrix::from_intervals(
+            1,
+            2,
+            vec![Interval::point(0.0), Interval::new(0.0, 1.0)],
+        )
+        .unwrap();
         assert_eq!(im.n_missing(), 1);
     }
 }

@@ -55,7 +55,10 @@ impl Interval {
 
     /// The smallest interval containing both.
     pub fn hull(&self, other: &Interval) -> Interval {
-        Interval { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
     }
 
     /// Scales by a scalar (flips bounds for negative scalars).
@@ -71,7 +74,10 @@ impl Interval {
     /// The square `{x² : x ∈ self}` (tight, not the naive product).
     pub fn square(&self) -> Interval {
         if self.contains(0.0) {
-            Interval { lo: 0.0, hi: self.abs_max().powi(2) }
+            Interval {
+                lo: 0.0,
+                hi: self.abs_max().powi(2),
+            }
         } else {
             let a = self.lo * self.lo;
             let b = self.hi * self.hi;
@@ -84,7 +90,10 @@ impl Add for Interval {
     type Output = Interval;
 
     fn add(self, rhs: Interval) -> Interval {
-        Interval { lo: self.lo + rhs.lo, hi: self.hi + rhs.hi }
+        Interval {
+            lo: self.lo + rhs.lo,
+            hi: self.hi + rhs.hi,
+        }
     }
 }
 
@@ -92,7 +101,10 @@ impl Sub for Interval {
     type Output = Interval;
 
     fn sub(self, rhs: Interval) -> Interval {
-        Interval { lo: self.lo - rhs.hi, hi: self.hi - rhs.lo }
+        Interval {
+            lo: self.lo - rhs.hi,
+            hi: self.hi - rhs.lo,
+        }
     }
 }
 
@@ -100,7 +112,10 @@ impl Neg for Interval {
     type Output = Interval;
 
     fn neg(self) -> Interval {
-        Interval { lo: -self.hi, hi: -self.lo }
+        Interval {
+            lo: -self.hi,
+            hi: -self.lo,
+        }
     }
 }
 
@@ -172,7 +187,10 @@ mod tests {
 
     #[test]
     fn scale_flips_on_negative() {
-        assert_eq!(Interval::new(1.0, 2.0).scale(-2.0), Interval::new(-4.0, -2.0));
+        assert_eq!(
+            Interval::new(1.0, 2.0).scale(-2.0),
+            Interval::new(-4.0, -2.0)
+        );
     }
 
     #[test]

@@ -23,8 +23,8 @@
 //!   dirty protected-group attributes (Zhu et al., VLDB 2023).
 
 pub mod affine;
-pub mod cpclean;
 pub mod certain_models;
+pub mod cpclean;
 pub mod cra;
 pub mod incomplete;
 pub mod interval;

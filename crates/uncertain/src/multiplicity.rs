@@ -23,7 +23,10 @@ pub struct LabelUncertainty {
 impl LabelUncertainty {
     /// Uniform uncertainty: every label may move by ±`delta`.
     pub fn uniform(n: usize, delta: f64) -> Self {
-        LabelUncertainty { deltas: vec![delta.abs(); n], budget: None }
+        LabelUncertainty {
+            deltas: vec![delta.abs(); n],
+            budget: None,
+        }
     }
 
     /// Restricts the number of simultaneously perturbed labels.
@@ -60,11 +63,16 @@ impl RidgeMultiplicity {
         for col in 0..n {
             let rhs: Vec<f64> = (0..d).map(|r| xt.get(r, col)).collect();
             let sol = gram.solve(&rhs)?;
-            for r in 0..d {
-                m.set(r, col, sol[r]);
+            for (r, &v) in sol.iter().enumerate().take(d) {
+                m.set(r, col, v);
             }
         }
-        Ok(RidgeMultiplicity { x, y, l2: l2.max(1e-10), gram_inv_xt: m })
+        Ok(RidgeMultiplicity {
+            x,
+            y,
+            l2: l2.max(1e-10),
+            gram_inv_xt: m,
+        })
     }
 
     /// The nominal model's prediction at `x_test`.
@@ -108,7 +116,12 @@ impl RidgeMultiplicity {
     /// Whether the *sign* of the decision `prediction − threshold` is the
     /// same for every plausible dataset — Meyer et al.'s robustness notion
     /// for individual predictions.
-    pub fn decision_is_robust(&self, x_test: &[f64], threshold: f64, unc: &LabelUncertainty) -> bool {
+    pub fn decision_is_robust(
+        &self,
+        x_test: &[f64],
+        threshold: f64,
+        unc: &LabelUncertainty,
+    ) -> bool {
         let (lo, hi) = self.prediction_range(x_test, unc);
         lo > threshold || hi < threshold
     }
@@ -136,7 +149,10 @@ mod tests {
     fn nominal_matches_ridge_fit() {
         let (x, y) = line_problem();
         let analysis = RidgeMultiplicity::new(x.clone(), y.clone(), 1e-8).unwrap();
-        let trainer = LinearRegression { l2: 1e-8, fit_intercept: false };
+        let trainer = LinearRegression {
+            l2: 1e-8,
+            fit_intercept: false,
+        };
         let model = trainer.fit(&RegDataset::new(x, y).unwrap()).unwrap();
         let probe = [4.5, 1.0];
         assert!((analysis.nominal_prediction(&probe) - model.predict(&probe)).abs() < 1e-6);
@@ -152,13 +168,20 @@ mod tests {
         let (lo, hi) = analysis.prediction_range(&probe, &unc);
         // Retrain on several perturbed label vectors; predictions must stay
         // inside [lo, hi].
-        let trainer = LinearRegression { l2: 1e-6, fit_intercept: false };
+        let trainer = LinearRegression {
+            l2: 1e-6,
+            fit_intercept: false,
+        };
         for pattern in 0..32u32 {
             let perturbed: Vec<f64> = y
                 .iter()
                 .enumerate()
                 .map(|(i, &v)| {
-                    let sign = if pattern >> (i % 5) & 1 == 1 { 1.0 } else { -1.0 };
+                    let sign = if pattern >> (i % 5) & 1 == 1 {
+                        1.0
+                    } else {
+                        -1.0
+                    };
                     v + sign * delta
                 })
                 .collect();

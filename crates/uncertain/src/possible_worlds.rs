@@ -69,7 +69,11 @@ impl PossibleWorldsEnsemble {
             .map(|(l, _)| l)
             .unwrap_or(0);
         let agreement = votes[label] as f64 / self.models.len().max(1) as f64;
-        WorldPrediction { votes, label, agreement }
+        WorldPrediction {
+            votes,
+            label,
+            agreement,
+        }
     }
 
     /// Fraction of `queries` on which all worlds agree (empirical certain-
@@ -112,8 +116,7 @@ mod tests {
     fn stable_regions_agree_across_worlds() {
         let (im, y) = incomplete_blobs();
         let learner = KnnClassifier::new(3);
-        let ensemble =
-            PossibleWorldsEnsemble::train(&learner, &im, &y, 2, 25, 7).unwrap();
+        let ensemble = PossibleWorldsEnsemble::train(&learner, &im, &y, 2, 25, 7).unwrap();
         assert_eq!(ensemble.n_worlds(), 25);
         let p = ensemble.predict(&[5.2]);
         assert_eq!(p.label, 1);
@@ -124,8 +127,7 @@ mod tests {
     fn uncertain_regions_disagree() {
         let (im, y) = incomplete_blobs();
         let learner = KnnClassifier::new(1);
-        let ensemble =
-            PossibleWorldsEnsemble::train(&learner, &im, &y, 2, 40, 3).unwrap();
+        let ensemble = PossibleWorldsEnsemble::train(&learner, &im, &y, 2, 40, 3).unwrap();
         // Right between the blobs, the uncertain row decides the 1-NN label.
         let p = ensemble.predict(&[2.5]);
         assert!(p.agreement < 1.0, "agreement {}", p.agreement);
@@ -139,7 +141,7 @@ mod tests {
         let ensemble = PossibleWorldsEnsemble::train(&learner, &im, &y, 2, 30, 1).unwrap();
         let queries = vec![vec![0.1], vec![5.1], vec![2.5]];
         let f = ensemble.empirical_certain_fraction(&queries);
-        assert!(f >= 1.0 / 3.0 && f <= 1.0);
+        assert!((1.0 / 3.0..=1.0).contains(&f));
         assert_eq!(ensemble.empirical_certain_fraction(&[]), 0.0);
     }
 

@@ -201,15 +201,15 @@ pub fn train_symbolic_uncertain_labels(
     for _ in 0..cfg.epochs {
         let mut grad_w: Vec<AffineForm> = vec![AffineForm::constant(0.0); d];
         let mut grad_b = AffineForm::constant(0.0);
-        for i in 0..n {
+        for (i, yi) in y_forms.iter().enumerate().take(n) {
             // err_i = w·x_i + b − y_i
             let mut err = b.clone();
-            for j in 0..d {
-                err = err.add(&mul_domain(&w[j], cell(i, j), &pool, cfg.domain));
+            for (j, wj) in w.iter().enumerate() {
+                err = err.add(&mul_domain(wj, cell(i, j), &pool, cfg.domain));
             }
-            err = err.sub(&y_forms[i]);
-            for j in 0..d {
-                grad_w[j] = grad_w[j].add(&mul_domain(&err, cell(i, j), &pool, cfg.domain));
+            err = err.sub(yi);
+            for (j, gj) in grad_w.iter_mut().enumerate() {
+                *gj = gj.add(&mul_domain(&err, cell(i, j), &pool, cfg.domain));
             }
             grad_b = grad_b.add(&err);
         }
@@ -219,9 +219,14 @@ pub fn train_symbolic_uncertain_labels(
                 .sub(&grad_w[j].scale(lr * inv_n))
                 .condense(cfg.max_symbols, &pool);
         }
-        b = b.sub(&grad_b.scale(lr * inv_n)).condense(cfg.max_symbols, &pool);
+        b = b
+            .sub(&grad_b.scale(lr * inv_n))
+            .condense(cfg.max_symbols, &pool);
     }
-    SymbolicLinear { weights: w, intercept: b }
+    SymbolicLinear {
+        weights: w,
+        intercept: b,
+    }
 }
 
 /// Domain-dependent multiplication: zonotopes use correlated affine
@@ -248,17 +253,17 @@ pub fn train_concrete(x: &Matrix, y: &[f64], cfg: &ZorroConfig) -> (Vec<f64>, f6
     for _ in 0..cfg.epochs {
         let mut grad_w = vec![0.0f64; d];
         let mut grad_b = 0.0f64;
-        for i in 0..n {
+        for (i, &yi) in y.iter().enumerate().take(n) {
             let xi = x.row(i);
-            let err = w.iter().zip(xi).map(|(wj, &xj)| wj * xj).sum::<f64>() + b - y[i];
+            let err = w.iter().zip(xi).map(|(wj, &xj)| wj * xj).sum::<f64>() + b - yi;
             for (g, &xj) in grad_w.iter_mut().zip(xi) {
                 *g += err * xj;
             }
             grad_b += err;
         }
         for j in 0..d {
-            w[j] = w[j] * (1.0 - cfg.learning_rate * cfg.l2)
-                - cfg.learning_rate * grad_w[j] * inv_n;
+            w[j] =
+                w[j] * (1.0 - cfg.learning_rate * cfg.l2) - cfg.learning_rate * grad_w[j] * inv_n;
         }
         b -= cfg.learning_rate * grad_b * inv_n;
     }
@@ -286,7 +291,11 @@ mod tests {
     }
 
     fn cfg() -> ZorroConfig {
-        ZorroConfig { epochs: 25, learning_rate: 0.1, ..Default::default() }
+        ZorroConfig {
+            epochs: 25,
+            learning_rate: 0.1,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -318,12 +327,19 @@ mod tests {
     fn interval_domain_is_sound_but_looser() {
         let (im, y) = incomplete_problem();
         let zono = train_symbolic(&im, &y, &cfg());
-        let intv = train_symbolic(&im, &y, &ZorroConfig { domain: Domain::Interval, ..cfg() });
+        let intv = train_symbolic(
+            &im,
+            &y,
+            &ZorroConfig {
+                domain: Domain::Interval,
+                ..cfg()
+            },
+        );
         // Both sound on the midpoint world…
         let (w, b) = train_concrete(&im.midpoint_world(), &y, &cfg());
-        for j in 0..2 {
-            assert!(zono.weights[j].to_interval().contains(w[j]));
-            assert!(intv.weights[j].to_interval().contains(w[j]));
+        for (j, &wj) in w.iter().enumerate().take(2) {
+            assert!(zono.weights[j].to_interval().contains(wj));
+            assert!(intv.weights[j].to_interval().contains(wj));
         }
         assert!(zono.intercept.to_interval().contains(b));
         // …but the zonotope bounds are strictly tighter.
@@ -378,8 +394,12 @@ mod tests {
         let (w, b) = train_concrete(&world, &y, &cfg());
         let concrete_mse: f64 = (0..test.len())
             .map(|i| {
-                let p: f64 =
-                    w.iter().zip(test.x.row(i)).map(|(wj, &xj)| wj * xj).sum::<f64>() + b;
+                let p: f64 = w
+                    .iter()
+                    .zip(test.x.row(i))
+                    .map(|(wj, &xj)| wj * xj)
+                    .sum::<f64>()
+                    + b;
                 (p - test.y[i]).powi(2)
             })
             .sum::<f64>()
@@ -449,16 +469,15 @@ mod tests {
     #[test]
     fn combined_missing_features_and_uncertain_labels() {
         let (im, y) = incomplete_problem();
-        let y_bounds: Vec<Interval> =
-            y.iter().map(|&v| Interval::new(v - 0.1, v + 0.1)).collect();
+        let y_bounds: Vec<Interval> = y.iter().map(|&v| Interval::new(v - 0.1, v + 0.1)).collect();
         let model = train_symbolic_uncertain_labels(&im, &y_bounds, &cfg());
         // Strictly wider than the point-label model.
         let point_model = train_symbolic(&im, &y, &cfg());
         assert!(model.max_weight_width() > point_model.max_weight_width());
         // Sound on the midpoint world with midpoint labels.
         let (w, b) = train_concrete(&im.midpoint_world(), &y, &cfg());
-        for j in 0..2 {
-            assert!(model.weights[j].to_interval().contains(w[j]));
+        for (j, &wj) in w.iter().enumerate().take(2) {
+            assert!(model.weights[j].to_interval().contains(wj));
         }
         assert!(model.intercept.to_interval().contains(b));
     }
@@ -466,15 +485,18 @@ mod tests {
     #[test]
     fn condensation_keeps_training_bounded() {
         let (im, y) = incomplete_problem();
-        let tight_cfg = ZorroConfig { max_symbols: 4, ..cfg() };
+        let tight_cfg = ZorroConfig {
+            max_symbols: 4,
+            ..cfg()
+        };
         let model = train_symbolic(&im, &y, &tight_cfg);
         for wj in &model.weights {
             assert!(wj.n_symbols() <= 5 + im.n_missing());
         }
         // Still sound on the midpoint world.
         let (w, _) = train_concrete(&im.midpoint_world(), &y, &tight_cfg);
-        for j in 0..2 {
-            assert!(model.weights[j].to_interval().contains(w[j]));
+        for (j, &wj) in w.iter().enumerate().take(2) {
+            assert!(model.weights[j].to_interval().contains(wj));
         }
     }
 }

@@ -41,14 +41,12 @@ fn main() {
     // 2. The pipeline silently drops the invalid CRC row at the join —
     //    visible in per-operator row counts.
     let plan = Plan::source("patients").join(Plan::source("registry"), "diagnosis", "diagnosis");
-    let srcs = sources(vec![("patients", patients.clone()), ("registry", registry.clone())]);
-    let report = navigating_data_errors::pipeline::inspect::inspect(
-        &plan,
-        &srcs,
-        &["sex"],
-        0.05,
-    )
-    .expect("inspection");
+    let srcs = sources(vec![
+        ("patients", patients.clone()),
+        ("registry", registry.clone()),
+    ]);
+    let report = navigating_data_errors::pipeline::inspect::inspect(&plan, &srcs, &["sex"], 0.05)
+        .expect("inspection");
     println!();
     for op in &report.operators {
         println!("{:45} rows={}", op.label, op.rows_out);
@@ -67,7 +65,9 @@ fn main() {
         "survived",
     );
     let (fitted, train) = encoder.fit_transform(&joined).expect("encode");
-    let valid = fitted.transform(&joined.sample(60, 9).expect("sample")).expect("encode");
+    let valid = fitted
+        .transform(&joined.sample(60, 9).expect("sample"))
+        .expect("encode");
     let importances = knn_shapley(&train, &valid, 5);
     let worst: Vec<usize> = rank_ascending(&importances).into_iter().take(5).collect();
     println!("\nFive most harmful joined records (by KNN-Shapley):");

@@ -36,11 +36,18 @@ fn fairness_panel(train: &Table, test: &Table) -> (f64, f64, f64) {
 }
 
 fn main() {
-    let cfg = HiringConfig { n_train: 300, n_valid: 100, n_test: 200, ..Default::default() };
+    let cfg = HiringConfig {
+        n_train: 300,
+        n_valid: 100,
+        n_test: 200,
+        ..Default::default()
+    };
     let scenario = load_recommendation_letters(&cfg);
 
     let (acc, eo, dp) = fairness_panel(&scenario.train, &scenario.test);
-    println!("clean   : accuracy {acc:.3}  equalized-odds gap {eo:.3}  demographic-parity gap {dp:.3}");
+    println!(
+        "clean   : accuracy {acc:.3}  equalized-odds gap {eo:.3}  demographic-parity gap {dp:.3}"
+    );
 
     // Systematically flip positive letters of male applicants to negative.
     let (biased, report) = label_bias(
@@ -54,7 +61,10 @@ fn main() {
         11,
     )
     .expect("bias injection");
-    println!("injected label bias into {} rows (sex=m, positive→negative)", report.count());
+    println!(
+        "injected label bias into {} rows (sex=m, positive→negative)",
+        report.count()
+    );
     let (acc_b, eo_b, dp_b) = fairness_panel(&biased, &scenario.test);
     println!("biased  : accuracy {acc_b:.3}  equalized-odds gap {eo_b:.3}  demographic-parity gap {dp_b:.3}");
 

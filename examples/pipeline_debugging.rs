@@ -20,7 +20,12 @@ use navigating_data_errors::pipeline::inspect::inspect;
 use navigating_data_errors::pipeline::whatif::delete_source_rows;
 
 fn main() {
-    let cfg = HiringConfig { n_train: 300, n_valid: 100, n_test: 100, ..Default::default() };
+    let cfg = HiringConfig {
+        n_train: 300,
+        n_valid: 100,
+        n_test: 100,
+        ..Default::default()
+    };
     let mut scenario = load_recommendation_letters(&cfg);
     let (dirty, report) = flip_labels(&scenario.train, "sentiment", 0.15, 5).expect("inject");
     scenario.train = dirty;
@@ -34,7 +39,10 @@ fn main() {
     let srcs = pipeline_sources(&scenario, scenario.train.clone());
     let inspection = inspect(&plan, &srcs, &["sex"], 0.1).expect("inspection");
     for op in &inspection.operators {
-        println!("{:55} rows={:<5} nulls={}", op.label, op.rows_out, op.nulls_out);
+        println!(
+            "{:55} rows={:<5} nulls={}",
+            op.label, op.rows_out, op.nulls_out
+        );
     }
     println!("inspection warnings: {:?}\n", inspection.warnings);
 
@@ -58,8 +66,14 @@ fn main() {
     let valid_out = plan.run(&valid_srcs).expect("pipeline");
     let valid = run.encoder.transform(&valid_out).expect("encode");
     let learner = KnnClassifier::new(5);
-    let screening =
-        screen(&ScreeningConfig::default(), &learner, &run.train, &valid, None).expect("screen");
+    let screening = screen(
+        &ScreeningConfig::default(),
+        &learner,
+        &run.train,
+        &valid,
+        None,
+    )
+    .expect("screen");
     println!("\nArgusEyes screening ({} issues):", screening.issues.len());
     for issue in &screening.issues {
         println!("  [{:?}] {}: {}", issue.severity, issue.check, issue.detail);

@@ -24,7 +24,12 @@ use navigating_data_errors::uncertain::zorro::ZorroConfig;
 use std::sync::Arc;
 
 fn main() {
-    let cfg = HiringConfig { n_train: 150, n_valid: 0, n_test: 60, ..Default::default() };
+    let cfg = HiringConfig {
+        n_train: 150,
+        n_valid: 0,
+        n_test: 60,
+        ..Default::default()
+    };
     let scenario = load_recommendation_letters(&cfg);
     let features = ["employer_rating", "age"];
 
@@ -41,17 +46,29 @@ fn main() {
     let test = encode_test(&scenario.test, &features).expect("test encoding");
     let (model, worst) = estimate_with_zorro(&problem, &test, &ZorroConfig::default());
     println!("Zorro worst-case MSE bound: {worst:.4}");
-    println!("Mean-imputation baseline MSE (no guarantee): {:.4}", imputation_baseline(&problem, &test));
+    println!(
+        "Mean-imputation baseline MSE (no guarantee): {:.4}",
+        imputation_baseline(&problem, &test)
+    );
     let range = model.prediction_range(test.x.row(0));
-    println!("Guaranteed prediction range for test point 0: [{:.3}, {:.3}]\n", range.lo, range.hi);
+    println!(
+        "Guaranteed prediction range for test point 0: [{:.3}, {:.3}]\n",
+        range.lo, range.hi
+    );
 
     // --- CPClean: is the k-NN prediction certain despite missing cells?
     let mut im = IncompleteMatrix::from_exact(&test.x);
     im.set_missing(0, 0, Interval::new(-2.0, 2.0));
     let y: Vec<usize> = test.y.iter().map(|&v| v as usize).collect();
-    let data = IncompleteDataset { x: im, y, n_classes: 2 };
+    let data = IncompleteDataset {
+        x: im,
+        y,
+        n_classes: 2,
+    };
     match certain_prediction(&data, &[0.0, 0.0], 3) {
-        Some(label) => println!("CPClean: prediction is CERTAIN = class {label} (no cleaning needed)"),
+        Some(label) => {
+            println!("CPClean: prediction is CERTAIN = class {label} (no cleaning needed)")
+        }
         None => println!("CPClean: prediction depends on the missing values — clean first"),
     }
 
@@ -59,16 +76,14 @@ fn main() {
     let x_train = {
         let rows: Vec<Vec<f64>> = (0..problem.x.nrows())
             .map(|i| {
-                let mut r: Vec<f64> =
-                    problem.x.row(i).iter().map(|c| c.mid()).collect();
+                let mut r: Vec<f64> = problem.x.row(i).iter().map(|c| c.mid()).collect();
                 r.push(1.0); // intercept column
                 r
             })
             .collect();
         Matrix::from_rows(&rows).expect("matrix")
     };
-    let analysis =
-        RidgeMultiplicity::new(x_train, problem.y.clone(), 1e-4).expect("analysis");
+    let analysis = RidgeMultiplicity::new(x_train, problem.y.clone(), 1e-4).expect("analysis");
     let unc = LabelUncertainty::uniform(problem.y.len(), 0.2).with_budget(10);
     let probe = [0.5, 0.1, 1.0];
     let (lo, hi) = analysis.prediction_range(&probe, &unc);
@@ -83,9 +98,8 @@ fn main() {
     // --- Certified robustness: partitioned bagging vote margins.
     let train_world = problem.x.midpoint_world();
     let y_class: Vec<usize> = problem.y.iter().map(|&v| v as usize).collect();
-    let train_ds =
-        navigating_data_errors::learners::ClassDataset::new(train_world, y_class, 2)
-            .expect("dataset");
+    let train_ds = navigating_data_errors::learners::ClassDataset::new(train_world, y_class, 2)
+        .expect("dataset");
     let bag = BaggingClassifier::partitioned(Arc::new(KnnClassifier::new(1)), 11);
     let ensemble = bag.fit_ensemble(&train_ds).expect("ensemble");
     let cert = certify(&ensemble, test.x.row(0));

@@ -24,8 +24,11 @@ fn validation_catches_every_seeded_error_class() {
     let (scenario, patients, registry) = setup();
     let cfg = ValidationConfig::default();
 
-    let patient_anomalies =
-        validate(&patients, &infer_expectations(&scenario.patients, &cfg), &cfg);
+    let patient_anomalies = validate(
+        &patients,
+        &infer_expectations(&scenario.patients, &cfg),
+        &cfg,
+    );
     // invalid age (-1) → out of range; invalid diagnosis (CRC) → unseen.
     assert!(patient_anomalies
         .iter()
@@ -34,8 +37,11 @@ fn validation_catches_every_seeded_error_class() {
         |a| matches!(a, Anomaly::UnseenCategory { name, values } if name == "diagnosis" && values.contains(&"CRC".to_owned()))
     ));
 
-    let registry_anomalies =
-        validate(&registry, &infer_expectations(&scenario.registry, &cfg), &cfg);
+    let registry_anomalies = validate(
+        &registry,
+        &infer_expectations(&scenario.registry, &cfg),
+        &cfg,
+    );
     // missing BRCA rate → null rate; wrong SKCM rate (×5) → out of range.
     assert!(registry_anomalies
         .iter()
@@ -52,7 +58,11 @@ fn join_silently_drops_the_invalid_code() {
     let srcs = sources(vec![("patients", patients.clone()), ("registry", registry)]);
     let report = inspect(&plan, &srcs, &[], 1.0).unwrap();
     let join_out = report.operators.last().unwrap().rows_out;
-    assert_eq!(join_out, patients.num_rows() - 1, "exactly the CRC row vanishes");
+    assert_eq!(
+        join_out,
+        patients.num_rows() - 1,
+        "exactly the CRC row vanishes"
+    );
 }
 
 #[test]

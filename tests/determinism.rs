@@ -1,0 +1,147 @@
+//! Thread-count determinism: every parallelized entry point must produce
+//! **bit-identical** results for 1, 2, and 8 workers with a fixed seed.
+//! The parallel layer guarantees this by fixing chunk boundaries as a
+//! function of input length and folding partial results in chunk order —
+//! these tests are the contract.
+
+use nde_core::challenge::{Challenge, ChallengeConfig};
+use nde_core::cleaning::Strategy;
+use nde_core::scenario::encode_splits;
+use nde_datagen::errors::{flip_labels, inject_missing, Mechanism};
+use nde_datagen::{HiringConfig, HiringScenario};
+use nde_importance::knn_shapley::{knn_shapley, knn_shapley_parallel};
+use nde_importance::semivalue::{banzhaf_msr, tmc_shapley, McConfig};
+use nde_importance::utility::{ModelUtility, UtilityMetric};
+use nde_learners::dataset::ClassDataset;
+use nde_learners::KnnClassifier;
+use nde_uncertain::cpclean::{certain_fraction, IncompleteDataset};
+use nde_uncertain::incomplete::IncompleteMatrix;
+use nde_uncertain::interval::Interval;
+
+const THREADS: [usize; 3] = [1, 2, 8];
+
+fn encoded_splits() -> (ClassDataset, ClassDataset) {
+    let s = HiringScenario::generate(&HiringConfig {
+        n_train: 120,
+        n_valid: 40,
+        n_test: 0,
+        ..Default::default()
+    });
+    let (dirty, _) = flip_labels(&s.train, "sentiment", 0.2, 5).unwrap();
+    let (_, train, valid) = encode_splits(&dirty, &s.valid).unwrap();
+    (train, valid)
+}
+
+fn assert_bit_identical(name: &str, reference: &[f64], candidate: &[f64], threads: usize) {
+    assert_eq!(
+        reference.len(),
+        candidate.len(),
+        "{name} length at {threads} threads"
+    );
+    for (i, (a, b)) in reference.iter().zip(candidate).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{name}[{i}] differs at {threads} threads: {a} vs {b}"
+        );
+    }
+}
+
+#[test]
+fn knn_shapley_is_thread_count_invariant() {
+    let (train, valid) = encoded_splits();
+    let serial = knn_shapley(&train, &valid, 5);
+    for threads in THREADS {
+        let parallel = knn_shapley_parallel(&train, &valid, 5, threads);
+        assert_bit_identical("knn_shapley", &serial, &parallel, threads);
+    }
+}
+
+#[test]
+fn tmc_shapley_is_thread_count_invariant() {
+    let (train, valid) = encoded_splits();
+    let learner = KnnClassifier::new(5);
+    let util = ModelUtility::new(&learner, &train, &valid, UtilityMetric::Accuracy);
+    let cfg = |threads| {
+        McConfig::new(24, 9)
+            .with_truncation(1e-3)
+            .with_threads(threads)
+    };
+    let reference = tmc_shapley(&util, &cfg(1));
+    for threads in THREADS {
+        let scores = tmc_shapley(&util, &cfg(threads));
+        assert_bit_identical("tmc_shapley", &reference, &scores, threads);
+    }
+}
+
+#[test]
+fn banzhaf_msr_is_thread_count_invariant() {
+    let (train, valid) = encoded_splits();
+    let learner = KnnClassifier::new(5);
+    let util = ModelUtility::new(&learner, &train, &valid, UtilityMetric::Accuracy);
+    let reference = banzhaf_msr(&util, &McConfig::new(24, 9).with_threads(1));
+    for threads in THREADS {
+        let scores = banzhaf_msr(&util, &McConfig::new(24, 9).with_threads(threads));
+        assert_bit_identical("banzhaf_msr", &reference, &scores, threads);
+    }
+}
+
+/// The env-driven entry points ([`certain_fraction`], the challenge
+/// leaderboard) take their worker count from `NDE_THREADS`. Exercised in a
+/// single test because environment mutation is process-global.
+#[test]
+fn env_driven_entry_points_are_thread_count_invariant() {
+    // CPClean certain fraction over MNAR-corrupted ratings.
+    let s = HiringScenario::generate(&HiringConfig {
+        n_train: 80,
+        n_valid: 0,
+        n_test: 0,
+        ..Default::default()
+    });
+    let (with_missing, _) =
+        inject_missing(&s.train, "employer_rating", 0.15, Mechanism::Mnar, 3).unwrap();
+    let ratings: Vec<Interval> = (0..with_missing.num_rows())
+        .map(|r| match with_missing.get(r, "employer_rating") {
+            Ok(v) if !v.is_null() => Interval::point(v.as_float().unwrap_or(0.0)),
+            _ => Interval::new(0.0, 10.0),
+        })
+        .collect();
+    let x = IncompleteMatrix::from_intervals(ratings.len(), 1, ratings).unwrap();
+    let y: Vec<usize> = (0..x.nrows()).map(|i| i % 2).collect();
+    let data = IncompleteDataset { x, y, n_classes: 2 };
+    let queries: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 / 2.0]).collect();
+
+    // Challenge leaderboard over a strategy fan-out.
+    let challenge = Challenge::generate(ChallengeConfig {
+        scenario: HiringConfig {
+            n_train: 100,
+            n_valid: 40,
+            n_test: 40,
+            ..Default::default()
+        },
+        budget: 20,
+        seed: 7,
+        ..Default::default()
+    })
+    .unwrap();
+    let strategies = [Strategy::Random, Strategy::KnnShapley, Strategy::Aum];
+
+    let run = || {
+        let fraction = certain_fraction(&data, &queries, 3);
+        let board = challenge.play_all(&strategies).unwrap();
+        let standings: Vec<(String, u64, usize)> = board
+            .standings()
+            .iter()
+            .map(|e| (e.name.clone(), e.accuracy.to_bits(), e.true_positives))
+            .collect();
+        (fraction.to_bits(), standings)
+    };
+
+    std::env::set_var("NDE_THREADS", "1");
+    let reference = run();
+    for threads in THREADS {
+        std::env::set_var("NDE_THREADS", threads.to_string());
+        assert_eq!(run(), reference, "NDE_THREADS={threads} changed results");
+    }
+    std::env::remove_var("NDE_THREADS");
+}

@@ -15,7 +15,12 @@ use navigating_data_errors::importance::{knn_shapley, rank_ascending};
 use navigating_data_errors::uncertain::zorro::ZorroConfig;
 
 fn mini_config() -> HiringConfig {
-    HiringConfig { n_train: 120, n_valid: 50, n_test: 80, ..Default::default() }
+    HiringConfig {
+        n_train: 120,
+        n_valid: 50,
+        n_test: 80,
+        ..Default::default()
+    }
 }
 
 /// Figure 2's claim: label errors hurt; Shapley-prioritized oracle cleaning
@@ -70,7 +75,10 @@ fn figure4_worst_case_loss_is_monotone() {
     });
     let features = ["employer_rating", "age"];
     let test = encode_test(&s.test, &features).unwrap();
-    let cfg = ZorroConfig { epochs: 15, ..Default::default() };
+    let cfg = ZorroConfig {
+        epochs: 15,
+        ..Default::default()
+    };
     let mut prev = -1.0f64;
     for &pct in &[0.05, 0.15, 0.25] {
         let problem = encode_symbolic(
@@ -83,7 +91,10 @@ fn figure4_worst_case_loss_is_monotone() {
         )
         .unwrap();
         let (_, worst) = estimate_with_zorro(&problem, &test, &cfg);
-        assert!(worst >= prev, "loss bound not monotone at {pct}: {worst} < {prev}");
+        assert!(
+            worst >= prev,
+            "loss bound not monotone at {pct}: {worst} < {prev}"
+        );
         prev = worst;
     }
 }

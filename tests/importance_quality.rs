@@ -25,12 +25,15 @@ fn setup() -> Setup {
     });
     let (dirty, report) = flip_labels(&scenario.train, "sentiment", 0.15, 19).unwrap();
     let (_, train, valid) = encode_splits(&dirty, &scenario.valid).unwrap();
-    Setup { train, valid, report }
+    Setup {
+        train,
+        valid,
+        report,
+    }
 }
 
 fn precision_with_budget(setup: &Setup, strategy: Strategy, samples: usize, seed: u64) -> f64 {
-    let scores =
-        importance_scores(strategy, &setup.train, &setup.valid, 5, samples, seed).unwrap();
+    let scores = importance_scores(strategy, &setup.train, &setup.valid, 5, samples, seed).unwrap();
     let ranking = rank_ascending(&scores);
     setup.report.precision_at_k(&ranking, setup.report.count())
 }
@@ -46,7 +49,10 @@ fn informed_methods_beat_random_at_error_detection() {
     // Random hovers at the base rate (use a seed decorrelated from the
     // injection seed).
     let p_random = precision_of(&s, Strategy::Random, 777);
-    assert!(p_random < base_rate + 0.15, "random suspiciously good: {p_random}");
+    assert!(
+        p_random < base_rate + 0.15,
+        "random suspiciously good: {p_random}"
+    );
     for strategy in [
         Strategy::KnnShapley,
         Strategy::Confident,
@@ -66,7 +72,10 @@ fn informed_methods_beat_random_at_error_detection() {
     let p_loo = precision_of(&s, Strategy::Loo, 777);
     assert!(p_loo > base_rate, "loo precision {p_loo} below base rate");
     let p_shapley = precision_of(&s, Strategy::KnnShapley, 777);
-    assert!(p_shapley > p_loo, "Shapley should dominate LOO: {p_shapley} vs {p_loo}");
+    assert!(
+        p_shapley > p_loo,
+        "Shapley should dominate LOO: {p_shapley} vs {p_loo}"
+    );
 }
 
 #[test]
@@ -101,5 +110,8 @@ fn knn_shapley_and_loo_agree_on_the_worst_offenders() {
     let top_loo: std::collections::HashSet<usize> =
         rank_ascending(&loo).into_iter().take(30).collect();
     let overlap = top_shapley.intersection(&top_loo).count();
-    assert!(overlap >= 8, "only {overlap}/30 overlap between Shapley and LOO");
+    assert!(
+        overlap >= 8,
+        "only {overlap}/30 overlap between Shapley and LOO"
+    );
 }

@@ -102,7 +102,14 @@ fn screening_flags_label_errors_after_injection() {
     let valid_out = figure3_plan().run(&valid_srcs).unwrap();
     let valid = run.encoder.transform(&valid_out).unwrap();
     let learner = KnnClassifier::new(5);
-    let report = screen(&ScreeningConfig::default(), &learner, &run.train, &valid, None).unwrap();
+    let report = screen(
+        &ScreeningConfig::default(),
+        &learner,
+        &run.train,
+        &valid,
+        None,
+    )
+    .unwrap();
     assert!(
         !report.of_check("label_errors").is_empty(),
         "30% flips must trip the label-error screen: {:?}",

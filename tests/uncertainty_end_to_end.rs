@@ -36,21 +36,29 @@ fn zorro_bounds_hold_for_sampled_worlds_of_scenario_data() {
     )
     .unwrap();
     let test = encode_test(&scenario.test, FEATURES).unwrap();
-    let cfg = ZorroConfig { epochs: 20, ..Default::default() };
+    let cfg = ZorroConfig {
+        epochs: 20,
+        ..Default::default()
+    };
     let (model, worst) = estimate_with_zorro(&problem, &test, &cfg);
 
     let mut rng = StdRng::seed_from_u64(9);
     for _ in 0..10 {
-        let picks: Vec<f64> =
-            (0..problem.x.nrows() * problem.x.ncols()).map(|_| rng.random()).collect();
+        let picks: Vec<f64> = (0..problem.x.nrows() * problem.x.ncols())
+            .map(|_| rng.random())
+            .collect();
         let ncols = problem.x.ncols();
         let world = problem.x.world(&|i, j| picks[i * ncols + j]);
         let (w, b) = train_concrete(&world, &problem.y, &cfg);
         // Concrete MSE of this world's model must respect the bound.
         let mse: f64 = (0..test.len())
             .map(|i| {
-                let p: f64 =
-                    w.iter().zip(test.x.row(i)).map(|(wj, &xj)| wj * xj).sum::<f64>() + b;
+                let p: f64 = w
+                    .iter()
+                    .zip(test.x.row(i))
+                    .map(|(wj, &xj)| wj * xj)
+                    .sum::<f64>()
+                    + b;
                 (p - test.y[i]).powi(2)
             })
             .sum::<f64>()
@@ -84,19 +92,20 @@ fn possible_worlds_agree_with_midpoint_on_stable_points() {
     .unwrap();
     let y: Vec<usize> = problem.y.iter().map(|&v| v as usize).collect();
     let learner = KnnClassifier::new(5);
-    let ensemble =
-        PossibleWorldsEnsemble::train(&learner, &problem.x, &y, 2, 15, 4).unwrap();
+    let ensemble = PossibleWorldsEnsemble::train(&learner, &problem.x, &y, 2, 15, 4).unwrap();
     let test = encode_test(&scenario.test, FEATURES).unwrap();
     // On fully-agreeing points, the ensemble majority matches the midpoint
     // world's model by construction.
     use navigating_data_errors::learners::traits::Learner;
     let midpoint_model = learner
-        .fit(&navigating_data_errors::learners::ClassDataset::new(
-            problem.x.midpoint_world(),
-            y.clone(),
-            2,
+        .fit(
+            &navigating_data_errors::learners::ClassDataset::new(
+                problem.x.midpoint_world(),
+                y.clone(),
+                2,
+            )
+            .unwrap(),
         )
-        .unwrap())
         .unwrap();
     let mut checked = 0;
     for i in 0..test.len() {
@@ -112,7 +121,12 @@ fn possible_worlds_agree_with_midpoint_on_stable_points() {
 #[test]
 fn challenge_full_workflow_improves_over_baseline() {
     let challenge = Challenge::generate(ChallengeConfig {
-        scenario: HiringConfig { n_train: 120, n_valid: 40, n_test: 60, ..Default::default() },
+        scenario: HiringConfig {
+            n_train: 120,
+            n_valid: 40,
+            n_test: 60,
+            ..Default::default()
+        },
         budget: 30,
         ..Default::default()
     })
