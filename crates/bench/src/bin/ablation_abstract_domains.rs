@@ -3,7 +3,7 @@
 //! wall-clock cost across missingness levels. The zonotope's relational
 //! precision is the design choice that makes symbolic training usable.
 
-use nde_bench::{f4, row, section, timed};
+use nde_bench::{f4, row, section, timed_traced};
 use nde_core::scenario::load_recommendation_letters;
 use nde_core::zorro_scenario::{encode_symbolic, encode_test, estimate_with_zorro};
 use nde_datagen::errors::Mechanism;
@@ -11,6 +11,7 @@ use nde_datagen::HiringConfig;
 use nde_uncertain::zorro::{Domain, ZorroConfig};
 
 fn main() {
+    let _trace = nde_bench::trace_root("ablation_abstract_domains");
     let cfg = HiringConfig {
         n_train: 150,
         n_valid: 0,
@@ -46,7 +47,9 @@ fn main() {
                 epochs: 30,
                 ..Default::default()
             };
-            let ((model, worst), secs) = timed(|| estimate_with_zorro(&problem, &test, &zc));
+            let ((model, worst), secs) = timed_traced("phase.zorro_estimate", || {
+                estimate_with_zorro(&problem, &test, &zc)
+            });
             row(&[
                 pct.to_string(),
                 format!("{domain:?}"),

@@ -56,6 +56,7 @@ fn encode(table: &Table, clean: &Table) -> (IncompleteDataset, Matrix) {
 }
 
 fn main() {
+    let _trace = nde_bench::trace_root("ablation_certain_predictions");
     let cfg = HiringConfig {
         n_train: 150,
         n_valid: 0,

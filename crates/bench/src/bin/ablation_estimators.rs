@@ -4,7 +4,7 @@
 //! function of the sampling budget. The point the survey makes: the exact
 //! KNN proxy delivers the best quality-per-second by orders of magnitude.
 
-use nde_bench::{f4, row, section, timed};
+use nde_bench::{f4, row, section, timed_traced};
 use nde_core::scenario::encode_splits;
 use nde_core::scenario::load_recommendation_letters;
 use nde_datagen::errors::flip_labels;
@@ -17,6 +17,7 @@ use nde_importance::utility::{ModelUtility, UtilityMetric};
 use nde_learners::KnnClassifier;
 
 fn main() {
+    let _trace = nde_bench::trace_root("ablation_estimators");
     let cfg = HiringConfig {
         n_train: 80,
         n_valid: 60,
@@ -40,25 +41,29 @@ fn main() {
     };
 
     // Exact KNN-Shapley: no sampling budget at all.
-    let (scores, secs) = timed(|| knn_shapley(&train, &valid, 5));
+    let (scores, secs) = timed_traced("phase.knn_shapley", || knn_shapley(&train, &valid, 5));
     let p_knn = report_line("knn_shapley_exact", 0, scores, secs);
 
     // LOO: n+1 evaluations.
-    let (scores, secs) = timed(|| leave_one_out(&util));
+    let (scores, secs) = timed_traced("phase.loo", || leave_one_out(&util));
     report_line("loo", train.len() + 1, scores, secs);
 
     let mut p_tmc_best = 0.0f64;
     for &budget in &[10usize, 40, 160] {
-        let (scores, secs) =
-            timed(|| tmc_shapley(&util, &McConfig::new(budget, 3).with_truncation(1e-3)));
+        let (scores, secs) = timed_traced("phase.tmc_shapley", || {
+            tmc_shapley(&util, &McConfig::new(budget, 3).with_truncation(1e-3))
+        });
         let p = report_line("tmc_shapley", budget, scores, secs);
         p_tmc_best = p_tmc_best.max(p);
 
-        let (scores, secs) =
-            timed(|| banzhaf_msr(&util, &McConfig::new(budget * train.len() / 10, 3)));
+        let (scores, secs) = timed_traced("phase.banzhaf_msr", || {
+            banzhaf_msr(&util, &McConfig::new(budget * train.len() / 10, 3))
+        });
         report_line("banzhaf_msr", budget * train.len() / 10, scores, secs);
 
-        let (scores, secs) = timed(|| beta_shapley(&util, 16.0, 1.0, &McConfig::new(budget, 3)));
+        let (scores, secs) = timed_traced("phase.beta_shapley", || {
+            beta_shapley(&util, 16.0, 1.0, &McConfig::new(budget, 3))
+        });
         report_line("beta_shapley_16_1", budget, scores, secs);
     }
 

@@ -3,7 +3,7 @@
 //! execution overhead of provenance tracing and the end-to-end Datascope
 //! attribution time.
 
-use nde_bench::{f4, row, section, timed};
+use nde_bench::{f4, row, section, timed, timed_traced};
 use nde_learners::dataset::ClassDataset;
 use nde_learners::Matrix;
 use nde_pipeline::datascope_importance;
@@ -46,6 +46,7 @@ fn encode(out: &Table) -> ClassDataset {
 }
 
 fn main() {
+    let _trace = nde_bench::trace_root("ablation_pipeline_shapes");
     let valid = ClassDataset::new(
         Matrix::from_rows(&[vec![1.0], vec![8.0], vec![4.0], vec![6.0]]).expect("matrix"),
         vec![0, 1, 0, 1],
@@ -79,8 +80,9 @@ fn main() {
         ];
         for (name, plan) in shapes {
             let srcs = sources(vec![("t", table.clone()), ("side", side_table())]);
-            let (_, plain_s) = timed(|| plan.run(&srcs).expect("run"));
-            let (traced, traced_s) = timed(|| plan.run_traced(&srcs).expect("run"));
+            let (_, plain_s) = timed_traced("phase.run_plain", || plan.run(&srcs).expect("run"));
+            let (traced, traced_s) =
+                timed_traced("phase.run_traced", || plan.run_traced(&srcs).expect("run"));
             let train = encode(&traced.table);
             let (_, ds_s) = timed(|| {
                 datascope_importance(&traced, &train, &valid, 1, "t", table.num_rows())

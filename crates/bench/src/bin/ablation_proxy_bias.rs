@@ -19,6 +19,7 @@ use nde_learners::traits::Learner;
 use nde_learners::{DecisionTree, KnnClassifier, LogisticRegression};
 
 fn main() {
+    let _trace = nde_bench::trace_root("ablation_proxy_bias");
     let cfg = HiringConfig {
         n_train: 120,
         n_valid: 60,

@@ -14,6 +14,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 fn main() {
+    let _trace = nde_bench::trace_root("ablation_unlearning");
     let cfg = HiringConfig {
         n_train: 800,
         n_valid: 0,

@@ -3,12 +3,13 @@
 //! (label flips + MNAR missing ratings + invalid degrees) under the same
 //! cleaning budget; the oracle reports hidden-test accuracy.
 
-use nde_bench::{f4, row, section, timed};
+use nde_bench::{f4, row, section, timed_traced};
 use nde_core::challenge::{Challenge, ChallengeConfig, Leaderboard};
 use nde_core::cleaning::Strategy;
 use nde_datagen::HiringConfig;
 
 fn main() {
+    let _trace = nde_bench::trace_root("challenge_leaderboard");
     let challenge = Challenge::generate(ChallengeConfig {
         scenario: HiringConfig {
             n_train: 250,
@@ -38,14 +39,16 @@ fn main() {
     let mut timings = Vec::new();
     let mut serial_secs = 0.0;
     for &strategy in Strategy::all() {
-        let (entry, secs) = timed(|| challenge.play(strategy).expect("play"));
+        let (entry, secs) = timed_traced("phase.play", || challenge.play(strategy).expect("play"));
         timings.push((strategy.name(), secs));
         serial_secs += secs;
         serial_board.record(entry);
     }
 
     // Parallel fan-out: strategies are independent submissions.
-    let (board, parallel_secs) = timed(|| challenge.play_all(Strategy::all()).expect("play_all"));
+    let (board, parallel_secs) = timed_traced("phase.play_all", || {
+        challenge.play_all(Strategy::all()).expect("play_all")
+    });
     assert_eq!(
         board.standings(),
         serial_board.standings(),

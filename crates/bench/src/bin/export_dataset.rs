@@ -12,6 +12,7 @@ use nde_tabular::Table;
 use std::path::PathBuf;
 
 fn main() {
+    let _trace = nde_bench::trace_root("export_dataset");
     let out_dir: PathBuf = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "hiring_dataset".to_owned())

@@ -10,6 +10,7 @@ use nde_datagen::errors::flip_labels;
 use nde_datagen::HiringConfig;
 
 fn main() {
+    let _trace = nde_bench::trace_root("extension_activeclean");
     let cfg = HiringConfig {
         n_train: 300,
         n_valid: 100,

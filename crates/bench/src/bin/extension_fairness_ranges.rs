@@ -15,6 +15,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 fn main() {
+    let _trace = nde_bench::trace_root("extension_fairness_ranges");
     let cfg = HiringConfig {
         n_train: 300,
         n_valid: 0,

@@ -58,6 +58,7 @@ fn synth_doc(topic: usize, rng: &mut StdRng) -> String {
 }
 
 fn main() {
+    let _trace = nde_bench::trace_root("extension_rag_importance");
     let mut rng = StdRng::seed_from_u64(99);
     let dims = 64;
     let k = 5;

@@ -49,6 +49,7 @@ fn evaluate(train: &Table, test: &Table) -> Panel {
 }
 
 fn main() {
+    let _trace = nde_bench::trace_root("fig1_error_taxonomy");
     let cfg = HiringConfig {
         n_train: 300,
         n_valid: 0,

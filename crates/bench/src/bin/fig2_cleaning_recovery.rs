@@ -14,6 +14,7 @@ use nde_importance::knn_shapley::knn_shapley;
 use nde_importance::rank::rank_ascending;
 
 fn main() {
+    let _trace = nde_bench::trace_root("fig2_cleaning_recovery");
     let cfg = HiringConfig::default(); // 400 train / 100 valid / 100 test
     let k = 5;
     let n_clean = 25;

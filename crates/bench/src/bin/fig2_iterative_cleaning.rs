@@ -3,13 +3,14 @@
 //! different detection strategies. Importance-based prioritization should
 //! dominate random cleaning everywhere on the curve.
 
-use nde_bench::{f4, row, section, timed};
+use nde_bench::{f4, row, section, timed_traced};
 use nde_core::cleaning::{iterative_cleaning, iterative_cleaning_cached, Strategy};
 use nde_core::scenario::load_recommendation_letters;
 use nde_datagen::errors::flip_labels;
 use nde_datagen::HiringConfig;
 
 fn main() {
+    let _trace = nde_bench::trace_root("fig2_iterative_cleaning");
     let cfg = HiringConfig {
         n_train: 300,
         n_valid: 100,
@@ -94,7 +95,7 @@ fn main() {
     // Warm-cache variant: re-rank every round from the shared neighbor
     // cache with incremental repairs instead of scoring once up front.
     section("Warm-cache KNN-Shapley cleaning (re-ranked every round)");
-    let (cached_steps, cached_secs) = timed(|| {
+    let (cached_steps, cached_secs) = timed_traced("phase.warm_cache_cleaning", || {
         iterative_cleaning_cached(
             &dirty,
             &scenario.train,

@@ -20,6 +20,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 fn main() {
+    let _trace = nde_bench::trace_root("fig3_pipeline_cleaning");
     let cfg = HiringConfig {
         n_train: 400,
         n_valid: 150,

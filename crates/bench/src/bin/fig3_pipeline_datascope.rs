@@ -18,6 +18,7 @@ use nde_learners::KnnClassifier;
 use nde_pipeline::whatif::rerun_without_rows;
 
 fn main() {
+    let _trace = nde_bench::trace_root("fig3_pipeline_datascope");
     // The healthcare filter keeps ~40% of each split, so the splits are
     // sized for a post-filter test set large enough to resolve small
     // accuracy deltas.

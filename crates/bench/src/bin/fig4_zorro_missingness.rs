@@ -12,6 +12,7 @@ use nde_datagen::HiringConfig;
 use nde_uncertain::zorro::ZorroConfig;
 
 fn main() {
+    let _trace = nde_bench::trace_root("fig4_zorro_missingness");
     let cfg = HiringConfig {
         n_train: 200,
         n_valid: 0,

@@ -6,6 +6,15 @@
 //! Binaries print tab-separated series suitable for plotting, preceded by a
 //! human-readable narrative that mirrors the outputs shown in the paper's
 //! figures.
+//!
+//! Every binary opens a root span with [`trace_root`], whose guard emits
+//! the summary as `main` returns — so running any of them under
+//! `NDE_TRACE=human` prints the span tree
+//! and a metrics summary to stderr, and `NDE_TRACE=json` appends
+//! machine-readable JSON-lines perf trajectories to `NDE_TRACE_FILE`
+//! (default `nde_trace.jsonl`) — the reproducible source for the numbers
+//! quoted in EXPERIMENTS.md. With `NDE_TRACE` unset the stdout output is
+//! byte-identical to the untraced harness. See docs/OBSERVABILITY.md.
 
 use std::fmt::Display;
 use std::time::Instant;
@@ -26,6 +35,42 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     let start = Instant::now();
     let out = f();
     (out, start.elapsed().as_secs_f64())
+}
+
+/// [`timed`], additionally recorded as an `nde-trace` span named `name`,
+/// so the measured phase shows up in `NDE_TRACE` output alongside the
+/// printed seconds.
+pub fn timed_traced<T>(name: &'static str, f: impl FnOnce() -> T) -> (T, f64) {
+    let span = nde_trace::span(name);
+    let start = Instant::now();
+    let out = f();
+    let secs = start.elapsed().as_secs_f64();
+    drop(span);
+    (out, secs)
+}
+
+/// Opens the root span every bench binary wraps its `main` in:
+/// `let _trace = nde_bench::trace_root("fig2_iterative_cleaning");`.
+/// When the returned guard drops (end of `main`), it closes the root span
+/// and emits the `nde-trace` summary — span aggregates, counters, gauges,
+/// histograms — to the active sink. Everything is a no-op with
+/// `NDE_TRACE` unset or `off`.
+pub fn trace_root(name: &'static str) -> TraceGuard {
+    TraceGuard {
+        root: Some(nde_trace::span(name)),
+    }
+}
+
+/// RAII guard returned by [`trace_root`]; see there.
+pub struct TraceGuard {
+    root: Option<nde_trace::Span>,
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        self.root.take(); // close the root span before reporting
+        nde_trace::report();
+    }
 }
 
 /// Formats a float with 4 decimals (the harness's standard precision).

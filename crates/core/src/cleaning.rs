@@ -158,6 +158,10 @@ pub fn iterative_cleaning(
     k: usize,
     seed: u64,
 ) -> Result<Vec<CleaningStep>> {
+    let mut span = nde_trace::span("cleaning.iterative");
+    span.field("strategy", strategy.name());
+    span.field("batch_size", batch_size);
+    span.field("max_cleaned", max_cleaned);
     let (_, train_ds, valid_ds) = encode_splits(dirty, valid)?;
     let scores = importance_scores(strategy, &train_ds, &valid_ds, k, 60, seed)?;
     let ranking = rank_ascending(&scores);
@@ -172,15 +176,17 @@ pub fn iterative_cleaning(
         if cleaned >= max_cleaned {
             break;
         }
+        let mut round = nde_trace::span("cleaning.round");
         for &row in chunk.iter().take(max_cleaned - cleaned) {
             repair_row(&mut working, clean, row)?;
             cleaned += 1;
         }
-        steps.push(CleaningStep {
-            cleaned,
-            accuracy: crate::scenario::evaluate_model(&working, test, k)?,
-        });
+        let accuracy = crate::scenario::evaluate_model(&working, test, k)?;
+        round.field("cleaned", cleaned);
+        round.field("accuracy", accuracy);
+        steps.push(CleaningStep { cleaned, accuracy });
     }
+    span.field("rounds", steps.len() - 1);
     Ok(steps)
 }
 
@@ -207,6 +213,9 @@ pub fn iterative_cleaning_cached(
     use nde_learners::metrics::accuracy;
     use nde_learners::Learner;
 
+    let mut span = nde_trace::span("cleaning.iterative_cached");
+    span.field("batch_size", batch_size);
+    span.field("max_cleaned", max_cleaned);
     let encoder = standard_encoder().fit(dirty)?;
     let mut train_ds = encoder.transform(dirty)?;
     let valid_ds = encoder.transform(valid)?;
@@ -227,6 +236,7 @@ pub fn iterative_cleaning_cached(
     let mut cleaned = 0usize;
     let max_cleaned = max_cleaned.min(train_ds.len());
     while cleaned < max_cleaned {
+        let mut round = nde_trace::span("cleaning.round");
         // Re-rank from the warm cache: repairs from previous rounds shift
         // every score, which the score-once workflow never sees.
         let scores = knn_shapley_cached(&cache, &train_ds.y, &valid_ds.y, k);
@@ -255,11 +265,12 @@ pub fn iterative_cleaning_cached(
             let train_x = &train_ds.x;
             cache.update_row(row, |v| sq_dist(train_x.row(row), valid_ds.x.row(v)));
         }
-        steps.push(CleaningStep {
-            cleaned,
-            accuracy: evaluate(&train_ds)?,
-        });
+        let accuracy = evaluate(&train_ds)?;
+        round.field("cleaned", cleaned);
+        round.field("accuracy", accuracy);
+        steps.push(CleaningStep { cleaned, accuracy });
     }
+    span.field("rounds", steps.len() - 1);
     Ok(steps)
 }
 

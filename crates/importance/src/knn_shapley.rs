@@ -91,6 +91,10 @@ pub fn knn_shapley_parallel(
         return vec![0.0; n];
     }
     let k = k.max(1);
+    let mut span = nde_trace::span("importance.knn_shapley");
+    span.field("n_train", n);
+    span.field("n_valid", valid.len());
+    span.field("k", k);
     let mut total = par_reduce_with(
         threads,
         valid.len(),
@@ -122,6 +126,7 @@ pub fn knn_shapley_parallel(
 /// round of a cleaning loop, with [`NeighborCache::update_row`] keeping it
 /// current as rows are repaired).
 pub fn build_neighbor_cache(train: &ClassDataset, valid: &ClassDataset) -> NeighborCache {
+    let _span = nde_trace::span("importance.build_neighbor_cache");
     NeighborCache::build(train.len(), valid.len(), |t, v| {
         sq_dist(train.x.row(t), valid.x.row(v))
     })
@@ -146,6 +151,13 @@ pub fn knn_shapley_cached(
         return vec![0.0; n];
     }
     let k = k.max(1);
+    // Every warm re-score from the prebuilt cache is a "hit" against the
+    // cold `neighbor_cache.miss` counted at build time.
+    nde_trace::counter("neighbor_cache.hit").incr();
+    let mut span = nde_trace::span("importance.knn_shapley_cached");
+    span.field("n_train", n);
+    span.field("n_valid", m);
+    span.field("k", k);
     let mut total = par_reduce(
         m,
         VALID_CHUNK,
@@ -179,6 +191,8 @@ pub fn knn_utility_cached(
         return 0.0;
     }
     let k = k.max(1);
+    nde_trace::counter("neighbor_cache.hit").incr();
+    let _span = nde_trace::span("importance.knn_utility_cached");
     let total = par_reduce(
         m,
         VALID_CHUNK,
@@ -217,6 +231,11 @@ pub fn knn_loo_cached(
         return vec![0.0; n];
     }
     let k = k.max(1);
+    nde_trace::counter("neighbor_cache.hit").incr();
+    let mut span = nde_trace::span("importance.knn_loo_cached");
+    span.field("n_train", n);
+    span.field("n_valid", m);
+    span.field("k", k);
     let mut total = par_reduce(
         m,
         VALID_CHUNK,

@@ -6,6 +6,8 @@ use crate::utility::Utility;
 /// Exact leave-one-out scores (`n + 1` utility evaluations).
 pub fn leave_one_out(util: &dyn Utility) -> Vec<f64> {
     let n = util.n();
+    let mut span = nde_trace::span("importance.loo");
+    span.field("n", n);
     let all: Vec<usize> = (0..n).collect();
     let full = util.eval(&all);
     let mut without = Vec::with_capacity(n.saturating_sub(1));

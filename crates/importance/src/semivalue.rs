@@ -166,6 +166,9 @@ fn binomial(n: usize, k: usize) -> f64 {
 /// Truncated-Monte-Carlo Shapley: permutation sampling with early
 /// truncation once the running coalition value reaches the full-set value.
 pub fn tmc_shapley(util: &dyn Utility, cfg: &McConfig) -> Vec<f64> {
+    let mut span = nde_trace::span("importance.tmc_shapley");
+    span.field("n", util.n());
+    span.field("samples", cfg.samples);
     permutation_semivalue(util, cfg, |_n, _size| 1.0)
 }
 
@@ -174,6 +177,9 @@ pub fn tmc_shapley(util: &dyn Utility, cfg: &McConfig) -> Vec<f64> {
 /// weight on small coalitions, which denoises valuation (Kwon & Zou 2021).
 pub fn beta_shapley(util: &dyn Utility, alpha: f64, beta: f64, cfg: &McConfig) -> Vec<f64> {
     let n = util.n();
+    let mut span = nde_trace::span("importance.beta_shapley");
+    span.field("n", n);
+    span.field("samples", cfg.samples);
     let weights = beta_weights(n, alpha, beta);
     permutation_semivalue(util, cfg, move |_n, size| weights[size])
 }
@@ -269,6 +275,9 @@ pub fn banzhaf_msr(util: &dyn Utility, cfg: &McConfig) -> Vec<f64> {
     if n == 0 || cfg.samples == 0 {
         return vec![0.0; n];
     }
+    let mut span = nde_trace::span("importance.banzhaf_msr");
+    span.field("n", n);
+    span.field("samples", cfg.samples);
     // Same fixed-chunk scheme as the permutation engine: per-chunk seeds
     // and in-order folding make the estimate thread-count independent.
     struct MsrPartial {

@@ -107,6 +107,9 @@ impl TableEncoder {
 
     /// Fits statistics/vocabularies on `table`.
     pub fn fit(&self, table: &Table) -> Result<FittedTableEncoder> {
+        let mut span = nde_trace::span("learners.encoder_fit");
+        span.field("rows", table.num_rows());
+        span.field("columns", self.specs.len());
         let mut fitted = Vec::with_capacity(self.specs.len());
         let mut width = 0usize;
         for spec in &self.specs {
@@ -261,6 +264,8 @@ impl FittedTableEncoder {
     /// Encodes features and labels into a [`ClassDataset`]. Rows whose label
     /// is null or unseen are an error (filter them upstream).
     pub fn transform(&self, table: &Table) -> Result<ClassDataset> {
+        let mut span = nde_trace::span("learners.encoder_transform");
+        span.field("rows", table.num_rows());
         let x = self.transform_features(table)?;
         let labels = label_strings(table, &self.label)?;
         let mut y = Vec::with_capacity(labels.len());

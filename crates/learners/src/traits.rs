@@ -23,6 +23,8 @@ pub trait Model: Send + Sync {
 
     /// Predicts labels for a batch of rows.
     fn predict_batch(&self, x: &crate::Matrix) -> Vec<usize> {
+        let mut span = nde_trace::span("learners.predict_batch");
+        span.field("rows", x.nrows());
         (0..x.nrows()).map(|i| self.predict(x.row(i))).collect()
     }
 }

@@ -17,9 +17,21 @@
 //!
 //! Worker count comes from [`num_threads`]: the `NDE_THREADS` environment
 //! variable when set, else `std::thread::available_parallelism()`.
+//!
+//! # Observability
+//!
+//! When tracing is on (`NDE_TRACE=human|json`, see the `nde-trace` crate
+//! and `docs/OBSERVABILITY.md`), every multi-worker fan-out records its
+//! per-worker busy time into the `parallel.worker_busy_us` histogram, the
+//! max/mean busy ratio of the most recent fan-out into the
+//! `parallel.imbalance` gauge, and bumps the `parallel.fan_outs` counter.
+//! [`NeighborCache`] counts cold builds (`neighbor_cache.miss`) and
+//! incremental repairs (`neighbor_cache.repair`). All instrumentation is
+//! observational: results are bit-identical with tracing on or off.
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 mod neighbor_cache;
 
@@ -94,9 +106,13 @@ where
             .collect();
     }
 
+    // Per-worker busy time is only measured when tracing is on; the off
+    // path takes no clock readings at all.
+    let trace_on = nde_trace::enabled();
     let next = AtomicUsize::new(0);
     let mut slots: Vec<Option<R>> = Vec::with_capacity(n_chunks);
     slots.resize_with(n_chunks, || None);
+    let mut busy: Vec<Duration> = Vec::with_capacity(workers);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
@@ -104,27 +120,61 @@ where
                 let f = &f;
                 scope.spawn(move || {
                     let mut produced = Vec::new();
+                    let mut worker_busy = Duration::ZERO;
                     loop {
                         let c = next.fetch_add(1, Ordering::Relaxed);
                         if c >= n_chunks {
                             break;
                         }
-                        produced.push((c, f(chunk_range(c, chunk_len, len))));
+                        if trace_on {
+                            let t0 = Instant::now();
+                            produced.push((c, f(chunk_range(c, chunk_len, len))));
+                            worker_busy += t0.elapsed();
+                        } else {
+                            produced.push((c, f(chunk_range(c, chunk_len, len))));
+                        }
                     }
-                    produced
+                    (produced, worker_busy)
                 })
             })
             .collect();
         for handle in handles {
-            for (c, r) in handle.join().expect("parallel worker panicked") {
+            let (produced, worker_busy) = handle.join().expect("parallel worker panicked");
+            for (c, r) in produced {
                 slots[c] = Some(r);
             }
+            busy.push(worker_busy);
         }
     });
+    if trace_on {
+        record_fan_out(&busy, n_chunks);
+    }
     slots
         .into_iter()
         .map(|s| s.expect("every chunk is claimed exactly once"))
         .collect()
+}
+
+/// Folds one fan-out's per-worker busy times into the trace layer:
+/// `parallel.worker_busy_us` (histogram), `parallel.imbalance` (gauge,
+/// max/mean busy ratio — 1.0 is a perfectly balanced fan-out), and the
+/// `parallel.fan_outs` counter. Only called when tracing is enabled.
+fn record_fan_out(busy: &[Duration], n_chunks: usize) {
+    let histogram = nde_trace::histogram("parallel.worker_busy_us");
+    let mut max_us = 0u64;
+    let mut sum_us = 0u64;
+    for b in busy {
+        let us = b.as_micros() as u64;
+        histogram.record(us);
+        max_us = max_us.max(us);
+        sum_us += us;
+    }
+    if !busy.is_empty() && sum_us > 0 {
+        let mean = sum_us as f64 / busy.len() as f64;
+        nde_trace::gauge("parallel.imbalance").set(max_us as f64 / mean);
+    }
+    nde_trace::counter("parallel.fan_outs").incr();
+    nde_trace::counter("parallel.chunks").add(n_chunks as u64);
 }
 
 /// Fused map + ordered fold: chunk results from [`par_map_chunks`] are
@@ -184,22 +234,35 @@ where
     // Static round-robin assignment of chunk slices to workers. Each item
     // is touched by exactly one worker, so this is deterministic no matter
     // how the threads interleave.
+    let trace_on = nde_trace::enabled();
     let mut per_worker: Vec<Vec<(usize, &mut [T])>> = (0..workers).map(|_| Vec::new()).collect();
     for (c, slice) in items.chunks_mut(chunk_len).enumerate() {
         per_worker[c % workers].push((c * chunk_len, slice));
     }
+    let mut busy: Vec<Duration> = Vec::with_capacity(workers);
     std::thread::scope(|scope| {
-        for assignment in per_worker {
-            let f = &f;
-            scope.spawn(move || {
-                for (base, slice) in assignment {
-                    for (offset, item) in slice.iter_mut().enumerate() {
-                        f(base + offset, item);
+        let handles: Vec<_> = per_worker
+            .into_iter()
+            .map(|assignment| {
+                let f = &f;
+                scope.spawn(move || {
+                    let start = trace_on.then(Instant::now);
+                    for (base, slice) in assignment {
+                        for (offset, item) in slice.iter_mut().enumerate() {
+                            f(base + offset, item);
+                        }
                     }
-                }
-            });
+                    start.map_or(Duration::ZERO, |t0| t0.elapsed())
+                })
+            })
+            .collect();
+        for handle in handles {
+            busy.push(handle.join().expect("parallel worker panicked"));
         }
     });
+    if trace_on {
+        record_fan_out(&busy, n_chunks);
+    }
 }
 
 #[cfg(test)]

@@ -41,6 +41,12 @@ impl NeighborCache {
             n_train <= u32::MAX as usize,
             "training set too large for u32 indices"
         );
+        // A cold build is the "miss" side of the warm-path economics the
+        // cached importance estimators report as `neighbor_cache.hit`.
+        nde_trace::counter("neighbor_cache.miss").incr();
+        let mut span = nde_trace::span("neighbor_cache.build");
+        span.field("n_train", n_train);
+        span.field("n_valid", n_valid);
         let lists: Vec<Vec<(f64, u32)>> = par_map_chunks(n_valid, Self::CHUNK, |range| {
             range
                 .map(|v| {
@@ -88,6 +94,7 @@ impl NeighborCache {
             "row {row} out of range (n_train = {})",
             self.n_train
         );
+        nde_trace::counter("neighbor_cache.repair").incr();
         let row32 = row as u32;
         par_for_each_mut(&mut self.lists, Self::CHUNK, |v, list| {
             let old = list

@@ -1,0 +1,43 @@
+//! Pins that nde-trace counters are atomic under the deterministic
+//! fan-out primitives: concurrent workers bumping one shared counter must
+//! lose no increments, and fan-out telemetry must appear once enabled.
+
+use nde_parallel::{par_for_each_mut, par_map_chunks_with};
+
+#[test]
+fn counter_is_atomic_under_par_for_each_mut() {
+    // This test binary is its own process; the sink override is local.
+    nde_trace::configure(nde_trace::Sink::Human, None);
+    nde_trace::reset();
+    std::env::set_var("NDE_THREADS", "8");
+
+    let hits = nde_trace::counter("test.parallel_hits");
+    let mut items: Vec<u64> = vec![0; 10_000];
+    par_for_each_mut(&mut items, 16, |i, item| {
+        *item = i as u64;
+        hits.incr();
+    });
+    assert_eq!(
+        hits.value(),
+        10_000,
+        "atomic counter must not lose increments across workers"
+    );
+    assert!(items.iter().enumerate().all(|(i, &v)| v == i as u64));
+
+    // The fan-out recorded its per-worker telemetry.
+    assert!(nde_trace::counter_value("parallel.fan_outs") >= 1);
+    let busy = nde_trace::histogram("parallel.worker_busy_us").snapshot();
+    assert!(busy.count >= 1, "worker busy histogram must be populated");
+
+    // Counting from inside par_map_chunks_with workers is equally safe.
+    let chunk_hits = nde_trace::counter("test.chunk_hits");
+    let out = par_map_chunks_with(8, 1000, 7, |range| {
+        chunk_hits.add(range.len() as u64);
+        range.len()
+    });
+    assert_eq!(out.iter().sum::<usize>(), 1000);
+    assert_eq!(chunk_hits.value(), 1000);
+
+    std::env::remove_var("NDE_THREADS");
+    nde_trace::configure(nde_trace::Sink::Off, None);
+}

@@ -53,7 +53,12 @@ pub(crate) type Observer<'o> = &'o mut dyn FnMut(&Node, &Table);
 impl Plan {
     /// Executes the plan over `sources` without provenance bookkeeping.
     pub fn run(&self, sources: &Sources) -> Result<Table> {
-        eval_plain(&self.node, sources)
+        let mut span = nde_trace::span("pipeline.run");
+        let out = eval_plain(&self.node, sources);
+        if let Ok(table) = &out {
+            span.field("rows_out", table.num_rows());
+        }
+        out
     }
 
     /// Executes the plan, annotating every output row with its provenance.
@@ -67,13 +72,31 @@ impl Plan {
         sources: &Sources,
         observer: Observer<'_>,
     ) -> Result<TracedTable> {
+        let mut span = nde_trace::span("pipeline.run_traced");
         let mut source_names = Vec::new();
         let (table, lineage) = eval(&self.node, sources, &mut source_names, observer)?;
+        span.field("rows_out", table.num_rows());
+        span.field("sources", source_names.len());
         Ok(TracedTable {
             table,
             lineage,
             source_names,
         })
+    }
+}
+
+/// The span name for a plan operator (static dotted path; the dynamic
+/// operator description goes in the span's `op` field).
+fn op_span_name(node: &Node) -> &'static str {
+    match node {
+        Node::Source { .. } => "pipeline.source",
+        Node::Join { .. } => "pipeline.join",
+        Node::FuzzyJoin { .. } => "pipeline.fuzzy_join",
+        Node::Filter { .. } => "pipeline.filter",
+        Node::WithColumn { .. } => "pipeline.with_column",
+        Node::Project { .. } => "pipeline.project",
+        Node::DropNulls { .. } => "pipeline.drop_nulls",
+        Node::Concat { .. } => "pipeline.concat",
     }
 }
 
@@ -165,6 +188,12 @@ fn eval(
     source_names: &mut Vec<String>,
     observer: Observer<'_>,
 ) -> Result<(Table, Vec<Monomial>)> {
+    // Opened before child evaluation, so operator spans nest into the plan
+    // tree. All field computation is gated on the span being live.
+    let mut span = nde_trace::span(op_span_name(node));
+    if span.is_active() {
+        span.field("op", node.label());
+    }
     let result = match node {
         Node::Source { name } => {
             let table = sources
@@ -254,6 +283,11 @@ fn eval(
             (out, lineage)
         }
     };
+    if span.is_active() {
+        span.field("rows_out", result.0.num_rows());
+        let lineage_tokens: usize = result.1.iter().map(|m| m.tokens().len()).sum();
+        span.field("lineage_tokens", lineage_tokens);
+    }
     observer(node, &result.0);
     Ok(result)
 }

@@ -1,0 +1,372 @@
+//! Minimal JSON utilities for the JSON-lines sink: escaping/number
+//! rendering on the write side, and a small recursive-descent parser so
+//! emitted trajectories can be read back (tests, perf tooling) without
+//! external crates.
+
+/// Appends `s` to `out` with JSON string escaping (quotes, backslashes,
+/// control characters).
+pub fn escape_into(out: &mut String, s: &str) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Appends `v` to `out` as a JSON number; non-finite values render as
+/// `null` (JSON has no NaN/Infinity).
+pub fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null` (also what non-finite numbers were written as).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, in source order (keys are not deduplicated).
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Member lookup on an object (first match); `None` otherwise.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as `u64`, if this is a non-negative integral
+    /// number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Number(v) if *v >= 0.0 && v.fract() == 0.0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// A parse failure: byte offset and a short message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input where parsing failed.
+    pub pos: usize,
+    /// What was expected or found.
+    pub msg: &'static str,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses one complete JSON value from `input` (surrounding whitespace
+/// allowed, trailing garbage rejected). Supports the full JSON grammar
+/// minus `\uXXXX` surrogate pairs outside the BMP.
+pub fn parse(input: &str) -> Result<JsonValue, ParseError> {
+    let bytes = input.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(ParseError {
+            pos,
+            msg: "trailing characters after value",
+        });
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, byte: u8, msg: &'static str) -> Result<(), ParseError> {
+    if *pos < bytes.len() && bytes[*pos] == byte {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(ParseError { pos: *pos, msg })
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, ParseError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(ParseError {
+            pos: *pos,
+            msg: "unexpected end of input",
+        }),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(JsonValue::String(parse_string(bytes, pos)?)),
+        Some(b't') => parse_keyword(bytes, pos, b"true", JsonValue::Bool(true)),
+        Some(b'f') => parse_keyword(bytes, pos, b"false", JsonValue::Bool(false)),
+        Some(b'n') => parse_keyword(bytes, pos, b"null", JsonValue::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_keyword(
+    bytes: &[u8],
+    pos: &mut usize,
+    word: &[u8],
+    value: JsonValue,
+) -> Result<JsonValue, ParseError> {
+    if bytes[*pos..].starts_with(word) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(ParseError {
+            pos: *pos,
+            msg: "invalid keyword",
+        })
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, ParseError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|_| ParseError {
+        pos: start,
+        msg: "invalid number bytes",
+    })?;
+    text.parse::<f64>()
+        .map(JsonValue::Number)
+        .map_err(|_| ParseError {
+            pos: start,
+            msg: "invalid number",
+        })
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, ParseError> {
+    expect(bytes, pos, b'"', "expected '\"'")?;
+    let mut out = String::new();
+    loop {
+        let Some(&b) = bytes.get(*pos) else {
+            return Err(ParseError {
+                pos: *pos,
+                msg: "unterminated string",
+            });
+        };
+        *pos += 1;
+        match b {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let Some(&esc) = bytes.get(*pos) else {
+                    return Err(ParseError {
+                        pos: *pos,
+                        msg: "unterminated escape",
+                    });
+                };
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hex = bytes.get(*pos..*pos + 4).ok_or(ParseError {
+                            pos: *pos,
+                            msg: "truncated \\u escape",
+                        })?;
+                        let hex = std::str::from_utf8(hex).map_err(|_| ParseError {
+                            pos: *pos,
+                            msg: "invalid \\u escape",
+                        })?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|_| ParseError {
+                            pos: *pos,
+                            msg: "invalid \\u escape",
+                        })?;
+                        *pos += 4;
+                        out.push(char::from_u32(code).ok_or(ParseError {
+                            pos: *pos,
+                            msg: "non-BMP \\u escape unsupported",
+                        })?);
+                    }
+                    _ => {
+                        return Err(ParseError {
+                            pos: *pos - 1,
+                            msg: "unknown escape",
+                        })
+                    }
+                }
+            }
+            _ => {
+                // Re-read the full UTF-8 scalar starting at b.
+                let start = *pos - 1;
+                let s = std::str::from_utf8(&bytes[start..]).map_err(|_| ParseError {
+                    pos: start,
+                    msg: "invalid UTF-8",
+                })?;
+                let ch = s.chars().next().expect("non-empty by construction");
+                out.push(ch);
+                *pos = start + ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, ParseError> {
+    expect(bytes, pos, b'[', "expected '['")?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(JsonValue::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => {
+                *pos += 1;
+            }
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JsonValue::Array(items));
+            }
+            _ => {
+                return Err(ParseError {
+                    pos: *pos,
+                    msg: "expected ',' or ']'",
+                })
+            }
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, ParseError> {
+    expect(bytes, pos, b'{', "expected '{'")?;
+    let mut members = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(JsonValue::Object(members));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':', "expected ':'")?;
+        let value = parse_value(bytes, pos)?;
+        members.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => {
+                *pos += 1;
+            }
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JsonValue::Object(members));
+            }
+            _ => {
+                return Err(ParseError {
+                    pos: *pos,
+                    msg: "expected ',' or '}'",
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_round_trips() {
+        let nasty = "quote\" back\\slash\nnew\ttab \u{1} é 日本";
+        let mut line = String::from("{\"s\":\"");
+        escape_into(&mut line, nasty);
+        line.push_str("\"}");
+        let parsed = parse(&line).unwrap();
+        assert_eq!(parsed.get("s").unwrap().as_str().unwrap(), nasty);
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = parse(r#"{"a":[1,2.5,-3e2,null,true],"b":{"c":"d"},"e":false}"#).unwrap();
+        let a = match v.get("a").unwrap() {
+            JsonValue::Array(items) => items,
+            other => panic!("not an array: {other:?}"),
+        };
+        assert_eq!(a[0].as_u64(), Some(1));
+        assert_eq!(a[1].as_f64(), Some(2.5));
+        assert_eq!(a[2].as_f64(), Some(-300.0));
+        assert_eq!(a[3], JsonValue::Null);
+        assert_eq!(a[4], JsonValue::Bool(true));
+        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_str(), Some("d"));
+        assert_eq!(v.get("e").unwrap(), &JsonValue::Bool(false));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{} extra").is_err());
+        assert!(parse("nul").is_err());
+        assert!(parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn non_finite_numbers_write_null() {
+        let mut s = String::new();
+        write_f64(&mut s, f64::NAN);
+        assert_eq!(s, "null");
+        let mut s = String::new();
+        write_f64(&mut s, 1.25);
+        assert_eq!(s, "1.25");
+    }
+}

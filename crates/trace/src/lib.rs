@@ -1,0 +1,60 @@
+#![deny(missing_docs)]
+//! Structured tracing & metrics for the navigating-data-errors workspace.
+//!
+//! The instrumentation layer the hot paths (pipeline operators, KNN-Shapley
+//! re-scoring, the parallel fan-out) report into, replacing ad-hoc
+//! `println!` timing. Three primitives, all std-only (no registry access,
+//! matching the `compat/` offline-build constraint):
+//!
+//! 1. **Spans** ([`span`]): RAII-scoped wall-clock timers that nest — each
+//!    thread keeps a depth counter, so a span opened inside another span
+//!    reports as its child. Spans carry typed key→value fields
+//!    (rows in/out, `k`, cache sizes, …) attached with [`Span::field`].
+//! 2. **Metrics** ([`counter`], [`gauge`], [`histogram`]): named,
+//!    process-global, lock-free on the hot path (handles wrap an
+//!    `Arc<AtomicU64>`), safe to bump from inside
+//!    `nde_parallel::par_for_each_mut` workers.
+//! 3. **Sinks** ([`Sink`]): where records go, selected once per process by
+//!    the `NDE_TRACE` environment variable —
+//!    * `off` (default): nothing is recorded. The only residual cost is one
+//!      relaxed atomic load per instrumentation site.
+//!    * `human`: an indented span tree on stderr as spans close, plus a
+//!      summary table from [`report`].
+//!    * `json`: JSON-lines records appended to `NDE_TRACE_FILE` (default
+//!      `nde_trace.jsonl`), machine-readable with [`json::parse`].
+//!
+//! Tracing is strictly observational: enabling any sink never changes a
+//! computed result, only what gets reported about it.
+//!
+//! # Example
+//!
+//! ```
+//! use nde_trace as trace;
+//!
+//! // Programmatic override of the NDE_TRACE env var (tests, embedding).
+//! trace::configure(trace::Sink::Human, None);
+//!
+//! let mut span = trace::span("example.outer");
+//! span.field("rows", 128usize);
+//! {
+//!     let inner = trace::span("example.inner");
+//!     trace::counter("example.hits").incr();
+//!     let _ = inner.close();
+//! }
+//! let elapsed = span.close();
+//! assert!(elapsed >= std::time::Duration::ZERO);
+//! trace::report(); // summary table on stderr
+//! # trace::reset();
+//! # trace::configure(trace::Sink::Off, None);
+//! ```
+
+pub mod json;
+mod metrics;
+mod sink;
+mod span;
+
+pub use metrics::{
+    counter, counter_value, gauge, histogram, Counter, Gauge, Histogram, HistogramSnapshot,
+};
+pub use sink::{active_sink, configure, enabled, flush, report, reset, Sink};
+pub use span::{span, span_stats, FieldValue, Span};

@@ -1,0 +1,290 @@
+//! Named process-global metrics: counters, gauges, and log₂ histograms.
+//!
+//! Handles are looked up (or created) once under a registry lock and then
+//! update lock-free through `Arc<AtomicU64>`, so they are safe — and cheap
+//! — to bump from inside parallel workers. All updates are gated on
+//! [`crate::enabled`]: with tracing off, nothing accumulates.
+
+use crate::sink::enabled;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Bucket count for [`Histogram`]: bucket 0 holds zeros, bucket `i ≥ 1`
+/// holds values in `[2^(i-1), 2^i)`.
+const HISTO_BUCKETS: usize = 65;
+
+struct HistoCells {
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; HISTO_BUCKETS],
+}
+
+impl HistoCells {
+    fn new() -> Self {
+        HistoCells {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: HashMap<String, Arc<AtomicU64>>,
+    gauges: HashMap<String, Arc<AtomicU64>>,
+    histograms: HashMap<String, Arc<HistoCells>>,
+}
+
+static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+
+fn registry() -> &'static Mutex<Registry> {
+    REGISTRY.get_or_init(|| Mutex::new(Registry::default()))
+}
+
+/// A monotonically increasing named metric. Cloneable; all handles with
+/// the same name share one atomic cell.
+#[derive(Clone)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+/// Looks up (creating on first use) the counter named `name`. The lookup
+/// takes the registry lock once; keep the returned handle when counting
+/// inside a hot loop.
+pub fn counter(name: &str) -> Counter {
+    let mut reg = registry().lock().expect("metric registry lock");
+    let cell = reg
+        .counters
+        .entry(name.to_owned())
+        .or_insert_with(|| Arc::new(AtomicU64::new(0)))
+        .clone();
+    Counter { cell }
+}
+
+impl Counter {
+    /// Adds 1 (no-op while tracing is off).
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` (no-op while tracing is off). Lock-free: a single relaxed
+    /// `fetch_add`, safe from any thread.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if enabled() {
+            self.cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// The current accumulated value.
+    pub fn value(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// Reads the current value of counter `name` without keeping a handle
+/// (0 when the counter was never touched).
+pub fn counter_value(name: &str) -> u64 {
+    counter(name).value()
+}
+
+/// A named last-write-wins floating-point metric (e.g. an imbalance
+/// ratio). Cloneable; handles with the same name share one cell.
+#[derive(Clone)]
+pub struct Gauge {
+    cell: Arc<AtomicU64>,
+}
+
+/// Looks up (creating on first use) the gauge named `name`.
+pub fn gauge(name: &str) -> Gauge {
+    let mut reg = registry().lock().expect("metric registry lock");
+    let cell = reg
+        .gauges
+        .entry(name.to_owned())
+        .or_insert_with(|| Arc::new(AtomicU64::new(0.0f64.to_bits())))
+        .clone();
+    Gauge { cell }
+}
+
+impl Gauge {
+    /// Stores `value` (no-op while tracing is off).
+    #[inline]
+    pub fn set(&self, value: f64) {
+        if enabled() {
+            self.cell.store(value.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// The most recently stored value (0.0 if never set).
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.cell.load(Ordering::Relaxed))
+    }
+}
+
+/// A named log₂-bucketed histogram of `u64` samples (typically
+/// microseconds). Records count, sum, max, and per-power-of-two bucket
+/// counts, all atomically.
+#[derive(Clone)]
+pub struct Histogram {
+    cells: Arc<HistoCells>,
+}
+
+/// Looks up (creating on first use) the histogram named `name`.
+pub fn histogram(name: &str) -> Histogram {
+    let mut reg = registry().lock().expect("metric registry lock");
+    let cells = reg
+        .histograms
+        .entry(name.to_owned())
+        .or_insert_with(|| Arc::new(HistoCells::new()))
+        .clone();
+    Histogram { cells }
+}
+
+/// The bucket index for sample `value`: 0 for 0, else `⌊log₂ value⌋ + 1`.
+fn bucket_index(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// The inclusive lower bound of bucket `index`.
+fn bucket_lo(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else {
+        1u64 << (index - 1)
+    }
+}
+
+impl Histogram {
+    /// Records one sample (no-op while tracing is off). Lock-free.
+    pub fn record(&self, value: u64) {
+        if !enabled() {
+            return;
+        }
+        self.cells.count.fetch_add(1, Ordering::Relaxed);
+        self.cells.sum.fetch_add(value, Ordering::Relaxed);
+        self.cells.max.fetch_max(value, Ordering::Relaxed);
+        self.cells.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough snapshot of the current state (individual cells
+    /// are read relaxed; exact consistency across cells is not needed for
+    /// reporting).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.cells.count.load(Ordering::Relaxed),
+            sum: self.cells.sum.load(Ordering::Relaxed),
+            max: self.cells.max.load(Ordering::Relaxed),
+            buckets: std::array::from_fn(|i| self.cells.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`]'s cells.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Largest sample seen.
+    pub max: u64,
+    /// Per-bucket counts; see [`HistogramSnapshot::nonzero_buckets`] for
+    /// the bucket → value-range mapping.
+    pub buckets: [u64; HISTO_BUCKETS],
+}
+
+impl HistogramSnapshot {
+    /// `(bucket lower bound, count)` pairs for every non-empty bucket,
+    /// in ascending value order. Bucket 0 covers exactly the value 0;
+    /// bucket with lower bound `2^k` covers `[2^k, 2^(k+1))`.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_lo(i), c))
+            .collect()
+    }
+}
+
+/// Sorted `(name, value)` counter snapshot for [`crate::report`].
+pub(crate) fn counters_snapshot() -> Vec<(String, u64)> {
+    let reg = registry().lock().expect("metric registry lock");
+    let mut out: Vec<(String, u64)> = reg
+        .counters
+        .iter()
+        .map(|(name, cell)| (name.clone(), cell.load(Ordering::Relaxed)))
+        .collect();
+    out.sort();
+    out
+}
+
+/// Sorted `(name, value)` gauge snapshot for [`crate::report`].
+pub(crate) fn gauges_snapshot() -> Vec<(String, f64)> {
+    let reg = registry().lock().expect("metric registry lock");
+    let mut out: Vec<(String, f64)> = reg
+        .gauges
+        .iter()
+        .map(|(name, cell)| (name.clone(), f64::from_bits(cell.load(Ordering::Relaxed))))
+        .collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+/// Sorted `(name, snapshot)` histogram snapshot for [`crate::report`].
+pub(crate) fn histograms_snapshot() -> Vec<(String, HistogramSnapshot)> {
+    let reg = registry().lock().expect("metric registry lock");
+    let mut out: Vec<(String, HistogramSnapshot)> = reg
+        .histograms
+        .iter()
+        .map(|(name, cells)| {
+            (
+                name.clone(),
+                Histogram {
+                    cells: cells.clone(),
+                }
+                .snapshot(),
+            )
+        })
+        .collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+pub(crate) fn reset_metrics() {
+    let mut reg = registry().lock().expect("metric registry lock");
+    reg.counters.clear();
+    reg.gauges.clear();
+    reg.histograms.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_and_bounds() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_lo(0), 0);
+        assert_eq!(bucket_lo(1), 1);
+        assert_eq!(bucket_lo(2), 2);
+        assert_eq!(bucket_lo(3), 4);
+        for v in [0u64, 1, 5, 1023, 1024, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(bucket_lo(i) <= v);
+            if i < HISTO_BUCKETS - 1 {
+                assert!(v < bucket_lo(i + 1).max(1));
+            }
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Sink selection (`NDE_TRACE`), the JSON-lines writer, and [`report`].
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Where trace records are emitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sink {
+    /// Nothing is recorded (the default). Instrumentation sites cost one
+    /// relaxed atomic load each.
+    Off,
+    /// Indented span tree + summary tables on stderr.
+    Human,
+    /// JSON-lines records appended to `NDE_TRACE_FILE`
+    /// (default `nde_trace.jsonl`).
+    Json,
+}
+
+const SINK_UNINIT: u8 = u8::MAX;
+static SINK: AtomicU8 = AtomicU8::new(SINK_UNINIT);
+
+/// Explicit JSON output path set by [`configure`]; when `None` the
+/// `NDE_TRACE_FILE` env var (or its default) decides.
+static JSON_PATH: Mutex<Option<PathBuf>> = Mutex::new(None);
+/// Lazily opened JSON-lines writer.
+static JSON_OUT: Mutex<Option<BufWriter<File>>> = Mutex::new(None);
+/// Process-relative clock origin for span `start_us` timestamps.
+static ORIGIN: Mutex<Option<Instant>> = Mutex::new(None);
+
+fn sink_from_env() -> Sink {
+    match std::env::var("NDE_TRACE") {
+        Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+            "human" => Sink::Human,
+            "json" => Sink::Json,
+            "" | "off" | "0" => Sink::Off,
+            other => {
+                eprintln!("nde-trace: unknown NDE_TRACE value {other:?}; tracing stays off");
+                Sink::Off
+            }
+        },
+        Err(_) => Sink::Off,
+    }
+}
+
+/// The sink selected for this process: the value passed to [`configure`],
+/// else `NDE_TRACE` read once on first use, else [`Sink::Off`].
+pub fn active_sink() -> Sink {
+    match SINK.load(Ordering::Relaxed) {
+        SINK_UNINIT => {
+            let sink = sink_from_env();
+            // A concurrent first call may race configure(); storing the
+            // env-derived value twice is benign, configure wins last.
+            SINK.store(sink as u8, Ordering::Relaxed);
+            sink
+        }
+        0 => Sink::Off,
+        1 => Sink::Human,
+        _ => Sink::Json,
+    }
+}
+
+/// `true` when any sink other than [`Sink::Off`] is active. This is the
+/// zero-overhead gate every instrumentation site checks first: one relaxed
+/// atomic load and a branch.
+#[inline]
+pub fn enabled() -> bool {
+    active_sink() != Sink::Off
+}
+
+/// Programmatically selects the sink, overriding `NDE_TRACE`. For
+/// [`Sink::Json`], `json_path` fixes the output file (otherwise
+/// `NDE_TRACE_FILE`, default `nde_trace.jsonl`). Any previously opened
+/// JSON writer is flushed and closed so the next record opens the new
+/// path. Intended for tests and for programs embedding the workspace.
+pub fn configure(sink: Sink, json_path: Option<&Path>) {
+    {
+        let mut path = JSON_PATH.lock().expect("trace path lock");
+        *path = json_path.map(Path::to_path_buf);
+    }
+    {
+        let mut out = JSON_OUT.lock().expect("trace writer lock");
+        if let Some(writer) = out.as_mut() {
+            let _ = writer.flush();
+        }
+        *out = None;
+    }
+    SINK.store(sink as u8, Ordering::Relaxed);
+}
+
+/// Microseconds elapsed since the process first touched the trace layer —
+/// the `start_us` timestamp base for span records.
+pub(crate) fn since_origin_us() -> u64 {
+    let mut origin = ORIGIN.lock().expect("trace origin lock");
+    let instant = *origin.get_or_insert_with(Instant::now);
+    instant.elapsed().as_micros() as u64
+}
+
+fn json_file_path() -> PathBuf {
+    if let Some(path) = JSON_PATH.lock().expect("trace path lock").clone() {
+        return path;
+    }
+    std::env::var("NDE_TRACE_FILE")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("nde_trace.jsonl"))
+}
+
+/// Appends one pre-rendered JSON object as a line to the JSON sink.
+pub(crate) fn write_json_line(line: &str) {
+    let mut out = JSON_OUT.lock().expect("trace writer lock");
+    if out.is_none() {
+        let path = json_file_path();
+        match OpenOptions::new().create(true).append(true).open(&path) {
+            Ok(file) => *out = Some(BufWriter::new(file)),
+            Err(err) => {
+                eprintln!("nde-trace: cannot open {}: {err}", path.display());
+                return;
+            }
+        }
+    }
+    if let Some(writer) = out.as_mut() {
+        let _ = writer.write_all(line.as_bytes());
+        let _ = writer.write_all(b"\n");
+    }
+}
+
+/// Flushes the JSON-lines writer (no-op for the other sinks). [`report`]
+/// flushes implicitly; call this directly when tailing the file live.
+pub fn flush() {
+    if let Some(writer) = JSON_OUT.lock().expect("trace writer lock").as_mut() {
+        let _ = writer.flush();
+    }
+}
+
+/// Emits a summary of everything accumulated so far — every counter,
+/// gauge, histogram, and per-name span aggregate — to the active sink,
+/// then flushes. With [`Sink::Human`] this is a stderr table; with
+/// [`Sink::Json`] one JSON-lines record per metric. Does nothing (and
+/// writes nothing) when tracing is off. Metrics are *not* cleared, so
+/// calling it twice reports cumulative totals both times.
+pub fn report() {
+    match active_sink() {
+        Sink::Off => {}
+        Sink::Human => report_human(),
+        Sink::Json => report_json(),
+    }
+}
+
+fn report_human() {
+    let counters = crate::metrics::counters_snapshot();
+    let gauges = crate::metrics::gauges_snapshot();
+    let histograms = crate::metrics::histograms_snapshot();
+    let spans = crate::span::span_stats_snapshot();
+    eprintln!("── nde-trace report ──");
+    if !spans.is_empty() {
+        eprintln!("spans (name, count, total):");
+        for (name, count, total_us) in &spans {
+            eprintln!("  {name:<42} {count:>8} {:>12.3}ms", *total_us as f64 / 1e3);
+        }
+    }
+    if !counters.is_empty() {
+        eprintln!("counters:");
+        for (name, value) in &counters {
+            eprintln!("  {name:<42} {value:>8}");
+        }
+    }
+    if !gauges.is_empty() {
+        eprintln!("gauges:");
+        for (name, value) in &gauges {
+            eprintln!("  {name:<42} {value:>12.4}");
+        }
+    }
+    if !histograms.is_empty() {
+        eprintln!("histograms (name, count, mean, max):");
+        for (name, snap) in &histograms {
+            let mean = if snap.count > 0 {
+                snap.sum as f64 / snap.count as f64
+            } else {
+                0.0
+            };
+            eprintln!(
+                "  {name:<42} {:>8} {mean:>12.1} {:>10}",
+                snap.count, snap.max
+            );
+        }
+    }
+    flush();
+}
+
+fn report_json() {
+    use crate::json::escape_into;
+    for (name, value) in crate::metrics::counters_snapshot() {
+        let mut line = String::from("{\"type\":\"counter\",\"name\":\"");
+        escape_into(&mut line, &name);
+        line.push_str(&format!("\",\"value\":{value}}}"));
+        write_json_line(&line);
+    }
+    for (name, value) in crate::metrics::gauges_snapshot() {
+        let mut line = String::from("{\"type\":\"gauge\",\"name\":\"");
+        escape_into(&mut line, &name);
+        line.push_str("\",\"value\":");
+        crate::json::write_f64(&mut line, value);
+        line.push('}');
+        write_json_line(&line);
+    }
+    for (name, snap) in crate::metrics::histograms_snapshot() {
+        let mut line = String::from("{\"type\":\"histogram\",\"name\":\"");
+        escape_into(&mut line, &name);
+        line.push_str(&format!(
+            "\",\"count\":{},\"sum\":{},\"max\":{},\"buckets\":[",
+            snap.count, snap.sum, snap.max
+        ));
+        // Render as (bucket lower bound, count) pairs for non-empty buckets.
+        let mut first = true;
+        for (lo, count) in snap.nonzero_buckets() {
+            if !first {
+                line.push(',');
+            }
+            first = false;
+            line.push_str(&format!("[{lo},{count}]"));
+        }
+        line.push_str("]}");
+        write_json_line(&line);
+    }
+    for (name, count, total_us) in crate::span::span_stats_snapshot() {
+        let mut line = String::from("{\"type\":\"span_stats\",\"name\":\"");
+        escape_into(&mut line, &name);
+        line.push_str(&format!("\",\"count\":{count},\"total_us\":{total_us}}}"));
+        write_json_line(&line);
+    }
+    flush();
+}
+
+/// Clears every accumulated counter, gauge, histogram, and span aggregate
+/// (the sink selection is untouched). Intended for tests that assert on
+/// metric values in a shared process.
+pub fn reset() {
+    crate::metrics::reset_metrics();
+    crate::span::reset_span_stats();
+}

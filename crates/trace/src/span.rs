@@ -1,0 +1,250 @@
+//! Hierarchical RAII spans with typed fields and per-name aggregates.
+
+use crate::sink::{enabled, since_origin_us, write_json_line, Sink};
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+thread_local! {
+    /// Current span nesting depth on this thread.
+    static DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Per-name span aggregates: `name → (count, total microseconds)`.
+static SPAN_STATS: OnceLock<Mutex<HashMap<&'static str, (u64, u64)>>> = OnceLock::new();
+
+fn span_stats_map() -> &'static Mutex<HashMap<&'static str, (u64, u64)>> {
+    SPAN_STATS.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// A typed value attached to a span with [`Span::field`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// A signed integer (also the representation for `usize` counts).
+    Int(i64),
+    /// A floating-point value.
+    Float(f64),
+    /// A string (operator labels, strategy names, …).
+    Str(String),
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::Int(v)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::Int(v as i64)
+    }
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::Int(v as i64)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::Float(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_owned())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+impl std::fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FieldValue::Int(v) => write!(f, "{v}"),
+            FieldValue::Float(v) => write!(f, "{v}"),
+            FieldValue::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+struct SpanInner {
+    name: &'static str,
+    start: Instant,
+    start_us: u64,
+    depth: usize,
+    fields: Vec<(&'static str, FieldValue)>,
+}
+
+/// An in-flight timed scope, created by [`span`]. Dropping it (or calling
+/// [`Span::close`]) records the elapsed wall-clock time, folds it into the
+/// per-name aggregate reported by [`crate::report`], and emits one record
+/// to the active sink. When tracing is off the span is inert: no clock is
+/// read, no fields are stored, and [`Span::close`] returns
+/// [`Duration::ZERO`].
+#[must_use = "a span measures the scope it lives in; bind it to a variable"]
+pub struct Span {
+    inner: Option<SpanInner>,
+}
+
+/// Opens a span named `name` at the current thread's nesting depth. The
+/// returned guard times the scope until it is dropped or explicitly
+/// [`Span::close`]d. Span names should be static dotted paths
+/// (`"pipeline.join"`, `"importance.knn_shapley"`); per-call data belongs
+/// in [`Span::field`]s.
+pub fn span(name: &'static str) -> Span {
+    if !enabled() {
+        return Span { inner: None };
+    }
+    let depth = DEPTH.with(|d| {
+        let v = d.get();
+        d.set(v + 1);
+        v
+    });
+    Span {
+        inner: Some(SpanInner {
+            name,
+            start: Instant::now(),
+            start_us: since_origin_us(),
+            depth,
+            fields: Vec::new(),
+        }),
+    }
+}
+
+impl Span {
+    /// Attaches a key→value field to this span (no-op when tracing is
+    /// off). Keys should be static snake_case names; values accept
+    /// integers, floats, and strings via [`FieldValue`] conversions.
+    pub fn field(&mut self, key: &'static str, value: impl Into<FieldValue>) {
+        if let Some(inner) = self.inner.as_mut() {
+            inner.fields.push((key, value.into()));
+        }
+    }
+
+    /// This span's nesting depth on its thread (0 = root). Inert spans
+    /// (tracing off) report depth 0.
+    pub fn depth(&self) -> usize {
+        self.inner.as_ref().map_or(0, |i| i.depth)
+    }
+
+    /// `true` when this span is actually recording (tracing was enabled
+    /// when it was opened).
+    pub fn is_active(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Ends the span now and returns its elapsed wall-clock time
+    /// ([`Duration::ZERO`] when tracing is off). Equivalent to dropping
+    /// it, but lets callers reuse the measured duration.
+    pub fn close(mut self) -> Duration {
+        self.finish()
+    }
+
+    fn finish(&mut self) -> Duration {
+        let Some(inner) = self.inner.take() else {
+            return Duration::ZERO;
+        };
+        let elapsed = inner.start.elapsed();
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        let elapsed_us = elapsed.as_micros() as u64;
+        {
+            let mut stats = span_stats_map().lock().expect("span stats lock");
+            let entry = stats.entry(inner.name).or_insert((0, 0));
+            entry.0 += 1;
+            entry.1 += elapsed_us;
+        }
+        match crate::sink::active_sink() {
+            Sink::Off => {}
+            Sink::Human => emit_human(&inner, elapsed),
+            Sink::Json => emit_json(&inner, elapsed_us),
+        }
+        elapsed
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+fn emit_human(inner: &SpanInner, elapsed: Duration) {
+    let indent = "  ".repeat(inner.depth);
+    let mut line = format!(
+        "{indent}{} {:.3}ms",
+        inner.name,
+        elapsed.as_secs_f64() * 1e3
+    );
+    for (key, value) in &inner.fields {
+        line.push_str(&format!(" {key}={value}"));
+    }
+    eprintln!("{line}");
+}
+
+fn emit_json(inner: &SpanInner, elapsed_us: u64) {
+    use crate::json::{escape_into, write_f64};
+    let mut line = String::from("{\"type\":\"span\",\"name\":\"");
+    escape_into(&mut line, inner.name);
+    line.push_str(&format!(
+        "\",\"depth\":{},\"start_us\":{},\"dur_us\":{elapsed_us},\"thread\":\"",
+        inner.depth, inner.start_us
+    ));
+    let current = std::thread::current();
+    match current.name() {
+        Some(name) => escape_into(&mut line, name),
+        None => line.push_str(&format!("{:?}", current.id())),
+    }
+    line.push_str("\",\"fields\":{");
+    for (i, (key, value)) in inner.fields.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        line.push('"');
+        escape_into(&mut line, key);
+        line.push_str("\":");
+        match value {
+            FieldValue::Int(v) => line.push_str(&v.to_string()),
+            FieldValue::Float(v) => write_f64(&mut line, *v),
+            FieldValue::Str(v) => {
+                line.push('"');
+                escape_into(&mut line, v);
+                line.push('"');
+            }
+        }
+    }
+    line.push_str("}}");
+    write_json_line(&line);
+}
+
+/// The `(count, total)` aggregate recorded so far for span name `name`,
+/// or `None` if no span with that name has closed. The total is summed
+/// wall-clock time across all closes.
+pub fn span_stats(name: &str) -> Option<(u64, Duration)> {
+    let stats = span_stats_map().lock().expect("span stats lock");
+    stats
+        .get(name)
+        .map(|&(count, total_us)| (count, Duration::from_micros(total_us)))
+}
+
+/// Sorted `(name, count, total_us)` snapshot for [`crate::report`].
+pub(crate) fn span_stats_snapshot() -> Vec<(String, u64, u64)> {
+    let stats = span_stats_map().lock().expect("span stats lock");
+    let mut out: Vec<(String, u64, u64)> = stats
+        .iter()
+        .map(|(&name, &(count, total_us))| (name.to_owned(), count, total_us))
+        .collect();
+    out.sort();
+    out
+}
+
+pub(crate) fn reset_span_stats() {
+    span_stats_map().lock().expect("span stats lock").clear();
+}

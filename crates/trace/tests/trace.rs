@@ -1,0 +1,235 @@
+//! Integration tests for nde-trace. The sink and metric registry are
+//! process-global, so every test takes `guard()` first — they serialize on
+//! one mutex and each starts from a clean slate with tracing off.
+
+use nde_trace as trace;
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+fn guard() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    let guard = LOCK
+        .get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    trace::configure(trace::Sink::Off, None);
+    trace::reset();
+    guard
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!(
+        "nde_trace_test_{}_{name}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+fn busy_work(rounds: u64) -> u64 {
+    let mut acc = 0u64;
+    for i in 0..rounds {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+    }
+    std::hint::black_box(acc)
+}
+
+#[test]
+fn spans_nest_and_parent_duration_bounds_child() {
+    let _g = guard();
+    trace::configure(trace::Sink::Human, None);
+
+    let parent = trace::span("test.parent");
+    assert_eq!(parent.depth(), 0);
+    assert!(parent.is_active());
+
+    let child = trace::span("test.child");
+    assert_eq!(child.depth(), 1);
+    busy_work(50_000);
+    let grandchild = trace::span("test.grandchild");
+    assert_eq!(grandchild.depth(), 2);
+    let d_grand = grandchild.close();
+    let d_child = child.close();
+    let d_parent = parent.close();
+
+    // Timing monotonicity: a span fully encloses every span opened and
+    // closed inside it.
+    assert!(d_child >= d_grand, "{d_child:?} < {d_grand:?}");
+    assert!(d_parent >= d_child, "{d_parent:?} < {d_child:?}");
+
+    // Depth unwound fully: a fresh span is a root again.
+    let after = trace::span("test.after");
+    assert_eq!(after.depth(), 0);
+    drop(after);
+
+    // Aggregates recorded one close per name.
+    let (count, total) = trace::span_stats("test.parent").unwrap();
+    assert_eq!(count, 1);
+    assert!(total >= d_parent.saturating_sub(Duration::from_micros(1)));
+    assert_eq!(trace::span_stats("test.child").unwrap().0, 1);
+    assert!(trace::span_stats("test.nope").is_none());
+}
+
+#[test]
+fn off_sink_records_and_emits_nothing() {
+    let _g = guard();
+    let path = temp_path("off");
+    trace::configure(trace::Sink::Off, Some(&path));
+
+    let mut span = trace::span("test.off_span");
+    span.field("rows", 3usize);
+    assert!(!span.is_active());
+    assert_eq!(span.close(), Duration::ZERO);
+
+    let hits = trace::counter("test.off_counter");
+    hits.incr();
+    hits.add(41);
+    assert_eq!(hits.value(), 0, "counters must not accumulate while off");
+    trace::gauge("test.off_gauge").set(2.5);
+    assert_eq!(trace::gauge("test.off_gauge").value(), 0.0);
+    trace::histogram("test.off_histo").record(7);
+    assert_eq!(trace::histogram("test.off_histo").snapshot().count, 0);
+
+    assert!(trace::span_stats("test.off_span").is_none());
+    trace::report();
+    trace::flush();
+    assert!(
+        !path.exists(),
+        "NDE_TRACE=off must never create the JSON file"
+    );
+}
+
+#[test]
+fn json_sink_round_trips_through_the_parser() {
+    let _g = guard();
+    let path = temp_path("roundtrip");
+    trace::configure(trace::Sink::Json, Some(&path));
+
+    let mut outer = trace::span("test.outer");
+    outer.field("rows_in", 128usize);
+    outer.field("ratio", 0.75f64);
+    outer.field("label", "quo\"te\nline");
+    {
+        let _inner = trace::span("test.inner");
+        busy_work(10_000);
+    }
+    drop(outer);
+    trace::counter("test.hits").add(12);
+    trace::gauge("test.imbalance").set(1.5);
+    let histo = trace::histogram("test.busy_us");
+    for v in [0u64, 1, 3, 100, 5000] {
+        histo.record(v);
+    }
+    trace::report();
+
+    trace::configure(trace::Sink::Off, None); // close the writer
+    let contents = std::fs::read_to_string(&path).expect("json file written");
+    let records: Vec<trace::json::JsonValue> = contents
+        .lines()
+        .map(|line| trace::json::parse(line).unwrap_or_else(|e| panic!("{e} in {line:?}")))
+        .collect();
+    assert!(
+        records.len() >= 6,
+        "expected spans + metrics, got {records:?}"
+    );
+
+    let find = |ty: &str, name: &str| {
+        records
+            .iter()
+            .find(|r| {
+                r.get("type").and_then(|v| v.as_str()) == Some(ty)
+                    && r.get("name").and_then(|v| v.as_str()) == Some(name)
+            })
+            .unwrap_or_else(|| panic!("no {ty} record named {name}"))
+    };
+
+    let outer = find("span", "test.outer");
+    assert_eq!(outer.get("depth").unwrap().as_u64(), Some(0));
+    let fields = outer.get("fields").unwrap();
+    assert_eq!(fields.get("rows_in").unwrap().as_u64(), Some(128));
+    assert_eq!(fields.get("ratio").unwrap().as_f64(), Some(0.75));
+    assert_eq!(fields.get("label").unwrap().as_str(), Some("quo\"te\nline"));
+
+    let inner = find("span", "test.inner");
+    assert_eq!(inner.get("depth").unwrap().as_u64(), Some(1));
+    let outer_dur = outer.get("dur_us").unwrap().as_u64().unwrap();
+    let inner_dur = inner.get("dur_us").unwrap().as_u64().unwrap();
+    assert!(outer_dur >= inner_dur);
+
+    assert_eq!(
+        find("counter", "test.hits").get("value").unwrap().as_u64(),
+        Some(12)
+    );
+    assert_eq!(
+        find("gauge", "test.imbalance")
+            .get("value")
+            .unwrap()
+            .as_f64(),
+        Some(1.5)
+    );
+    let histo = find("histogram", "test.busy_us");
+    assert_eq!(histo.get("count").unwrap().as_u64(), Some(5));
+    assert_eq!(histo.get("max").unwrap().as_u64(), Some(5000));
+    assert_eq!(
+        find("span_stats", "test.inner")
+            .get("count")
+            .unwrap()
+            .as_u64(),
+        Some(1)
+    );
+
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn counters_accumulate_across_handles_and_threads() {
+    let _g = guard();
+    trace::configure(trace::Sink::Human, None);
+
+    let a = trace::counter("test.shared");
+    let b = trace::counter("test.shared");
+    a.incr();
+    b.add(2);
+    assert_eq!(trace::counter_value("test.shared"), 3);
+
+    // Raw std threads (the nde-parallel integration test covers the
+    // par_for_each_mut path; this pins handle cloning across threads).
+    let handle = trace::counter("test.threaded");
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let handle = handle.clone();
+            scope.spawn(move || {
+                for _ in 0..1000 {
+                    handle.incr();
+                }
+            });
+        }
+    });
+    assert_eq!(handle.value(), 4000);
+}
+
+#[test]
+fn report_is_cumulative_and_reset_clears() {
+    let _g = guard();
+    let path = temp_path("cumulative");
+    trace::configure(trace::Sink::Json, Some(&path));
+    trace::counter("test.cum").incr();
+    trace::report();
+    trace::report();
+    trace::configure(trace::Sink::Off, None);
+    let contents = std::fs::read_to_string(&path).unwrap();
+    let values: Vec<u64> = contents
+        .lines()
+        .filter_map(|l| trace::json::parse(l).ok())
+        .filter(|r| r.get("name").and_then(|v| v.as_str()) == Some("test.cum"))
+        .map(|r| r.get("value").unwrap().as_u64().unwrap())
+        .collect();
+    assert_eq!(values, vec![1, 1], "report must not clear counters");
+
+    trace::configure(trace::Sink::Human, None);
+    trace::reset();
+    assert_eq!(trace::counter_value("test.cum"), 0);
+    let _ = std::fs::remove_file(&path);
+}

@@ -128,6 +128,9 @@ pub fn certain_fraction(data: &IncompleteDataset, queries: &[Vec<f64>], k: usize
     if queries.is_empty() {
         return 0.0;
     }
+    let mut span = nde_trace::span("uncertain.certain_fraction");
+    span.field("queries", queries.len());
+    span.field("k", k);
     // Queries are independent; a count is order-insensitive, so the
     // parallel total is identical for any worker count.
     let certain: usize = nde_parallel::par_reduce(
@@ -156,6 +159,7 @@ pub fn min_cleaning_greedy(
     query: &[f64],
     k: usize,
 ) -> Option<usize> {
+    let _span = nde_trace::span("uncertain.min_cleaning_greedy");
     let mut working = data.clone();
     let mut cleaned = 0usize;
     loop {
@@ -202,6 +206,9 @@ pub fn min_cleaning_workload(
     queries: &[Vec<f64>],
     k: usize,
 ) -> WorkloadCleaningPlan {
+    let mut span = nde_trace::span("uncertain.min_cleaning_workload");
+    span.field("queries", queries.len());
+    span.field("k", k);
     let mut working = data.clone();
     let mut cleaned_rows = Vec::new();
     let mut certain_curve = vec![certain_fraction(&working, queries, k)];
