@@ -11,7 +11,8 @@
 
 use nde_learners::dataset::ClassDataset;
 use nde_learners::matrix::sq_dist;
-use nde_parallel::{par_reduce, par_reduce_with, NeighborCache};
+use nde_learners::models::kdtree::KdTree;
+use nde_parallel::{par_reduce, par_reduce_with, NeighborCache, TopKCache};
 
 /// Validation points per work chunk for the parallel/cached paths. Chunk
 /// boundaries depend only on the validation count, so results are
@@ -178,6 +179,104 @@ pub fn knn_shapley_cached(
     total
 }
 
+/// [`knn_utility_cached`]/[`knn_utility_topk`] shared kernel over any
+/// per-validation-point sorted neighbor lists (full or truncated — only
+/// the first `min(k, n)` entries are ever read).
+fn utility_from_lists<'a, L>(
+    lists: L,
+    n: usize,
+    m: usize,
+    train_y: &[usize],
+    valid_y: &[usize],
+    k: usize,
+) -> f64
+where
+    L: Fn(usize) -> &'a [(f64, u32)] + Sync,
+{
+    let total = par_reduce(
+        m,
+        VALID_CHUNK,
+        0.0f64,
+        |chunk| {
+            let mut acc = 0.0;
+            for v in chunk {
+                let kk = k.min(n);
+                let correct = lists(v)[..kk]
+                    .iter()
+                    .filter(|&&(_, t)| train_y[t as usize] == valid_y[v])
+                    .count();
+                acc += correct as f64 / k as f64;
+            }
+            acc
+        },
+        |acc, part| acc + part,
+    );
+    total / m as f64
+}
+
+/// [`knn_loo_cached`]/[`knn_loo_topk`] shared kernel: only the first
+/// `min(k, n) + 1` entries of each list are ever read (the extra entry is
+/// the successor that inherits the freed vote slot).
+fn loo_from_lists<'a, L>(
+    lists: L,
+    n: usize,
+    m: usize,
+    train_y: &[usize],
+    valid_y: &[usize],
+    k: usize,
+) -> Vec<f64>
+where
+    L: Fn(usize) -> &'a [(f64, u32)] + Sync,
+{
+    let mut total = par_reduce(
+        m,
+        VALID_CHUNK,
+        vec![0.0f64; n],
+        |chunk| {
+            let mut deltas = vec![0.0f64; n];
+            for v in chunk {
+                let yv = valid_y[v];
+                let list = lists(v);
+                let kk = k.min(n);
+                let matches = |e: &(f64, u32)| f64::from(u8::from(train_y[e.1 as usize] == yv));
+                // The successor that inherits the freed vote slot (none
+                // when the training set is no larger than K).
+                let succ = if n > kk { matches(&list[kk]) } else { 0.0 };
+                for entry in &list[..kk] {
+                    deltas[entry.1 as usize] += (matches(entry) - succ) / k as f64;
+                }
+            }
+            deltas
+        },
+        elementwise_add,
+    );
+    total.iter_mut().for_each(|s| *s /= m as f64);
+    total
+}
+
+/// Builds a [`TopKCache`] of the `k + 1` nearest training rows per
+/// validation point via k-d-tree queries — the indexed counterpart of
+/// [`build_neighbor_cache`] for the paths that never read past rank `k`
+/// ([`knn_utility_topk`], [`knn_loo_topk`]; the `+ 1` slot is LOO's
+/// vote-slot successor). On low-dimensional data this skips most of the
+/// O(n·m·d) distance matrix; the lists are bit-identical to the
+/// corresponding prefix of the full cache, and identical for every
+/// `NDE_THREADS` value.
+pub fn build_topk_cache(train: &ClassDataset, valid: &ClassDataset, k: usize) -> TopKCache {
+    let mut span = nde_trace::span("importance.build_topk_cache");
+    span.field("n_train", train.len());
+    span.field("n_valid", valid.len());
+    span.field("k", k);
+    let depth = (k.max(1) + 1).min(train.len());
+    let tree = KdTree::build(train.x.clone());
+    TopKCache::build(train.len(), valid.len(), depth, |v| {
+        tree.nearest_with_distances(valid.x.row(v), depth)
+            .into_iter()
+            .map(|(d, t)| (d, t as u32))
+            .collect()
+    })
+}
+
 /// [`knn_utility`] from a prebuilt [`NeighborCache`].
 pub fn knn_utility_cached(
     cache: &NeighborCache,
@@ -193,25 +292,27 @@ pub fn knn_utility_cached(
     let k = k.max(1);
     nde_trace::counter("neighbor_cache.hit").incr();
     let _span = nde_trace::span("importance.knn_utility_cached");
-    let total = par_reduce(
-        m,
-        VALID_CHUNK,
-        0.0f64,
-        |chunk| {
-            let mut acc = 0.0;
-            for v in chunk {
-                let kk = k.min(n);
-                let correct = cache.neighbors(v)[..kk]
-                    .iter()
-                    .filter(|&&(_, t)| train_y[t as usize] == valid_y[v])
-                    .count();
-                acc += correct as f64 / k as f64;
-            }
-            acc
-        },
-        |acc, part| acc + part,
+    utility_from_lists(|v| cache.neighbors(v), n, m, train_y, valid_y, k)
+}
+
+/// [`knn_utility`] from a prebuilt [`TopKCache`] (built with depth ≥ `k`,
+/// as [`build_topk_cache`] guarantees). Equals [`knn_utility_cached`] on
+/// the full cache bit-for-bit: both read the identical `k`-prefix.
+pub fn knn_utility_topk(cache: &TopKCache, train_y: &[usize], valid_y: &[usize], k: usize) -> f64 {
+    let n = cache.n_train();
+    let m = cache.n_valid();
+    if n == 0 || m == 0 {
+        return 0.0;
+    }
+    let k = k.max(1);
+    assert!(
+        cache.k().min(n) >= k.min(n),
+        "TopKCache depth {} is too shallow for k = {k}",
+        cache.k()
     );
-    total / m as f64
+    nde_trace::counter("neighbor_cache.hit").incr();
+    let _span = nde_trace::span("importance.knn_utility_topk");
+    utility_from_lists(|v| cache.neighbors(v), n, m, train_y, valid_y, k)
 }
 
 /// Closed-form leave-one-out values of the K-NN utility from a prebuilt
@@ -236,30 +337,32 @@ pub fn knn_loo_cached(
     span.field("n_train", n);
     span.field("n_valid", m);
     span.field("k", k);
-    let mut total = par_reduce(
-        m,
-        VALID_CHUNK,
-        vec![0.0f64; n],
-        |chunk| {
-            let mut deltas = vec![0.0f64; n];
-            for v in chunk {
-                let yv = valid_y[v];
-                let list = cache.neighbors(v);
-                let kk = k.min(n);
-                let matches = |e: &(f64, u32)| f64::from(u8::from(train_y[e.1 as usize] == yv));
-                // The successor that inherits the freed vote slot (none
-                // when the training set is no larger than K).
-                let succ = if n > kk { matches(&list[kk]) } else { 0.0 };
-                for entry in &list[..kk] {
-                    deltas[entry.1 as usize] += (matches(entry) - succ) / k as f64;
-                }
-            }
-            deltas
-        },
-        elementwise_add,
+    loo_from_lists(|v| cache.neighbors(v), n, m, train_y, valid_y, k)
+}
+
+/// [`knn_loo_cached`] from a prebuilt [`TopKCache`]. The cache must hold
+/// at least `min(k, n) + 1` entries per list (the successor slot), which
+/// [`build_topk_cache`] with the same `k` guarantees. Bit-identical to the
+/// full-cache variant.
+pub fn knn_loo_topk(cache: &TopKCache, train_y: &[usize], valid_y: &[usize], k: usize) -> Vec<f64> {
+    let n = cache.n_train();
+    let m = cache.n_valid();
+    if n == 0 || m == 0 {
+        return vec![0.0; n];
+    }
+    let k = k.max(1);
+    let kk = k.min(n);
+    assert!(
+        cache.k().min(n) >= (kk + 1).min(n),
+        "TopKCache depth {} is too shallow for LOO at k = {k} (needs k + 1)",
+        cache.k()
     );
-    total.iter_mut().for_each(|s| *s /= m as f64);
-    total
+    nde_trace::counter("neighbor_cache.hit").incr();
+    let mut span = nde_trace::span("importance.knn_loo_topk");
+    span.field("n_train", n);
+    span.field("n_valid", m);
+    span.field("k", k);
+    loo_from_lists(|v| cache.neighbors(v), n, m, train_y, valid_y, k)
 }
 
 /// The K-NN utility this Shapley value decomposes: the mean, over
@@ -498,6 +601,34 @@ mod tests {
                 assert!((f - s).abs() < 1e-10, "k={k}: {fast:?} vs {slow:?}");
             }
         }
+    }
+
+    #[test]
+    fn topk_cache_is_prefix_of_full_cache_and_scores_match() {
+        let (train, valid) = bigger_pair();
+        let full = build_neighbor_cache(&train, &valid);
+        for k in [1usize, 3, 5, 20] {
+            let topk = build_topk_cache(&train, &valid, k);
+            assert_eq!(topk.k(), (k + 1).min(train.len()));
+            for v in 0..valid.len() {
+                let prefix = &full.neighbors(v)[..topk.neighbors(v).len()];
+                assert_eq!(topk.neighbors(v), prefix, "k={k}, v={v}");
+            }
+            let u_full = knn_utility_cached(&full, &train.y, &valid.y, k);
+            let u_topk = knn_utility_topk(&topk, &train.y, &valid.y, k);
+            assert_eq!(u_full.to_bits(), u_topk.to_bits(), "utility k={k}");
+            let loo_full = knn_loo_cached(&full, &train.y, &valid.y, k);
+            let loo_topk = knn_loo_topk(&topk, &train.y, &valid.y, k);
+            assert_eq!(loo_full, loo_topk, "loo k={k}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too shallow")]
+    fn topk_cache_refuses_deeper_reads_than_it_holds() {
+        let (train, valid) = bigger_pair();
+        let topk = build_topk_cache(&train, &valid, 1);
+        let _ = knn_utility_topk(&topk, &train.y, &valid.y, 5);
     }
 
     #[test]

@@ -5,6 +5,22 @@
 //! Queries return exactly the same neighbors as a brute-force scan,
 //! including the deterministic distance-then-index tie-breaking the rest
 //! of the workspace relies on.
+//!
+//! Split axes are chosen by **widest spread**, not by cycling dimensions:
+//! encoded tables are full of constant and one-hot columns (see
+//! `preprocessing/encoder.rs`), and a cycling splitter that gives up as
+//! soon as its current axis is constant collapses whole partitions into a
+//! single brute-force leaf. Spread-based selection only stops splitting
+//! when *every* axis is constant — i.e. all remaining points coincide.
+//!
+//! # Observability
+//!
+//! Building records a `kdtree.build` span (point count, dimensions, and
+//! the resulting depth/leaf shape). Each query bumps the `kdtree.query`
+//! counter and adds the number of candidate points actually scanned to
+//! `kdtree.points_scanned` — the scanned-to-total ratio is the pruning
+//! power of the index. All instrumentation is observational and free when
+//! `NDE_TRACE` is off.
 
 use crate::matrix::{sq_dist, Matrix};
 
@@ -36,13 +52,15 @@ pub struct KdTree {
 struct BestK {
     k: usize,
     items: Vec<(f64, usize)>, // sorted ascending by (distance, index)
+    offered: usize,
 }
 
 impl BestK {
     fn new(k: usize) -> Self {
         BestK {
             k,
-            items: Vec::with_capacity(k + 1),
+            items: Vec::with_capacity(k),
+            offered: 0,
         }
     }
 
@@ -55,19 +73,28 @@ impl BestK {
     }
 
     fn offer(&mut self, distance: f64, index: usize) {
+        self.offered += 1;
         let candidate = (distance, index);
+        if self.items.len() == self.k {
+            // Early reject: a candidate no better than the current worst
+            // keeper can never enter a full heap — dense leaves would
+            // otherwise pay an O(k) insert-then-pop per point.
+            let worst = *self.items.last().expect("full heap is non-empty");
+            if candidate >= worst {
+                return;
+            }
+            self.items.pop();
+        }
         let pos = self
             .items
             .partition_point(|&(d, i)| (d, i) < (candidate.0, candidate.1));
         self.items.insert(pos, candidate);
-        if self.items.len() > self.k {
-            self.items.pop();
-        }
     }
 }
 
 impl KdTree {
-    /// Builds a tree over the rows of `data` (median splits, cycling axes).
+    /// Builds a tree over the rows of `data` (median splits on the
+    /// widest-spread axis of each partition).
     pub fn build(data: Matrix) -> Self {
         Self::with_leaf_size(data, 16)
     }
@@ -75,13 +102,19 @@ impl KdTree {
     /// Builds with a custom leaf size (mostly for tests).
     pub fn with_leaf_size(data: Matrix, leaf_size: usize) -> Self {
         let leaf_size = leaf_size.max(1);
+        let mut span = nde_trace::span("kdtree.build");
+        span.field("n", data.nrows());
+        span.field("dims", data.ncols());
         let indices: Vec<usize> = (0..data.nrows()).collect();
-        let root = build_node(&data, indices, 0, leaf_size);
-        KdTree {
+        let root = build_node(&data, indices, leaf_size);
+        let tree = KdTree {
             data,
             root,
             leaf_size,
-        }
+        };
+        span.field("depth", tree.depth());
+        span.field("leaves", tree.n_leaves());
+        tree
     }
 
     /// Number of indexed points.
@@ -99,24 +132,92 @@ impl KdTree {
         self.leaf_size
     }
 
+    /// Depth of the tree: 0 for a single leaf, else 1 + the deeper child.
+    /// A tree that actually splits its data has depth ≥ 1 — the assertion
+    /// that the degenerate-axis fix holds on one-hot layouts.
+    pub fn depth(&self) -> usize {
+        fn walk(node: &Node) -> usize {
+            match node {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + walk(left).max(walk(right)),
+            }
+        }
+        walk(&self.root)
+    }
+
+    /// Number of leaf nodes. A healthy tree over `n` points has roughly
+    /// `n / leaf_size` leaves; a degenerated one has exactly 1.
+    pub fn n_leaves(&self) -> usize {
+        fn walk(node: &Node) -> usize {
+            match node {
+                Node::Leaf { .. } => 1,
+                Node::Split { left, right, .. } => walk(left) + walk(right),
+            }
+        }
+        walk(&self.root)
+    }
+
     /// The indices of the `k` nearest rows to `query`, ordered by
     /// increasing distance with ties broken by index — identical to a
     /// brute-force scan.
     pub fn nearest(&self, query: &[f64], k: usize) -> Vec<usize> {
+        self.nearest_with_distances(query, k)
+            .into_iter()
+            .map(|(_, i)| i)
+            .collect()
+    }
+
+    /// [`KdTree::nearest`], returning `(squared distance, index)` pairs —
+    /// the entry shape of the workspace's neighbor caches.
+    pub fn nearest_with_distances(&self, query: &[f64], k: usize) -> Vec<(f64, usize)> {
         if self.is_empty() || k == 0 {
             return Vec::new();
         }
         let mut best = BestK::new(k.min(self.len()));
         search(&self.data, &self.root, query, &mut best);
-        best.items.into_iter().map(|(_, i)| i).collect()
+        if nde_trace::enabled() {
+            nde_trace::counter("kdtree.query").incr();
+            nde_trace::counter("kdtree.points_scanned").add(best.offered as u64);
+        }
+        best.items
     }
 }
 
-fn build_node(data: &Matrix, mut indices: Vec<usize>, depth: usize, leaf_size: usize) -> Node {
+/// The axis with the largest value spread (max − min) across `indices`,
+/// or `None` when every axis is constant (all points coincide). Ties go to
+/// the lowest axis index, keeping builds deterministic.
+fn widest_spread_axis(data: &Matrix, indices: &[usize]) -> Option<usize> {
+    let mut best: Option<(f64, usize)> = None;
+    for axis in 0..data.ncols() {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &i in indices {
+            let v = data.get(i, axis);
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        let spread = hi - lo;
+        if spread > 0.0 && best.is_none_or(|(s, _)| spread > s) {
+            best = Some((spread, axis));
+        }
+    }
+    best.map(|(_, axis)| axis)
+}
+
+fn build_node(data: &Matrix, mut indices: Vec<usize>, leaf_size: usize) -> Node {
     if indices.len() <= leaf_size || data.ncols() == 0 {
         return Node::Leaf { points: indices };
     }
-    let axis = depth % data.ncols();
+    // Pick the axis that actually discriminates this partition. Cycling
+    // axes (`depth % ncols`) degenerates on real encoded data: the moment
+    // the cycling axis is constant — every one-hot column is, on a
+    // partition of a single category — the whole partition used to
+    // collapse into one giant brute-force leaf even though other axes
+    // still discriminate.
+    let Some(axis) = widest_spread_axis(data, &indices) else {
+        // All points identical; nothing any axis can split.
+        return Node::Leaf { points: indices };
+    };
     indices.sort_by(|&a, &b| {
         data.get(a, axis)
             .total_cmp(&data.get(b, axis))
@@ -124,17 +225,12 @@ fn build_node(data: &Matrix, mut indices: Vec<usize>, depth: usize, leaf_size: u
     });
     let mid = indices.len() / 2;
     let threshold = data.get(indices[mid], axis);
-    // Guard against all-equal coordinates on this axis: if the split would
-    // be empty on one side, fall back to a leaf.
-    if data.get(indices[0], axis) == data.get(*indices.last().expect("non-empty"), axis) {
-        return Node::Leaf { points: indices };
-    }
     let right: Vec<usize> = indices.split_off(mid);
     Node::Split {
         axis,
         threshold,
-        left: Box::new(build_node(data, indices, depth + 1, leaf_size)),
-        right: Box::new(build_node(data, right, depth + 1, leaf_size)),
+        left: Box::new(build_node(data, indices, leaf_size)),
+        right: Box::new(build_node(data, right, leaf_size)),
     }
 }
 
@@ -193,6 +289,22 @@ mod tests {
         Matrix::from_rows(&rows).unwrap()
     }
 
+    /// Rows shaped like the standard table encoding: a constant bias
+    /// column, a one-hot block, and one informative numeric column.
+    fn one_hot_data(n: usize, categories: usize) -> Matrix {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let mut row = vec![1.0]; // constant column
+                for c in 0..categories {
+                    row.push(f64::from(u8::from(i % categories == c)));
+                }
+                row.push(((i * 31) % 97) as f64 / 9.0); // informative numeric
+                row
+            })
+            .collect();
+        Matrix::from_rows(&rows).unwrap()
+    }
+
     #[test]
     fn matches_brute_force_exactly() {
         let data = grid_data(300, 3);
@@ -215,6 +327,69 @@ mod tests {
         let data = Matrix::from_rows(&rows).unwrap();
         let tree = KdTree::with_leaf_size(data, 2);
         assert_eq!(tree.nearest(&[1.0, 1.0], 3), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn all_identical_points_collapse_to_one_leaf() {
+        let rows = vec![vec![2.0, 3.0]; 40];
+        let tree = KdTree::with_leaf_size(Matrix::from_rows(&rows).unwrap(), 4);
+        assert_eq!(tree.depth(), 0);
+        assert_eq!(tree.n_leaves(), 1);
+    }
+
+    #[test]
+    fn constant_leading_axis_still_splits() {
+        // Axis 0 is constant on the full set; a cycling splitter would
+        // have bailed into a single leaf at the root.
+        let rows: Vec<Vec<f64>> = (0..64).map(|i| vec![7.0, i as f64]).collect();
+        let data = Matrix::from_rows(&rows).unwrap();
+        let tree = KdTree::with_leaf_size(data.clone(), 4);
+        assert!(tree.depth() >= 3, "depth {}", tree.depth());
+        assert!(tree.n_leaves() >= 8, "leaves {}", tree.n_leaves());
+        assert_eq!(
+            tree.nearest(&[7.0, 31.5], 4),
+            brute_force(&data, &[7.0, 31.5], 4)
+        );
+    }
+
+    #[test]
+    fn one_hot_layout_splits_instead_of_degenerating() {
+        // Mimics encoder output (constant + one-hot + numeric). The old
+        // cycling build hit the constant column at the root and returned a
+        // single 256-point leaf; spread-based selection must keep the
+        // leaves near leaf_size and still agree with brute force.
+        let data = one_hot_data(256, 4);
+        let tree = KdTree::with_leaf_size(data.clone(), 8);
+        assert!(tree.depth() >= 4, "depth {}", tree.depth());
+        assert!(
+            tree.n_leaves() >= 256 / 8 / 2,
+            "leaves {} — tree degenerated",
+            tree.n_leaves()
+        );
+        for qi in 0..12 {
+            let mut query = vec![1.0];
+            for c in 0..4 {
+                query.push(f64::from(u8::from(qi % 4 == c)));
+            }
+            query.push(qi as f64);
+            for k in [1usize, 5, 9] {
+                assert_eq!(
+                    tree.nearest(&query, k),
+                    brute_force(&data, &query, k),
+                    "query {qi}, k {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_with_distances_reports_squared_distances() {
+        let data = grid_data(50, 2);
+        let tree = KdTree::with_leaf_size(data.clone(), 4);
+        let query = [1.0, 2.0];
+        for (d, i) in tree.nearest_with_distances(&query, 5) {
+            assert_eq!(d, sq_dist(data.row(i), &query));
+        }
     }
 
     #[test]
@@ -248,5 +423,21 @@ mod tests {
         let tree = KdTree::with_leaf_size(data.clone(), 8);
         let query = vec![3.0; 16];
         assert_eq!(tree.nearest(&query, 7), brute_force(&data, &query, 7));
+    }
+
+    #[test]
+    fn best_k_early_reject_keeps_exact_order() {
+        let mut best = BestK::new(3);
+        for (d, i) in [(5.0, 0), (1.0, 1), (3.0, 2), (9.0, 3), (1.0, 4), (0.5, 5)] {
+            best.offer(d, i);
+        }
+        assert_eq!(best.items, vec![(0.5, 5), (1.0, 1), (1.0, 4)]);
+        assert_eq!(best.offered, 6);
+        // Equal-to-worst candidates with a higher index must be rejected.
+        best.offer(1.0, 9);
+        assert_eq!(best.items, vec![(0.5, 5), (1.0, 1), (1.0, 4)]);
+        // …but an equal distance with a *lower* index enters.
+        best.offer(1.0, 0);
+        assert_eq!(best.items, vec![(0.5, 5), (1.0, 0), (1.0, 1)]);
     }
 }

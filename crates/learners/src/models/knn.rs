@@ -118,6 +118,22 @@ impl Model for FittedKnn {
         }
         probs
     }
+
+    /// Fans the per-row queries out over threads. Chunk boundaries are
+    /// fixed, each row's prediction is a pure function of that row, and
+    /// chunks are reassembled in order — so the output is bit-identical to
+    /// the sequential default for every `NDE_THREADS` setting.
+    fn predict_batch(&self, x: &crate::Matrix) -> Vec<usize> {
+        let mut span = nde_trace::span("learners.knn_predict_batch");
+        span.field("rows", x.nrows());
+        span.field("indexed", if self.index.is_some() { 1i64 } else { 0i64 });
+        nde_parallel::par_map_chunks(x.nrows(), 8, |range| {
+            range.map(|i| self.predict(x.row(i))).collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
 }
 
 /// The `k` indices with smallest `dist(i)`, ordered by `(distance, index)`

@@ -4,6 +4,7 @@
 use nde_learners::dataset::ClassDataset;
 use nde_learners::matrix::Matrix;
 use nde_learners::metrics::{accuracy, f1_score, log_loss, macro_f1, precision, recall, roc_auc};
+use nde_learners::models::kdtree::KdTree;
 use nde_learners::models::knn::KnnClassifier;
 use nde_learners::models::logistic::softmax;
 use nde_learners::models::naive_bayes::GaussianNb;
@@ -28,7 +29,91 @@ fn arb_dataset() -> impl Strategy<Value = ClassDataset> {
     })
 }
 
+/// Brute-force k-NN oracle with the tree's `(distance, index)` tie-break.
+fn brute_neighbors(rows: &[Vec<f64>], query: &[f64], k: usize) -> Vec<(f64, usize)> {
+    let mut all: Vec<(f64, usize)> = rows
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let d: f64 = r.iter().zip(query).map(|(a, b)| (a - b) * (a - b)).sum();
+            (d, i)
+        })
+        .collect();
+    all.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    all.truncate(k.min(rows.len()));
+    all
+}
+
+/// A one-hot-plus-constant feature row — the exact layout the table
+/// encoder produces and the layout that used to degenerate the tree.
+fn encoded_row(category: usize, informative: i32) -> Vec<f64> {
+    let mut row = vec![1.0]; // constant column
+    let mut onehot = vec![0.0; 4];
+    onehot[category] = 1.0;
+    row.extend(onehot);
+    row.push(f64::from(informative));
+    row
+}
+
 proptest! {
+    /// k-d tree equals brute force on one-hot + constant-column layouts
+    /// with duplicate rows (informative values snapped to a small grid, so
+    /// ties and duplicates are common).
+    #[test]
+    fn kdtree_matches_brute_force_on_encoded_layouts(
+        cats in prop::collection::vec(0usize..4, 2..50),
+        informative in prop::collection::vec(0i32..6, 2..50),
+        queries in prop::collection::vec((0usize..4, 0i32..6), 1..8),
+        k in 1usize..8,
+    ) {
+        let n = cats.len().min(informative.len());
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| encoded_row(cats[i], informative[i])).collect();
+        let tree = KdTree::with_leaf_size(Matrix::from_rows(&rows).unwrap(), 4);
+        for &(qc, qv) in &queries {
+            let q = encoded_row(qc, qv);
+            prop_assert_eq!(
+                tree.nearest_with_distances(&q, k),
+                brute_neighbors(&rows, &q, k)
+            );
+        }
+    }
+
+    /// k-d tree equals brute force in high dimension, where the pruning
+    /// bound rarely fires and duplicate coordinates are everywhere.
+    #[test]
+    fn kdtree_matches_brute_force_in_high_dimension(
+        rows in prop::collection::vec(prop::collection::vec(0i32..3, 12..=12), 1..40),
+        query in prop::collection::vec(0i32..3, 12..=12),
+        k in 1usize..10,
+    ) {
+        let rows: Vec<Vec<f64>> = rows
+            .iter()
+            .map(|r| r.iter().map(|&v| f64::from(v)).collect())
+            .collect();
+        let q: Vec<f64> = query.iter().map(|&v| f64::from(v)).collect();
+        let tree = KdTree::with_leaf_size(Matrix::from_rows(&rows).unwrap(), 2);
+        prop_assert_eq!(tree.nearest_with_distances(&q, k), brute_neighbors(&rows, &q, k));
+    }
+
+    /// The widest-spread-axis fix actually splits one-hot data: whenever
+    /// some axis discriminates and the partition exceeds the leaf size,
+    /// the tree must not collapse into a single leaf.
+    #[test]
+    fn kdtree_splits_whenever_an_axis_discriminates(
+        cats in prop::collection::vec(0usize..4, 16..64),
+    ) {
+        let rows: Vec<Vec<f64>> = cats.iter().map(|&c| encoded_row(c, 0)).collect();
+        let tree = KdTree::with_leaf_size(Matrix::from_rows(&rows).unwrap(), 4);
+        let distinct = cats.iter().collect::<std::collections::HashSet<_>>().len();
+        if distinct > 1 {
+            prop_assert!(tree.depth() >= 1, "tree degenerated to one leaf");
+            prop_assert!(tree.n_leaves() >= 2);
+        } else {
+            // All rows identical: a single leaf is the correct shape.
+            prop_assert_eq!(tree.n_leaves(), 1);
+        }
+    }
+
     /// Accuracy is symmetric-bounded and perfect on self-comparison.
     #[test]
     fn accuracy_bounds(y in arb_labels(25)) {

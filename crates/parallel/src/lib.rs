@@ -13,7 +13,10 @@
 //! 2. **[`NeighborCache`]**: per-validation-point sorted neighbor orderings
 //!    for k-NN utilities, with incremental invalidation when a single
 //!    training row is repaired — the cleaning loop's re-score drops from a
-//!    full O(m·n·(d + log n)) rebuild to O(m·n) list surgery.
+//!    full O(m·n·(d + log n)) rebuild to O(m·n) list surgery. Its truncated
+//!    sibling [`TopKCache`] keeps only the `k` nearest per validation
+//!    point, letting index-backed builds (k-d tree queries) skip the full
+//!    distance matrix for the paths that never read past rank `k`.
 //!
 //! Worker count comes from [`num_threads`]: the `NDE_THREADS` environment
 //! variable when set, else `std::thread::available_parallelism()`.
@@ -26,7 +29,9 @@
 //! max/mean busy ratio of the most recent fan-out into the
 //! `parallel.imbalance` gauge, and bumps the `parallel.fan_outs` counter.
 //! [`NeighborCache`] counts cold builds (`neighbor_cache.miss`) and
-//! incremental repairs (`neighbor_cache.repair`). All instrumentation is
+//! incremental repairs (`neighbor_cache.repair`); [`TopKCache`] counts
+//! truncated builds (`neighbor_cache.topk_build`) under the
+//! `neighbor_cache.build_topk` span. All instrumentation is
 //! observational: results are bit-identical with tracing on or off.
 
 use std::ops::Range;
@@ -35,7 +40,7 @@ use std::time::{Duration, Instant};
 
 mod neighbor_cache;
 
-pub use neighbor_cache::NeighborCache;
+pub use neighbor_cache::{NeighborCache, TopKCache};
 
 /// Worker count for all fan-out primitives: `NDE_THREADS` when set to a
 /// positive integer, otherwise `std::thread::available_parallelism()`

@@ -1,5 +1,7 @@
 //! Per-validation-point sorted neighbor orderings with incremental
-//! invalidation — the data structure behind warm-cache k-NN re-scoring.
+//! invalidation — the data structure behind warm-cache k-NN re-scoring —
+//! plus [`TopKCache`], its truncated sibling for paths that only ever
+//! read the `k` nearest neighbors.
 
 use crate::{par_for_each_mut, par_map_chunks};
 
@@ -110,6 +112,97 @@ impl NeighborCache {
     }
 }
 
+/// A truncated neighbor cache: for each validation point, only the `k`
+/// nearest training rows, sorted ascending by `(squared distance, train
+/// index)` — the same entry shape and tie-break as [`NeighborCache`], cut
+/// off after `k`.
+///
+/// Exact KNN-Shapley needs the *full* ordering (every training point's
+/// rank matters), so it keeps [`NeighborCache`]; prediction, the k-NN
+/// utility, and LOO only ever read a `k`-prefix, and a top-k structure fed
+/// by sublinear index queries (e.g. a k-d tree) skips the O(n·m·d)
+/// distance matrix entirely. Build fan-out runs over validation points
+/// with fixed chunk boundaries, so the result is bit-identical for every
+/// thread count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopKCache {
+    n_train: usize,
+    k: usize,
+    /// `lists[v]` holds the `min(k, n_train)` nearest training rows of
+    /// validation point `v`, sorted ascending by `(distance, index)`.
+    lists: Vec<Vec<(f64, u32)>>,
+}
+
+impl TopKCache {
+    /// Builds the truncated cache from a per-validation-point query
+    /// oracle. `query(v)` must return the `min(k, n_train)` nearest
+    /// `(squared distance, train index)` pairs for validation point `v`,
+    /// sorted ascending with ties broken by train index — exactly what
+    /// `KdTree::nearest_with_distances` produces (and identical to a
+    /// truncated brute-force scan).
+    pub fn build<F>(n_train: usize, n_valid: usize, k: usize, query: F) -> Self
+    where
+        F: Fn(usize) -> Vec<(f64, u32)> + Sync,
+    {
+        assert!(
+            n_train <= u32::MAX as usize,
+            "training set too large for u32 indices"
+        );
+        nde_trace::counter("neighbor_cache.topk_build").incr();
+        let mut span = nde_trace::span("neighbor_cache.build_topk");
+        span.field("n_train", n_train);
+        span.field("n_valid", n_valid);
+        span.field("k", k);
+        let expected = k.min(n_train);
+        let lists: Vec<Vec<(f64, u32)>> = par_map_chunks(n_valid, Self::CHUNK, |range| {
+            range
+                .map(|v| {
+                    let list = query(v);
+                    assert_eq!(
+                        list.len(),
+                        expected,
+                        "query({v}) must return min(k, n_train) neighbors"
+                    );
+                    debug_assert!(list
+                        .windows(2)
+                        .all(|w| sort_key(&w[0], &w[1]) != std::cmp::Ordering::Greater));
+                    list
+                })
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+        TopKCache { n_train, k, lists }
+    }
+
+    /// Chunk width for fan-out over validation points (matches
+    /// [`NeighborCache`]).
+    const CHUNK: usize = 8;
+
+    /// Number of training rows the cache was built over.
+    pub fn n_train(&self) -> usize {
+        self.n_train
+    }
+
+    /// Number of validation points (lists).
+    pub fn n_valid(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// The truncation depth `k` the cache was built with.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The `min(k, n_train)` nearest neighbors of validation point `v`:
+    /// `(squared distance, training row)` ascending by `(distance, index)`
+    /// — a prefix of the corresponding [`NeighborCache::neighbors`] list.
+    pub fn neighbors(&self, v: usize) -> &[(f64, u32)] {
+        &self.lists[v]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,5 +260,43 @@ mod tests {
         let cache = NeighborCache::build(12, 1, |_, _| 2.5);
         let order: Vec<u32> = cache.neighbors(0).iter().map(|&(_, t)| t).collect();
         assert_eq!(order, (0..12).collect::<Vec<u32>>());
+    }
+
+    /// Brute-force top-k query oracle with the cache's tie-break.
+    fn brute_top_k(train: &[Vec<f64>], valid: &[Vec<f64>], v: usize, k: usize) -> Vec<(f64, u32)> {
+        let mut list: Vec<(f64, u32)> = train
+            .iter()
+            .enumerate()
+            .map(|(t, row)| (sq_dist(row, &valid[v]), t as u32))
+            .collect();
+        list.sort_by(sort_key);
+        list.truncate(k.min(train.len()));
+        list
+    }
+
+    #[test]
+    fn topk_cache_is_a_prefix_of_the_full_cache() {
+        let train: Vec<Vec<f64>> = (0..40).map(|i| point(i, 3, 1)).collect();
+        let valid: Vec<Vec<f64>> = (0..9).map(|i| point(i, 3, 2)).collect();
+        let full = NeighborCache::build(40, 9, |t, v| sq_dist(&train[t], &valid[v]));
+        for k in [1usize, 5, 40, 60] {
+            let topk = TopKCache::build(40, 9, k, |v| brute_top_k(&train, &valid, v, k));
+            assert_eq!(topk.k(), k);
+            assert_eq!(topk.n_train(), 40);
+            assert_eq!(topk.n_valid(), 9);
+            for v in 0..9 {
+                assert_eq!(
+                    topk.neighbors(v),
+                    &full.neighbors(v)[..k.min(40)],
+                    "k={k}, v={v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "min(k, n_train) neighbors")]
+    fn topk_cache_rejects_short_lists() {
+        let _ = TopKCache::build(10, 2, 5, |_| vec![(0.0, 0)]);
     }
 }

@@ -98,25 +98,39 @@ impl Table {
         }
 
         let left_idx: Vec<usize> = trace.iter().map(|&(l, _)| l).collect();
+        // One gather vector shared by every right column.
+        let indices: Vec<usize> = trace
+            .iter()
+            .map(|&(_, r)| r.expect("inner fuzzy join"))
+            .collect();
         let mut out = self.take(&left_idx)?;
         for (field, col) in right.schema().fields().iter().zip(right.columns()) {
             if field.name == right_key {
                 continue;
             }
-            let indices: Vec<usize> = trace
-                .iter()
-                .map(|&(_, r)| r.expect("inner fuzzy join"))
-                .collect();
             let gathered = col.take(&indices);
-            let name = if out.schema().contains(&field.name) {
-                format!("{}_right", field.name)
-            } else {
-                field.name.clone()
-            };
+            let name = disambiguate(&out, &field.name);
             out.add_column(name, gathered)?;
         }
         Ok((out, trace))
     }
+}
+
+/// A right-column name that does not collide with any column already in
+/// `out`: the original name when free, otherwise `{name}_right`,
+/// `{name}_right2`, … — the plain `_right` rename can itself collide when
+/// the left table already carries both `X` and `X_right`.
+fn disambiguate(out: &Table, name: &str) -> String {
+    if !out.schema().contains(name) {
+        return name.to_string();
+    }
+    let mut candidate = format!("{name}_right");
+    let mut suffix = 2usize;
+    while out.schema().contains(&candidate) {
+        candidate = format!("{name}_right{suffix}");
+        suffix += 1;
+    }
+    candidate
 }
 
 #[cfg(test)]
@@ -168,6 +182,27 @@ mod tests {
             .unwrap();
         let j = left.fuzzy_join(&right, "k", "k", 2).unwrap();
         assert_eq!(j.get(0, "v").unwrap().as_int(), Some(2));
+    }
+
+    #[test]
+    fn fuzzy_join_uniquifies_colliding_right_names() {
+        // Left already owns both `v` and `v_right`; the right `v` column
+        // must land under a fresh name instead of failing `add_column`.
+        let left = Table::builder()
+            .str("k", ["abc"])
+            .int("v", [1])
+            .int("v_right", [10])
+            .build()
+            .unwrap();
+        let right = Table::builder()
+            .str("k", ["abc"])
+            .int("v", [2])
+            .build()
+            .unwrap();
+        let j = left.fuzzy_join(&right, "k", "k", 0).unwrap();
+        assert_eq!(j.get(0, "v").unwrap().as_int(), Some(1));
+        assert_eq!(j.get(0, "v_right").unwrap().as_int(), Some(10));
+        assert_eq!(j.get(0, "v_right2").unwrap().as_int(), Some(2));
     }
 
     #[test]

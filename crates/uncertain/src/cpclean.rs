@@ -35,26 +35,72 @@ pub fn distance_bounds(row: &[Interval], query: &[f64]) -> Interval {
     acc
 }
 
+/// The `k` smallest keys under the total `(distance, tie class, row)`
+/// order — bounded max-heap selection, O(n log k) instead of the full
+/// O(n log n) sort, returning exactly the sorted prefix. Adversarial vote
+/// counting only ever reads the first `k` entries, so the full sort the
+/// votes used to pay was pure waste on large training sets.
+fn k_smallest_keys(
+    keys: impl Iterator<Item = (f64, u8, usize)>,
+    k: usize,
+) -> Vec<(f64, u8, usize)> {
+    use std::cmp::Ordering;
+    use std::collections::BinaryHeap;
+
+    /// Wrapper giving the key tuple its total order (`f64` alone is not
+    /// `Ord`; distances come from interval bounds and are never NaN).
+    struct Key((f64, u8, usize));
+    impl PartialEq for Key {
+        fn eq(&self, other: &Self) -> bool {
+            self.cmp(other) == Ordering::Equal
+        }
+    }
+    impl Eq for Key {}
+    impl PartialOrd for Key {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Key {
+        fn cmp(&self, other: &Self) -> Ordering {
+            let (a, b) = (&self.0, &other.0);
+            a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2))
+        }
+    }
+
+    if k == 0 {
+        return Vec::new();
+    }
+    // Max-heap of the k best so far; the top is the current worst keeper.
+    let mut heap: BinaryHeap<Key> = BinaryHeap::with_capacity(k + 1);
+    for key in keys {
+        let key = Key(key);
+        if heap.len() < k {
+            heap.push(key);
+        } else if key < *heap.peek().expect("heap is non-empty") {
+            heap.pop();
+            heap.push(key);
+        }
+    }
+    heap.into_sorted_vec().into_iter().map(|Key(t)| t).collect()
+}
+
 /// Vote of label `target` in the adversarial world that *minimizes* its
 /// count: supporters of `target` sit at their max distance, everyone else
 /// at their min distance; ties sorted against `target`.
 fn min_votes_for(data: &IncompleteDataset, query: &[f64], k: usize, target: usize) -> usize {
     let n = data.x.nrows();
-    let mut keyed: Vec<(f64, u8, usize)> = (0..n)
-        .map(|i| {
-            let d = distance_bounds(data.x.row(i), query);
-            if data.y[i] == target {
-                // Supporter pushed away; loses ties (sort key 1).
-                (d.hi, 1u8, i)
-            } else {
-                (d.lo, 0u8, i)
-            }
-        })
-        .collect();
-    keyed.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
-    keyed
+    let keyed = (0..n).map(|i| {
+        let d = distance_bounds(data.x.row(i), query);
+        if data.y[i] == target {
+            // Supporter pushed away; loses ties (sort key 1).
+            (d.hi, 1u8, i)
+        } else {
+            (d.lo, 0u8, i)
+        }
+    });
+    k_smallest_keys(keyed, k.min(n))
         .iter()
-        .take(k.min(n))
         .filter(|&&(_, _, i)| data.y[i] == target)
         .count()
 }
@@ -63,21 +109,17 @@ fn min_votes_for(data: &IncompleteDataset, query: &[f64], k: usize, target: usiz
 /// count.
 fn max_votes_for(data: &IncompleteDataset, query: &[f64], k: usize, target: usize) -> usize {
     let n = data.x.nrows();
-    let mut keyed: Vec<(f64, u8, usize)> = (0..n)
-        .map(|i| {
-            let d = distance_bounds(data.x.row(i), query);
-            if data.y[i] == target {
-                // Supporter pulled close; wins ties (sort key 0).
-                (d.lo, 0u8, i)
-            } else {
-                (d.hi, 1u8, i)
-            }
-        })
-        .collect();
-    keyed.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
-    keyed
+    let keyed = (0..n).map(|i| {
+        let d = distance_bounds(data.x.row(i), query);
+        if data.y[i] == target {
+            // Supporter pulled close; wins ties (sort key 0).
+            (d.lo, 0u8, i)
+        } else {
+            (d.hi, 1u8, i)
+        }
+    });
+    k_smallest_keys(keyed, k.min(n))
         .iter()
-        .take(k.min(n))
         .filter(|&&(_, _, i)| data.y[i] == target)
         .count()
 }
@@ -298,6 +340,22 @@ mod tests {
         // Query inside the bounds → distance can be 0.
         let d = distance_bounds(&row, &[1.0]);
         assert_eq!(d.lo, 0.0);
+    }
+
+    #[test]
+    fn bounded_selection_matches_full_sort_on_tie_heavy_keys() {
+        // Duplicate distances and alternating tie classes: the selection
+        // must return exactly the prefix of the fully sorted key list.
+        let keys: Vec<(f64, u8, usize)> = (0..50)
+            .map(|i| (((i * 7) % 5) as f64, (i % 2) as u8, i))
+            .collect();
+        for k in [0usize, 1, 3, 7, 49, 50, 80] {
+            let fast = k_smallest_keys(keys.iter().copied(), k.min(keys.len()));
+            let mut slow = keys.clone();
+            slow.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+            slow.truncate(k.min(keys.len()));
+            assert_eq!(fast, slow, "k = {k}");
+        }
     }
 
     #[test]

@@ -9,11 +9,11 @@ use nde_core::cleaning::Strategy;
 use nde_core::scenario::encode_splits;
 use nde_datagen::errors::{flip_labels, inject_missing, Mechanism};
 use nde_datagen::{HiringConfig, HiringScenario};
-use nde_importance::knn_shapley::{knn_shapley, knn_shapley_parallel};
+use nde_importance::knn_shapley::{build_topk_cache, knn_shapley, knn_shapley_parallel};
 use nde_importance::semivalue::{banzhaf_msr, tmc_shapley, McConfig};
 use nde_importance::utility::{ModelUtility, UtilityMetric};
 use nde_learners::dataset::ClassDataset;
-use nde_learners::KnnClassifier;
+use nde_learners::{KnnClassifier, Learner};
 use nde_uncertain::cpclean::{certain_fraction, IncompleteDataset};
 use nde_uncertain::incomplete::IncompleteMatrix;
 use nde_uncertain::interval::Interval;
@@ -126,6 +126,11 @@ fn env_driven_entry_points_are_thread_count_invariant() {
     .unwrap();
     let strategies = [Strategy::Random, Strategy::KnnShapley, Strategy::Aum];
 
+    // Indexed k-NN hot paths: batch prediction and the kd-tree-fed top-k
+    // cache both fan out over NDE_THREADS workers.
+    let (train, valid) = encoded_splits();
+    let indexed = KnnClassifier::indexed(5).fit(&train).unwrap();
+
     let run = || {
         let fraction = certain_fraction(&data, &queries, 3);
         let board = challenge.play_all(&strategies).unwrap();
@@ -134,11 +139,22 @@ fn env_driven_entry_points_are_thread_count_invariant() {
             .iter()
             .map(|e| (e.name.clone(), e.accuracy.to_bits(), e.true_positives))
             .collect();
-        (fraction.to_bits(), standings)
+        let preds = indexed.predict_batch(&valid.x);
+        let topk = build_topk_cache(&train, &valid, 3);
+        let topk_flat: Vec<(u64, u32)> = (0..topk.n_valid())
+            .flat_map(|v| topk.neighbors(v).iter().map(|&(d, t)| (d.to_bits(), t)))
+            .collect();
+        (fraction.to_bits(), standings, preds, topk_flat)
     };
 
     std::env::set_var("NDE_THREADS", "1");
     let reference = run();
+    let brute = KnnClassifier::new(5).fit(&train).unwrap();
+    assert_eq!(
+        reference.2,
+        brute.predict_batch(&valid.x),
+        "indexed k-NN diverged from brute force"
+    );
     for threads in THREADS {
         std::env::set_var("NDE_THREADS", threads.to_string());
         assert_eq!(run(), reference, "NDE_THREADS={threads} changed results");
