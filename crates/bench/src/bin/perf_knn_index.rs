@@ -81,6 +81,9 @@ fn main() {
     let train = fitted.transform(&s.train).expect("encode train");
     let valid = fitted.transform(&s.valid).expect("encode valid");
     let low_dim_speedup = compare(&train, &valid);
+    // Each section is an independent measurement: emit and reset the trace
+    // state so per-section counters don't accumulate across sections.
+    nde_bench::iteration_boundary();
 
     section("Neighbor-cache builds (full sorted lists vs kd-tree top-k)");
     let (full, full_s) = timed_traced("phase.full_cache", || build_neighbor_cache(&train, &valid));
@@ -95,6 +98,7 @@ fn main() {
     row(&["cache", "build_s", "speedup_vs_full"]);
     row(&["full".to_string(), f4(full_s), f4(1.0)]);
     row(&["topk".to_string(), f4(topk_s), f4(full_s / topk_s)]);
+    nde_bench::iteration_boundary();
 
     section("High-dimensional honesty check (standard encoder, 64-dim text)");
     let s_hi = HiringScenario::generate(&HiringConfig {

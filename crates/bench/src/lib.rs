@@ -19,6 +19,8 @@
 use std::fmt::Display;
 use std::time::Instant;
 
+pub mod perf;
+
 /// Prints a section header.
 pub fn section(title: &str) {
     println!("\n=== {title} ===");
@@ -76,6 +78,19 @@ impl Drop for TraceGuard {
 /// Formats a float with 4 decimals (the harness's standard precision).
 pub fn f4(v: f64) -> String {
     format!("{v:.4}")
+}
+
+/// Marks the boundary between independent iterations (or sections) of a
+/// bench binary: emits the accumulated `nde-trace` summary for the
+/// section just finished, flushes it to the sink, then resets all
+/// process-global trace state so the next section starts from zero.
+/// Without this, counters and span aggregates bleed across sections and
+/// per-section numbers in the trajectory are cumulative instead of
+/// independent.
+pub fn iteration_boundary() {
+    nde_trace::report();
+    nde_trace::flush();
+    nde_trace::reset();
 }
 
 #[cfg(test)]

@@ -1,0 +1,98 @@
+//! Feature-gated counting global allocator (`--features alloc-count`).
+//!
+//! When the `alloc-count` feature is enabled this module installs a
+//! [`GlobalAlloc`] that delegates every call to [`System`] and maintains
+//! two thread-local tallies: bytes requested and allocation count
+//! (`realloc` growth counts the grown delta; `dealloc` and shrinking are
+//! free — the tallies are monotone, like counters, so span deltas are
+//! always non-negative). [`crate::span`] samples the tallies when a span
+//! opens and again when it closes, attaching the difference as
+//! `alloc_bytes` / `alloc_count` fields on the emitted record — memory
+//! hot spots line up with wall-time hot spots in the same trace.
+//!
+//! Design constraints:
+//!
+//! - **Off by default, zero overhead off.** Without the feature this
+//!   module is not compiled and the binary uses the unwrapped system
+//!   allocator; there is no runtime flag to check.
+//! - **No allocation inside the hook.** The tallies are `Cell<u64>`
+//!   thread-locals with `const` initializers — no lazy init, no
+//!   destructor registration, so bumping them can never re-enter the
+//!   allocator (which would recurse).
+//! - **Thread-local attribution.** A span only observes allocations made
+//!   on its own thread. Work fanned out through `nde-parallel` is
+//!   attributed to the worker threads' spans (or not at all if the worker
+//!   opened none), not to the coordinating span — same semantics as span
+//!   wall-clock nesting, which is also per-thread.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static BYTES: Cell<u64> = const { Cell::new(0) };
+    static COUNT: Cell<u64> = const { Cell::new(0) };
+}
+
+/// The counting allocator installed as `#[global_allocator]` while the
+/// `alloc-count` feature is active. Delegates to [`System`].
+pub struct CountingAllocator;
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+#[inline]
+fn note(bytes: u64) {
+    BYTES.with(|b| b.set(b.get().wrapping_add(bytes)));
+    COUNT.with(|c| c.set(c.get().wrapping_add(1)));
+}
+
+// SAFETY: pure delegation to `System`; the bookkeeping touches only
+// thread-local `Cell`s and never allocates.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        note(layout.size() as u64);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        note(layout.size() as u64);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if new_size > layout.size() {
+            note((new_size - layout.size()) as u64);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// This thread's monotone allocation tallies since thread start:
+/// `(bytes_requested, allocation_count)`. Subtract two readings to
+/// attribute the allocations made between them (what spans do).
+pub fn thread_alloc_totals() -> (u64, u64) {
+    (BYTES.with(Cell::get), COUNT.with(Cell::get))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_are_monotone_and_observe_allocations() {
+        let (b0, c0) = thread_alloc_totals();
+        let v: Vec<u8> = Vec::with_capacity(4096);
+        std::hint::black_box(&v);
+        let (b1, c1) = thread_alloc_totals();
+        assert!(b1 >= b0 + 4096, "bytes {b0} -> {b1}");
+        assert!(c1 > c0, "count {c0} -> {c1}");
+        drop(v);
+        // Dealloc never decreases the tallies.
+        let (b2, c2) = thread_alloc_totals();
+        assert!(b2 >= b1 && c2 >= c1);
+    }
+}

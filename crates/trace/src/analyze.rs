@@ -1,0 +1,600 @@
+//! Post-hoc analysis of JSON-lines trace output: parse a trajectory back
+//! into typed records, reconstruct the span tree (inclusive vs. self
+//! time), aggregate per name (count / total / p50 / p95 / max), extract
+//! the critical path, and export to Chrome Trace Event format so any run
+//! opens in Perfetto or `chrome://tracing`.
+//!
+//! This is the read side of the JSON sink: everything the
+//! JSON sink emits — `span`, `counter`, `gauge`, `histogram`,
+//! `span_stats` records — parses back losslessly through
+//! [`crate::json::parse`] (exact integers included) and lands in a
+//! [`TraceData`]. Records of unknown `type` are skipped, so the format
+//! can grow without breaking old analyzers.
+//!
+//! # Span-tree reconstruction
+//!
+//! The sink emits one record per span **as it closes**, so a file is a
+//! post-order walk of each thread's span forest, interleaved across
+//! threads. Reconstruction runs per thread with a pending stack: children
+//! always close before their parent, therefore when a record at depth *d*
+//! arrives, every pending subtree at depth > *d* that started after it
+//! belongs underneath it. This is exact for well-nested spans (which the
+//! RAII guards guarantee) and degrades gracefully — spans whose parent
+//! never closed (e.g. a truncated file) surface as extra roots.
+//!
+//! ```
+//! use nde_trace::analyze;
+//!
+//! let jsonl = r#"
+//! {"type":"span","name":"inner","depth":1,"start_us":10,"dur_us":5,"thread":"main","fields":{}}
+//! {"type":"span","name":"outer","depth":0,"start_us":0,"dur_us":30,"thread":"main","fields":{}}
+//! {"type":"counter","name":"hits","value":3}
+//! "#;
+//! let data = analyze::parse_jsonl(jsonl).unwrap();
+//! let roots = analyze::build_span_trees(&data.spans);
+//! assert_eq!(roots.len(), 1);
+//! assert_eq!(roots[0].record.name, "outer");
+//! assert_eq!(roots[0].children[0].record.name, "inner");
+//! assert_eq!(roots[0].self_us(), 25); // 30 inclusive − 5 in children
+//! assert_eq!(data.counters["hits"], 3);
+//! ```
+
+use crate::json::{self, JsonValue};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One `span` record read back from the JSON sink.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Span name (static dotted path at emission time).
+    pub name: String,
+    /// Nesting depth on its thread when opened (0 = root).
+    pub depth: usize,
+    /// Start offset from process origin, microseconds.
+    pub start_us: u64,
+    /// Inclusive wall-clock duration, microseconds.
+    pub dur_us: u64,
+    /// Thread name (or debug-formatted id for unnamed threads).
+    pub thread: String,
+    /// Attached fields, in attachment order.
+    pub fields: Vec<(String, JsonValue)>,
+}
+
+/// One `histogram` record from a `report()` block, percentiles included.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramRecord {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Interpolated median (0 when the emitting build predates p50).
+    pub p50: u64,
+    /// Interpolated 95th percentile.
+    pub p95: u64,
+    /// Interpolated 99th percentile.
+    pub p99: u64,
+}
+
+/// Everything parsed out of one JSONL trajectory. Metric maps keep the
+/// **last** record per name, matching the cumulative semantics of
+/// repeated `report()` calls.
+#[derive(Debug, Clone, Default)]
+pub struct TraceData {
+    /// Span records in file order (= close order).
+    pub spans: Vec<SpanRecord>,
+    /// Final counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Final gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Final histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramRecord>,
+    /// Final `span_stats` aggregates by name: `(count, total_us)`.
+    pub span_stats: BTreeMap<String, (u64, u64)>,
+}
+
+/// A failure while analyzing a trajectory: 1-based line number plus a
+/// message (line 0 for file-level problems).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalyzeError {
+    /// 1-based line number in the JSONL input (0 = not line-specific).
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl std::fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace analyze error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for AnalyzeError {}
+
+fn need_str(v: &JsonValue, key: &str, line: usize) -> Result<String, AnalyzeError> {
+    v.get(key)
+        .and_then(JsonValue::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| AnalyzeError {
+            line,
+            msg: format!("missing string field {key:?}"),
+        })
+}
+
+fn need_u64(v: &JsonValue, key: &str, line: usize) -> Result<u64, AnalyzeError> {
+    v.get(key)
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| AnalyzeError {
+            line,
+            msg: format!("missing u64 field {key:?}"),
+        })
+}
+
+fn opt_u64(v: &JsonValue, key: &str) -> u64 {
+    v.get(key).and_then(JsonValue::as_u64).unwrap_or(0)
+}
+
+/// Parses a whole JSONL trajectory (as emitted under `NDE_TRACE=json`)
+/// into a [`TraceData`]. Blank lines are skipped; unparseable lines and
+/// known record types with missing fields are errors; records of unknown
+/// `type` are ignored.
+pub fn parse_jsonl(input: &str) -> Result<TraceData, AnalyzeError> {
+    let mut data = TraceData::default();
+    for (idx, raw) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let value = json::parse(line).map_err(|e| AnalyzeError {
+            line: line_no,
+            msg: e.to_string(),
+        })?;
+        let Some(ty) = value.get("type").and_then(JsonValue::as_str) else {
+            return Err(AnalyzeError {
+                line: line_no,
+                msg: "record has no \"type\"".into(),
+            });
+        };
+        match ty {
+            "span" => {
+                let fields = match value.get("fields") {
+                    Some(JsonValue::Object(members)) => members.clone(),
+                    _ => Vec::new(),
+                };
+                data.spans.push(SpanRecord {
+                    name: need_str(&value, "name", line_no)?,
+                    depth: need_u64(&value, "depth", line_no)? as usize,
+                    start_us: need_u64(&value, "start_us", line_no)?,
+                    dur_us: need_u64(&value, "dur_us", line_no)?,
+                    thread: need_str(&value, "thread", line_no)?,
+                    fields,
+                });
+            }
+            "counter" => {
+                data.counters.insert(
+                    need_str(&value, "name", line_no)?,
+                    need_u64(&value, "value", line_no)?,
+                );
+            }
+            "gauge" => {
+                let v = value
+                    .get("value")
+                    .and_then(JsonValue::as_f64)
+                    .unwrap_or(f64::NAN);
+                data.gauges.insert(need_str(&value, "name", line_no)?, v);
+            }
+            "histogram" => {
+                data.histograms.insert(
+                    need_str(&value, "name", line_no)?,
+                    HistogramRecord {
+                        count: need_u64(&value, "count", line_no)?,
+                        sum: need_u64(&value, "sum", line_no)?,
+                        max: need_u64(&value, "max", line_no)?,
+                        p50: opt_u64(&value, "p50"),
+                        p95: opt_u64(&value, "p95"),
+                        p99: opt_u64(&value, "p99"),
+                    },
+                );
+            }
+            "span_stats" => {
+                data.span_stats.insert(
+                    need_str(&value, "name", line_no)?,
+                    (
+                        need_u64(&value, "count", line_no)?,
+                        need_u64(&value, "total_us", line_no)?,
+                    ),
+                );
+            }
+            _ => {} // forward compatibility: skip unknown record types
+        }
+    }
+    Ok(data)
+}
+
+/// [`parse_jsonl`] over a file on disk.
+pub fn parse_jsonl_file(path: &std::path::Path) -> Result<TraceData, AnalyzeError> {
+    let contents = std::fs::read_to_string(path).map_err(|e| AnalyzeError {
+        line: 0,
+        msg: format!("cannot read {}: {e}", path.display()),
+    })?;
+    parse_jsonl(&contents)
+}
+
+/// A reconstructed span with its children.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanNode {
+    /// The closing record this node was built from.
+    pub record: SpanRecord,
+    /// Child spans in start order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Inclusive wall-clock time: the span's own duration, children
+    /// included (this is what the sink measured).
+    pub fn inclusive_us(&self) -> u64 {
+        self.record.dur_us
+    }
+
+    /// Sum of the children's inclusive times.
+    pub fn children_us(&self) -> u64 {
+        self.children.iter().map(SpanNode::inclusive_us).sum()
+    }
+
+    /// Self time: inclusive minus children, saturating at 0 (clock
+    /// granularity can make children sum a hair past the parent).
+    pub fn self_us(&self) -> u64 {
+        self.record.dur_us.saturating_sub(self.children_us())
+    }
+
+    fn walk<'a>(&'a self, f: &mut impl FnMut(&'a SpanNode)) {
+        f(self);
+        for child in &self.children {
+            child.walk(f);
+        }
+    }
+}
+
+/// Reconstructs the span forest from records in file (close) order; see
+/// the module docs for the algorithm. Roots are returned sorted by
+/// `(thread, start_us)`.
+pub fn build_span_trees(spans: &[SpanRecord]) -> Vec<SpanNode> {
+    let mut pending: BTreeMap<&str, Vec<SpanNode>> = BTreeMap::new();
+    for record in spans {
+        let stack = pending.entry(record.thread.as_str()).or_default();
+        let mut node = SpanNode {
+            record: record.clone(),
+            children: Vec::new(),
+        };
+        while let Some(last) = stack.last() {
+            if last.record.depth > record.depth && last.record.start_us >= record.start_us {
+                node.children.push(stack.pop().expect("non-empty stack"));
+            } else {
+                break;
+            }
+        }
+        // Children were popped newest-first; restore start order.
+        node.children.reverse();
+        stack.push(node);
+    }
+    let mut roots: Vec<SpanNode> = pending.into_values().flatten().collect();
+    roots.sort_by(|a, b| {
+        (a.record.thread.as_str(), a.record.start_us)
+            .cmp(&(b.record.thread.as_str(), b.record.start_us))
+    });
+    roots
+}
+
+/// Per-name aggregate over a reconstructed forest. Unlike the sink's
+/// `span_stats` records (count + total only), these carry self time and
+/// exact percentiles computed from the individual span durations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NameAggregate {
+    /// Number of spans with this name.
+    pub count: u64,
+    /// Total inclusive time, microseconds.
+    pub total_us: u64,
+    /// Total self time, microseconds.
+    pub self_us: u64,
+    /// Median inclusive duration (exact, nearest-rank).
+    pub p50_us: u64,
+    /// 95th-percentile inclusive duration (exact, nearest-rank).
+    pub p95_us: u64,
+    /// Largest inclusive duration.
+    pub max_us: u64,
+}
+
+fn nearest_rank(sorted: &[u64], q: f64) -> u64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = (q * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// Aggregates a forest per span name (sorted map).
+pub fn aggregate_spans(roots: &[SpanNode]) -> BTreeMap<String, NameAggregate> {
+    let mut durations: BTreeMap<&str, Vec<u64>> = BTreeMap::new();
+    let mut self_totals: BTreeMap<&str, u64> = BTreeMap::new();
+    for root in roots {
+        root.walk(&mut |node| {
+            durations
+                .entry(node.record.name.as_str())
+                .or_default()
+                .push(node.record.dur_us);
+            *self_totals.entry(node.record.name.as_str()).or_default() += node.self_us();
+        });
+    }
+    durations
+        .into_iter()
+        .map(|(name, mut durs)| {
+            durs.sort_unstable();
+            let agg = NameAggregate {
+                count: durs.len() as u64,
+                total_us: durs.iter().sum(),
+                self_us: self_totals[name],
+                p50_us: nearest_rank(&durs, 0.50),
+                p95_us: nearest_rank(&durs, 0.95),
+                max_us: *durs.last().expect("non-empty"),
+            };
+            (name.to_owned(), agg)
+        })
+        .collect()
+}
+
+/// One hop of a critical path; see [`critical_path`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CriticalPathStep {
+    /// Span name.
+    pub name: String,
+    /// Inclusive time of this span, microseconds.
+    pub inclusive_us: u64,
+    /// Self time of this span, microseconds.
+    pub self_us: u64,
+}
+
+/// The heaviest root-to-leaf chain under `root`: starting at the root,
+/// repeatedly descend into the child with the largest inclusive time.
+/// Each step names where the wall-clock actually went — the first step
+/// whose `self_us` dominates its `inclusive_us` is the optimization
+/// target.
+pub fn critical_path(root: &SpanNode) -> Vec<CriticalPathStep> {
+    let mut path = Vec::new();
+    let mut node = root;
+    loop {
+        path.push(CriticalPathStep {
+            name: node.record.name.clone(),
+            inclusive_us: node.inclusive_us(),
+            self_us: node.self_us(),
+        });
+        match node.children.iter().max_by_key(|c| c.inclusive_us()) {
+            Some(heaviest) => node = heaviest,
+            None => return path,
+        }
+    }
+}
+
+/// Renders a forest as an indented text tree with inclusive/self times —
+/// the human-readable counterpart of the Chrome export, used by
+/// `perf_report --analyze`.
+pub fn render_tree(roots: &[SpanNode]) -> String {
+    fn rec(node: &SpanNode, indent: usize, out: &mut String) {
+        let _ = writeln!(
+            out,
+            "{:indent$}{} incl={:.3}ms self={:.3}ms",
+            "",
+            node.record.name,
+            node.inclusive_us() as f64 / 1e3,
+            node.self_us() as f64 / 1e3,
+            indent = indent * 2
+        );
+        for child in &node.children {
+            rec(child, indent + 1, out);
+        }
+    }
+    let mut out = String::new();
+    for root in roots {
+        rec(root, 0, &mut out);
+    }
+    out
+}
+
+/// Exports span records to Chrome Trace Event JSON (the
+/// `{"traceEvents":[...]}` object form): one complete (`"ph":"X"`) event
+/// per span plus a `thread_name` metadata event per thread, loadable in
+/// Perfetto / `chrome://tracing`. Span fields ride along in `args`.
+/// Timestamps are the process-origin-relative `start_us` values, so
+/// concurrent threads line up on one clock.
+pub fn to_chrome_trace(spans: &[SpanRecord]) -> String {
+    let mut tids: BTreeMap<&str, usize> = BTreeMap::new();
+    for record in spans {
+        let next = tids.len() + 1;
+        tids.entry(record.thread.as_str()).or_insert(next);
+    }
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    for (thread, tid) in &tids {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "{{\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"name\":\"thread_name\",\"args\":{{\"name\":\""
+        ));
+        json::escape_into(&mut out, thread);
+        out.push_str("\"}}");
+    }
+    for record in spans {
+        out.push_str(",{\"ph\":\"X\",\"pid\":1,\"tid\":");
+        out.push_str(&tids[record.thread.as_str()].to_string());
+        out.push_str(",\"name\":\"");
+        json::escape_into(&mut out, &record.name);
+        out.push_str(&format!(
+            "\",\"cat\":\"nde\",\"ts\":{},\"dur\":{},\"args\":{{",
+            record.start_us, record.dur_us
+        ));
+        for (i, (key, value)) in record.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            json::escape_into(&mut out, key);
+            out.push_str("\":");
+            json::write_value(&mut out, value);
+        }
+        out.push_str("}}");
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span_line(name: &str, depth: usize, start: u64, dur: u64, thread: &str) -> String {
+        format!(
+            "{{\"type\":\"span\",\"name\":\"{name}\",\"depth\":{depth},\"start_us\":{start},\
+             \"dur_us\":{dur},\"thread\":\"{thread}\",\"fields\":{{}}}}"
+        )
+    }
+
+    #[test]
+    fn parses_and_skips_unknown_types() {
+        let input = [
+            span_line("a", 0, 0, 10, "main"),
+            "{\"type\":\"future_thing\",\"payload\":[1,2,3]}".to_owned(),
+            "{\"type\":\"counter\",\"name\":\"c\",\"value\":18446744073709551615}".to_owned(),
+            String::new(),
+        ]
+        .join("\n");
+        let data = parse_jsonl(&input).unwrap();
+        assert_eq!(data.spans.len(), 1);
+        assert_eq!(data.counters["c"], u64::MAX, "exact u64 survives");
+    }
+
+    #[test]
+    fn reports_line_numbers_on_bad_input() {
+        let input = format!("{}\nnot json", span_line("a", 0, 0, 1, "main"));
+        let err = parse_jsonl(&input).unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn tree_reconstruction_interleaved_threads() {
+        // Two threads; close order: t1.inner, t2.only, t1.outer.
+        let input = [
+            span_line("inner", 1, 5, 10, "t1"),
+            span_line("only", 0, 0, 50, "t2"),
+            span_line("outer", 0, 0, 40, "t1"),
+        ]
+        .join("\n");
+        let data = parse_jsonl(&input).unwrap();
+        let roots = build_span_trees(&data.spans);
+        assert_eq!(roots.len(), 2);
+        let outer = roots.iter().find(|r| r.record.name == "outer").unwrap();
+        assert_eq!(outer.children.len(), 1);
+        assert_eq!(outer.children[0].record.name, "inner");
+        assert_eq!(outer.self_us(), 30);
+        let only = roots.iter().find(|r| r.record.name == "only").unwrap();
+        assert!(only.children.is_empty());
+        assert_eq!(only.self_us(), 50);
+    }
+
+    #[test]
+    fn sequential_roots_do_not_nest() {
+        // Two consecutive depth-0 spans on one thread: the second must not
+        // adopt the first.
+        let input = [
+            span_line("a", 0, 0, 10, "main"),
+            span_line("b", 0, 20, 10, "main"),
+        ]
+        .join("\n");
+        let roots = build_span_trees(&parse_jsonl(&input).unwrap().spans);
+        assert_eq!(roots.len(), 2);
+        assert!(roots.iter().all(|r| r.children.is_empty()));
+    }
+
+    #[test]
+    fn orphaned_children_become_roots() {
+        // A truncated file: children closed, parent record missing.
+        let input = [
+            span_line("x", 2, 10, 5, "main"),
+            span_line("y", 1, 8, 9, "main"),
+        ]
+        .join("\n");
+        let roots = build_span_trees(&parse_jsonl(&input).unwrap().spans);
+        assert_eq!(roots.len(), 1, "y adopts x; y itself stays a root");
+        assert_eq!(roots[0].record.name, "y");
+    }
+
+    #[test]
+    fn aggregates_and_critical_path() {
+        // root(100) -> [fast(10), slow(60 -> leaf(40))]
+        let input = [
+            span_line("fast", 1, 0, 10, "main"),
+            span_line("leaf", 2, 20, 40, "main"),
+            span_line("slow", 1, 15, 60, "main"),
+            span_line("root", 0, 0, 100, "main"),
+        ]
+        .join("\n");
+        let roots = build_span_trees(&parse_jsonl(&input).unwrap().spans);
+        assert_eq!(roots.len(), 1);
+        let agg = aggregate_spans(&roots);
+        assert_eq!(agg["root"].count, 1);
+        assert_eq!(agg["root"].total_us, 100);
+        assert_eq!(agg["root"].self_us, 30); // 100 − (10 + 60)
+        assert_eq!(agg["slow"].self_us, 20); // 60 − 40
+        assert_eq!(agg["leaf"].p50_us, 40);
+        let path = critical_path(&roots[0]);
+        let names: Vec<&str> = path.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["root", "slow", "leaf"]);
+        assert_eq!(path[0].self_us, 30);
+        let rendered = render_tree(&roots);
+        assert!(
+            rendered.contains("root incl=0.100ms self=0.030ms"),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(nearest_rank(&sorted, 0.50), 50);
+        assert_eq!(nearest_rank(&sorted, 0.95), 95);
+        assert_eq!(nearest_rank(&sorted, 1.0), 100);
+        assert_eq!(nearest_rank(&[7], 0.5), 7);
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json_and_keeps_fields() {
+        let mut record_input = span_line("work", 0, 3, 9, "main");
+        record_input = record_input.replace(
+            "\"fields\":{}",
+            "\"fields\":{\"rows\":12,\"label\":\"a\\\"b\"}",
+        );
+        let data = parse_jsonl(&record_input).unwrap();
+        let chrome = to_chrome_trace(&data.spans);
+        let parsed = json::parse(&chrome).unwrap();
+        let events = match parsed.get("traceEvents").unwrap() {
+            JsonValue::Array(items) => items,
+            other => panic!("not an array: {other:?}"),
+        };
+        // 1 thread metadata event + 1 span event.
+        assert_eq!(events.len(), 2);
+        let span_ev = events
+            .iter()
+            .find(|e| e.get("ph").and_then(JsonValue::as_str) == Some("X"))
+            .unwrap();
+        assert_eq!(span_ev.get("ts").unwrap().as_u64(), Some(3));
+        assert_eq!(span_ev.get("dur").unwrap().as_u64(), Some(9));
+        assert_eq!(
+            span_ev.get("args").unwrap().get("rows").unwrap().as_u64(),
+            Some(12)
+        );
+        assert_eq!(
+            span_ev.get("args").unwrap().get("label").unwrap().as_str(),
+            Some("a\"b")
+        );
+    }
+}

@@ -29,6 +29,46 @@ pub fn write_f64(out: &mut String, v: f64) {
     }
 }
 
+/// Appends `value` to `out` as JSON text. Together with [`parse`] this
+/// round-trips every [`JsonValue`]: strings re-escape, exact integers
+/// render as plain decimals, floats via [`write_f64`].
+pub fn write_value(out: &mut String, value: &JsonValue) {
+    match value {
+        JsonValue::Null => out.push_str("null"),
+        JsonValue::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+        JsonValue::Number(v) => write_f64(out, *v),
+        JsonValue::Int(v) => out.push_str(&v.to_string()),
+        JsonValue::String(s) => {
+            out.push('"');
+            escape_into(out, s);
+            out.push('"');
+        }
+        JsonValue::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(out, item);
+            }
+            out.push(']');
+        }
+        JsonValue::Object(members) => {
+            out.push('{');
+            for (i, (key, v)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                escape_into(out, key);
+                out.push_str("\":");
+                write_value(out, v);
+            }
+            out.push('}');
+        }
+    }
+}
+
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JsonValue {
@@ -36,8 +76,14 @@ pub enum JsonValue {
     Null,
     /// `true` / `false`.
     Bool(bool),
-    /// Any JSON number.
+    /// A number with a fractional part or exponent (or one too large for
+    /// the exact-integer variant).
     Number(f64),
+    /// An integer parsed exactly. Plain decimal integers are kept in
+    /// `i128` so every `u64` (span durations, byte counters) and every
+    /// `i64` field value round-trips bit-exactly instead of being
+    /// squeezed through `f64`'s 53-bit mantissa.
+    Int(i128),
     /// A string.
     String(String),
     /// An array.
@@ -55,19 +101,36 @@ impl JsonValue {
         }
     }
 
-    /// The numeric value, if this is a number.
+    /// The numeric value, if this is a number (exact integers convert
+    /// through `as f64`, so values above 2⁵³ may round).
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             JsonValue::Number(v) => Some(*v),
+            JsonValue::Int(v) => Some(*v as f64),
             _ => None,
         }
     }
 
     /// The numeric value as `u64`, if this is a non-negative integral
-    /// number.
+    /// number. Exact for [`JsonValue::Int`] across the whole `u64` range.
     pub fn as_u64(&self) -> Option<u64> {
         match self {
             JsonValue::Number(v) if *v >= 0.0 && v.fract() == 0.0 => Some(*v as u64),
+            JsonValue::Int(v) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as `i64`, if this is an integral number in
+    /// range. Exact for [`JsonValue::Int`].
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            JsonValue::Number(v)
+                if v.fract() == 0.0 && *v >= i64::MIN as f64 && *v <= i64::MAX as f64 =>
+            {
+                Some(*v as i64)
+            }
+            JsonValue::Int(v) => i64::try_from(*v).ok(),
             _ => None,
         }
     }
@@ -178,6 +241,18 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, ParseError> 
         pos: start,
         msg: "invalid number bytes",
     })?;
+    // Plain decimal integers (no fraction, no exponent) parse exactly;
+    // i128 covers the full u64 and i64 ranges. Anything else — or an
+    // integer too large even for i128 — falls back to f64.
+    let is_plain_int = {
+        let digits = text.strip_prefix('-').unwrap_or(text);
+        !digits.is_empty() && digits.bytes().all(|b| b.is_ascii_digit())
+    };
+    if is_plain_int {
+        if let Ok(v) = text.parse::<i128>() {
+            return Ok(JsonValue::Int(v));
+        }
+    }
     text.parse::<f64>()
         .map(JsonValue::Number)
         .map_err(|_| ParseError {
@@ -358,6 +433,33 @@ mod tests {
         assert!(parse("{} extra").is_err());
         assert!(parse("nul").is_err());
         assert!(parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn large_integers_parse_exactly() {
+        let line = format!(
+            "{{\"a\":{},\"b\":{},\"c\":-9007199254740995}}",
+            u64::MAX,
+            1u64 << 53 | 1
+        );
+        let v = parse(&line).unwrap();
+        assert_eq!(v.get("a").unwrap().as_u64(), Some(u64::MAX));
+        assert_eq!(v.get("b").unwrap().as_u64(), Some((1u64 << 53) | 1));
+        assert_eq!(v.get("c").unwrap().as_i64(), Some(-9007199254740995));
+        // Exponents and fractions still go through f64.
+        assert_eq!(parse("1e3").unwrap(), JsonValue::Number(1000.0));
+        assert_eq!(parse("2.5").unwrap(), JsonValue::Number(2.5));
+    }
+
+    #[test]
+    fn write_value_round_trips() {
+        let original = parse(
+            r#"{"s":"a\"b\\c\nd","n":null,"t":true,"big":18446744073709551615,"neg":-42,"f":0.5,"arr":[1,[2,"x"],{}]}"#,
+        )
+        .unwrap();
+        let mut rendered = String::new();
+        write_value(&mut rendered, &original);
+        assert_eq!(parse(&rendered).unwrap(), original);
     }
 
     #[test]

@@ -23,6 +23,15 @@
 //!    * `json`: JSON-lines records appended to `NDE_TRACE_FILE` (default
 //!      `nde_trace.jsonl`), machine-readable with [`json::parse`].
 //!
+//! The **read side** lives in [`analyze`]: parse a JSONL trajectory back
+//! into typed records, reconstruct span trees with inclusive vs. self
+//! time, aggregate per name, extract critical paths, and export to Chrome
+//! Trace Event format for Perfetto.
+//!
+//! With the optional `alloc-count` feature (off by default), a counting
+//! global allocator attributes bytes-allocated and allocation counts to
+//! the active span as `alloc_bytes`/`alloc_count` fields.
+//!
 //! Tracing is strictly observational: enabling any sink never changes a
 //! computed result, only what gets reported about it.
 //!
@@ -48,6 +57,9 @@
 //! # trace::configure(trace::Sink::Off, None);
 //! ```
 
+#[cfg(feature = "alloc-count")]
+pub mod alloc;
+pub mod analyze;
 pub mod json;
 mod metrics;
 mod sink;
@@ -56,5 +68,5 @@ mod span;
 pub use metrics::{
     counter, counter_value, gauge, histogram, Counter, Gauge, Histogram, HistogramSnapshot,
 };
-pub use sink::{active_sink, configure, enabled, flush, report, reset, Sink};
+pub use sink::{active_sink, configure, enabled, flush, render_report, report, reset, Sink};
 pub use span::{span, span_stats, FieldValue, Span};

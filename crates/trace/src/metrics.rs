@@ -199,6 +199,54 @@ pub struct HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`) by linear
+    /// interpolation inside the log₂ bucket containing the target rank.
+    /// Bucket 0 contributes exactly 0; the estimate is clamped to
+    /// [`HistogramSnapshot::max`], so `percentile(1.0)` returns the true
+    /// maximum. Returns 0 for an empty histogram.
+    ///
+    /// The worst-case relative error is bounded by the bucket width: an
+    /// estimate can be off by at most 2× (one bucket), which is plenty
+    /// for latency reporting — and exact at the recorded max.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Fractional target rank in [1, count]: the q·count-th smallest.
+        let target = (q * self.count as f64).max(1.0);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if target <= (cum + c) as f64 {
+                let lo = bucket_lo(i) as f64;
+                let hi = if i == 0 { 0.0 } else { lo * 2.0 };
+                let frac = (target - cum as f64) / c as f64;
+                let est = lo + frac * (hi - lo);
+                return (est.round() as u64).min(self.max);
+            }
+            cum += c;
+        }
+        self.max
+    }
+
+    /// Interpolated median; see [`HistogramSnapshot::percentile`].
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// Interpolated 95th percentile; see [`HistogramSnapshot::percentile`].
+    pub fn p95(&self) -> u64 {
+        self.percentile(0.95)
+    }
+
+    /// Interpolated 99th percentile; see [`HistogramSnapshot::percentile`].
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+
     /// `(bucket lower bound, count)` pairs for every non-empty bucket,
     /// in ascending value order. Bucket 0 covers exactly the value 0;
     /// bucket with lower bound `2^k` covers `[2^k, 2^(k+1))`.
@@ -266,6 +314,50 @@ pub(crate) fn reset_metrics() {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn percentiles_interpolate_within_buckets() {
+        let empty = HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            max: 0,
+            buckets: [0; HISTO_BUCKETS],
+        };
+        assert_eq!(empty.p50(), 0);
+
+        // 100 samples all equal to 1000: every percentile must land in
+        // bucket [512, 1024) and clamp to the true max.
+        let mut buckets = [0u64; HISTO_BUCKETS];
+        buckets[bucket_index(1000)] = 100;
+        let point = HistogramSnapshot {
+            count: 100,
+            sum: 100_000,
+            max: 1000,
+            buckets,
+        };
+        for q in [0.5, 0.95, 0.99, 1.0] {
+            let est = point.percentile(q);
+            assert!((512..=1000).contains(&est), "q={q} est={est}");
+        }
+        assert_eq!(point.percentile(1.0), 1000);
+
+        // Bimodal: 90 zeros + 10 samples near 4096. p50 sits in the zero
+        // bucket, p95+ in the high bucket.
+        let mut buckets = [0u64; HISTO_BUCKETS];
+        buckets[0] = 90;
+        buckets[bucket_index(5000)] = 10;
+        let bimodal = HistogramSnapshot {
+            count: 100,
+            sum: 50_000,
+            max: 5000,
+            buckets,
+        };
+        assert_eq!(bimodal.p50(), 0);
+        assert!(bimodal.p95() >= 4096, "p95={}", bimodal.p95());
+        assert!(bimodal.p99() >= 4096);
+        // Monotone in q.
+        assert!(bimodal.p50() <= bimodal.p95() && bimodal.p95() <= bimodal.p99());
+    }
 
     #[test]
     fn bucket_index_and_bounds() {

@@ -149,44 +149,64 @@ pub fn report() {
     }
 }
 
-fn report_human() {
+/// Renders the human-readable summary [`report`] prints — every section
+/// (spans, counters, gauges, histograms) sorted by name, so the output is
+/// deterministic for a given set of accumulated metrics and safe to diff
+/// or assert on in tests. Works regardless of the active sink; returns an
+/// empty-sectioned header when nothing has accumulated.
+pub fn render_report() -> String {
+    use std::fmt::Write as _;
     let counters = crate::metrics::counters_snapshot();
     let gauges = crate::metrics::gauges_snapshot();
     let histograms = crate::metrics::histograms_snapshot();
     let spans = crate::span::span_stats_snapshot();
-    eprintln!("── nde-trace report ──");
+    let mut out = String::from("── nde-trace report ──\n");
     if !spans.is_empty() {
-        eprintln!("spans (name, count, total):");
+        out.push_str("spans (name, count, total):\n");
         for (name, count, total_us) in &spans {
-            eprintln!("  {name:<42} {count:>8} {:>12.3}ms", *total_us as f64 / 1e3);
+            let _ = writeln!(
+                out,
+                "  {name:<42} {count:>8} {:>12.3}ms",
+                *total_us as f64 / 1e3
+            );
         }
     }
     if !counters.is_empty() {
-        eprintln!("counters:");
+        out.push_str("counters:\n");
         for (name, value) in &counters {
-            eprintln!("  {name:<42} {value:>8}");
+            let _ = writeln!(out, "  {name:<42} {value:>8}");
         }
     }
     if !gauges.is_empty() {
-        eprintln!("gauges:");
+        out.push_str("gauges:\n");
         for (name, value) in &gauges {
-            eprintln!("  {name:<42} {value:>12.4}");
+            let _ = writeln!(out, "  {name:<42} {value:>12.4}");
         }
     }
     if !histograms.is_empty() {
-        eprintln!("histograms (name, count, mean, max):");
+        out.push_str("histograms (name, count, mean, p50, p95, p99, max):\n");
         for (name, snap) in &histograms {
             let mean = if snap.count > 0 {
                 snap.sum as f64 / snap.count as f64
             } else {
                 0.0
             };
-            eprintln!(
-                "  {name:<42} {:>8} {mean:>12.1} {:>10}",
-                snap.count, snap.max
+            let _ = writeln!(
+                out,
+                "  {name:<42} {:>8} {mean:>12.1} {:>10} {:>10} {:>10} {:>10}",
+                snap.count,
+                snap.p50(),
+                snap.p95(),
+                snap.p99(),
+                snap.max
             );
         }
     }
+    out
+}
+
+fn report_human() {
+    eprint!("{}", render_report());
     flush();
 }
 
@@ -210,8 +230,13 @@ fn report_json() {
         let mut line = String::from("{\"type\":\"histogram\",\"name\":\"");
         escape_into(&mut line, &name);
         line.push_str(&format!(
-            "\",\"count\":{},\"sum\":{},\"max\":{},\"buckets\":[",
-            snap.count, snap.sum, snap.max
+            "\",\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"buckets\":[",
+            snap.count,
+            snap.sum,
+            snap.max,
+            snap.p50(),
+            snap.p95(),
+            snap.p99()
         ));
         // Render as (bucket lower bound, count) pairs for non-empty buckets.
         let mut first = true;

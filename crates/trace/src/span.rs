@@ -81,6 +81,10 @@ struct SpanInner {
     start_us: u64,
     depth: usize,
     fields: Vec<(&'static str, FieldValue)>,
+    /// `(bytes, count)` allocation tallies at open; the close-time delta
+    /// becomes `alloc_bytes`/`alloc_count` fields (alloc-count feature).
+    #[cfg(feature = "alloc-count")]
+    alloc_at_open: (u64, u64),
 }
 
 /// An in-flight timed scope, created by [`span`]. Dropping it (or calling
@@ -115,6 +119,8 @@ pub fn span(name: &'static str) -> Span {
             start_us: since_origin_us(),
             depth,
             fields: Vec::new(),
+            #[cfg(feature = "alloc-count")]
+            alloc_at_open: crate::alloc::thread_alloc_totals(),
         }),
     }
 }
@@ -149,10 +155,25 @@ impl Span {
     }
 
     fn finish(&mut self) -> Duration {
-        let Some(inner) = self.inner.take() else {
+        #[allow(unused_mut)]
+        let Some(mut inner) = self.inner.take() else {
             return Duration::ZERO;
         };
         let elapsed = inner.start.elapsed();
+        #[cfg(feature = "alloc-count")]
+        {
+            // Inclusive of children on this thread, like wall-clock time.
+            let (bytes, count) = crate::alloc::thread_alloc_totals();
+            let (bytes0, count0) = inner.alloc_at_open;
+            inner.fields.push((
+                "alloc_bytes",
+                FieldValue::Int(bytes.wrapping_sub(bytes0) as i64),
+            ));
+            inner.fields.push((
+                "alloc_count",
+                FieldValue::Int(count.wrapping_sub(count0) as i64),
+            ));
+        }
         DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
         let elapsed_us = elapsed.as_micros() as u64;
         {

@@ -1,0 +1,64 @@
+//! Per-span allocation attribution (the `alloc-count` feature): spans
+//! emitted to the JSON sink must carry `alloc_bytes`/`alloc_count` fields
+//! reflecting the allocations made while they were open. This file is a
+//! no-op without the feature (`cargo test -p nde-trace --features
+//! alloc-count` runs it in CI).
+#![cfg(feature = "alloc-count")]
+
+use nde_trace as trace;
+use nde_trace::json::JsonValue;
+
+#[test]
+fn spans_attribute_bytes_allocated_inside_them() {
+    let mut path = std::env::temp_dir();
+    path.push(format!("nde_alloc_attr_{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    trace::configure(trace::Sink::Json, Some(&path));
+
+    const BIG: usize = 1 << 20; // 1 MiB in one shot
+    {
+        let _outer = trace::span("alloc.outer");
+        {
+            let _inner = trace::span("alloc.inner");
+            let buf: Vec<u8> = Vec::with_capacity(BIG);
+            std::hint::black_box(&buf);
+        }
+        // A small allocation of our own so outer's self-allocation is
+        // non-trivial too.
+        let small: Vec<u8> = Vec::with_capacity(64);
+        std::hint::black_box(&small);
+    }
+    trace::configure(trace::Sink::Off, None); // flush + close
+
+    let contents = std::fs::read_to_string(&path).expect("trace file written");
+    let field = |span: &str, key: &str| -> u64 {
+        contents
+            .lines()
+            .filter_map(|l| trace::json::parse(l).ok())
+            .find(|r| {
+                r.get("type").and_then(JsonValue::as_str) == Some("span")
+                    && r.get("name").and_then(JsonValue::as_str) == Some(span)
+            })
+            .and_then(|r| {
+                r.get("fields")
+                    .and_then(|f| f.get(key).and_then(JsonValue::as_u64))
+            })
+            .unwrap_or_else(|| panic!("span {span} lacks field {key} in:\n{contents}"))
+    };
+
+    let inner_bytes = field("alloc.inner", "alloc_bytes");
+    let inner_count = field("alloc.inner", "alloc_count");
+    assert!(inner_bytes >= BIG as u64, "inner_bytes = {inner_bytes}");
+    assert!(inner_count >= 1);
+
+    // Attribution is inclusive: the outer span covers the inner's MiB
+    // plus its own small buffer.
+    let outer_bytes = field("alloc.outer", "alloc_bytes");
+    assert!(
+        outer_bytes >= inner_bytes + 64,
+        "outer_bytes = {outer_bytes}"
+    );
+
+    trace::reset();
+    let _ = std::fs::remove_file(&path);
+}

@@ -1,0 +1,113 @@
+//! Property tests for the hand-rolled JSON writer + parser pair in
+//! `nde_trace::json`. The analyzer ([`nde_trace::analyze`]) trusts this
+//! round trip completely — escaped strings, exact large integers, nested
+//! structures — so the properties here are its foundation.
+
+use nde_trace::json::{self, JsonValue};
+use proptest::prelude::*;
+
+/// Builds a span-shaped JSON line the way the sink does (escape_into +
+/// manual assembly), with one string field and one integer field.
+fn span_line(name: &str, dur_us: u64, label: &str, rows: u64) -> String {
+    let mut line = String::from("{\"type\":\"span\",\"name\":\"");
+    json::escape_into(&mut line, name);
+    line.push_str(&format!(
+        "\",\"depth\":0,\"start_us\":0,\"dur_us\":{dur_us},\"thread\":\"main\",\"fields\":{{\"label\":\""
+    ));
+    json::escape_into(&mut line, label);
+    line.push_str(&format!("\",\"rows\":{rows}}}}}"));
+    line
+}
+
+/// Folds leaves into a nested value: arrays of objects of arrays, `depth`
+/// levels deep — a deterministic shape driven by generated content.
+fn nest(leaves: &[(String, u64)], depth: usize) -> JsonValue {
+    if depth == 0 || leaves.is_empty() {
+        return JsonValue::Array(
+            leaves
+                .iter()
+                .map(|(s, n)| {
+                    JsonValue::Object(vec![
+                        (s.clone(), JsonValue::Int(*n as i128)),
+                        ("s".to_owned(), JsonValue::String(s.clone())),
+                    ])
+                })
+                .collect(),
+        );
+    }
+    let (head, tail) = leaves.split_at(leaves.len() / 2);
+    JsonValue::Object(vec![
+        ("left".to_owned(), nest(head, depth - 1)),
+        ("right".to_owned(), nest(tail, depth - 1)),
+        ("n".to_owned(), JsonValue::Int(leaves.len() as i128)),
+    ])
+}
+
+proptest! {
+    // Printable ASCII (includes `"`, `\`, `{`, `}`) plus control
+    // characters and multi-byte UTF-8 — everything escape_into must
+    // handle.
+    #[test]
+    fn escaped_strings_round_trip(s in "[ -~\n\r\t\u{1}\u{7}éß日本]{0,40}") {
+        let mut line = String::from("{\"s\":\"");
+        json::escape_into(&mut line, &s);
+        line.push_str("\"}");
+        let parsed = json::parse(&line).unwrap();
+        prop_assert_eq!(parsed.get("s").unwrap().as_str(), Some(s.as_str()));
+    }
+
+    #[test]
+    fn u64_values_round_trip_exactly(v in 0u64..=u64::MAX) {
+        let line = format!("{{\"v\":{v}}}");
+        let parsed = json::parse(&line).unwrap();
+        // The old f64-only path lost precision above 2^53; the exact-int
+        // path must not.
+        prop_assert_eq!(parsed.get("v").unwrap().as_u64(), Some(v));
+    }
+
+    #[test]
+    fn i64_values_round_trip_exactly(v in i64::MIN..=i64::MAX) {
+        let line = format!("{{\"v\":{v}}}");
+        let parsed = json::parse(&line).unwrap();
+        prop_assert_eq!(parsed.get("v").unwrap().as_i64(), Some(v));
+    }
+
+    #[test]
+    fn finite_f64_round_trip(v in -1e18f64..1e18f64) {
+        let mut line = String::from("{\"v\":");
+        json::write_f64(&mut line, v);
+        line.push('}');
+        let parsed = json::parse(&line).unwrap();
+        let got = parsed.get("v").unwrap().as_f64().unwrap();
+        // `{v}` prints the shortest representation that parses back to
+        // the same f64, so equality is exact.
+        prop_assert_eq!(got, v);
+    }
+
+    #[test]
+    fn span_lines_round_trip(
+        name in "[a-z._]{1,24}",
+        dur in 0u64..=u64::MAX,
+        label in "[ -~\n\t]{0,24}",
+        rows in 0u64..=u64::MAX,
+    ) {
+        let line = span_line(&name, dur, &label, rows);
+        let parsed = json::parse(&line).unwrap();
+        prop_assert_eq!(parsed.get("name").unwrap().as_str(), Some(name.as_str()));
+        prop_assert_eq!(parsed.get("dur_us").unwrap().as_u64(), Some(dur));
+        let fields = parsed.get("fields").unwrap();
+        prop_assert_eq!(fields.get("label").unwrap().as_str(), Some(label.as_str()));
+        prop_assert_eq!(fields.get("rows").unwrap().as_u64(), Some(rows));
+    }
+
+    #[test]
+    fn nested_values_round_trip_through_write_value(
+        leaves in prop::collection::vec(("[ -~]{0,12}", 0u64..=u64::MAX), 0..12),
+        depth in 0usize..4,
+    ) {
+        let original = nest(&leaves, depth);
+        let mut rendered = String::new();
+        json::write_value(&mut rendered, &original);
+        prop_assert_eq!(json::parse(&rendered).unwrap(), original);
+    }
+}

@@ -184,6 +184,70 @@ fn json_sink_round_trips_through_the_parser() {
 }
 
 #[test]
+fn render_report_is_sorted_and_stable() {
+    let _g = guard();
+    trace::configure(trace::Sink::Human, None);
+
+    // Register everything in deliberately unsorted order.
+    for name in ["test.zz_counter", "test.aa_counter", "test.mm_counter"] {
+        trace::counter(name).incr();
+    }
+    trace::gauge("test.z_gauge").set(2.0);
+    trace::gauge("test.a_gauge").set(1.0);
+    for name in ["test.z_histo", "test.a_histo"] {
+        let h = trace::histogram(name);
+        for v in [1u64, 10, 100, 1000] {
+            h.record(v);
+        }
+    }
+    drop(trace::span("test.z_span"));
+    drop(trace::span("test.a_span"));
+
+    let report = trace::render_report();
+    let pos = |needle: &str| {
+        report
+            .find(needle)
+            .unwrap_or_else(|| panic!("{needle} missing from report:\n{report}"))
+    };
+    // Every section lists names in ascending order.
+    assert!(pos("test.aa_counter") < pos("test.mm_counter"));
+    assert!(pos("test.mm_counter") < pos("test.zz_counter"));
+    assert!(pos("test.a_gauge") < pos("test.z_gauge"));
+    assert!(pos("test.a_histo") < pos("test.z_histo"));
+    assert!(pos("test.a_span") < pos("test.z_span"));
+    // The histogram header advertises the percentile columns.
+    assert!(report.contains("p50, p95, p99"), "{report}");
+    // Rendering twice without new activity is byte-identical.
+    assert_eq!(report, trace::render_report());
+}
+
+#[test]
+fn json_histogram_reports_carry_percentiles() {
+    let _g = guard();
+    let path = temp_path("percentiles");
+    trace::configure(trace::Sink::Json, Some(&path));
+    let h = trace::histogram("test.latency_us");
+    for v in [1u64, 2, 4, 8, 1000, 1000, 1000, 1000] {
+        h.record(v);
+    }
+    trace::report();
+    trace::configure(trace::Sink::Off, None);
+    let contents = std::fs::read_to_string(&path).unwrap();
+    let record = contents
+        .lines()
+        .filter_map(|l| trace::json::parse(l).ok())
+        .find(|r| r.get("name").and_then(|v| v.as_str()) == Some("test.latency_us"))
+        .expect("histogram record");
+    let p50 = record.get("p50").unwrap().as_u64().unwrap();
+    let p95 = record.get("p95").unwrap().as_u64().unwrap();
+    let p99 = record.get("p99").unwrap().as_u64().unwrap();
+    assert!(p50 <= p95 && p95 <= p99, "p50={p50} p95={p95} p99={p99}");
+    assert!(p95 >= 512, "p95 must land in the 1000s bucket, got {p95}");
+    assert_eq!(record.get("max").unwrap().as_u64(), Some(1000));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
 fn counters_accumulate_across_handles_and_threads() {
     let _g = guard();
     trace::configure(trace::Sink::Human, None);

@@ -1,0 +1,119 @@
+//! The trace analyzer against a *real* workload: run the fig2 warm-cache
+//! cleaning flow under the JSON sink, then reconstruct the span forest and
+//! check the timing invariants that make inclusive/self accounting
+//! trustworthy — children sum within parents, self ≤ inclusive, critical
+//! paths rooted correctly — plus Chrome Trace export validity. Own test
+//! binary = own process, so the sink override cannot leak.
+
+use navigating_data_errors::core::cleaning::iterative_cleaning_cached;
+use navigating_data_errors::datagen::errors::flip_labels;
+use navigating_data_errors::datagen::{HiringConfig, HiringScenario};
+use nde_trace::analyze;
+use nde_trace::json::JsonValue;
+
+#[test]
+fn analyzer_reconstructs_fig2_run_with_consistent_times() {
+    let mut path = std::env::temp_dir();
+    path.push(format!("nde_analyze_fig2_{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    nde_trace::configure(nde_trace::Sink::Json, Some(&path));
+
+    // The fig2 warm-cache cleaning flow (cold shapley + cached re-ranks).
+    let s = HiringScenario::generate(&HiringConfig {
+        n_train: 120,
+        n_valid: 40,
+        n_test: 40,
+        ..Default::default()
+    });
+    let (dirty, _) = flip_labels(&s.train, "sentiment", 0.2, 7).unwrap();
+    {
+        let root = nde_trace::span("test.fig2_root");
+        iterative_cleaning_cached(&dirty, &s.train, &s.valid, &s.test, 20, 40, 5).unwrap();
+        drop(root);
+    }
+    nde_trace::report();
+    nde_trace::configure(nde_trace::Sink::Off, None); // flush + close
+
+    let data = analyze::parse_jsonl_file(&path).expect("trajectory parses");
+    assert!(data.spans.len() > 10, "expected a real trajectory");
+    assert_eq!(
+        data.counters.get("neighbor_cache.miss"),
+        Some(&1),
+        "report counters parsed"
+    );
+    assert!(data.span_stats.contains_key("cleaning.round"));
+
+    // Tree invariants on every node of every root.
+    let roots = analyze::build_span_trees(&data.spans);
+    assert!(!roots.is_empty());
+    let mut checked = 0usize;
+    let mut stack: Vec<&analyze::SpanNode> = roots.iter().collect();
+    while let Some(node) = stack.pop() {
+        checked += 1;
+        assert!(
+            node.self_us() <= node.inclusive_us(),
+            "self > inclusive at {}",
+            node.record.name
+        );
+        // Children must fit inside the parent (1% + 200µs slack for clock
+        // granularity: each span rounds its duration down to whole µs).
+        let slack = node.inclusive_us() / 100 + 200;
+        assert!(
+            node.children_us() <= node.inclusive_us() + slack,
+            "children of {} sum to {}µs > parent {}µs",
+            node.record.name,
+            node.children_us(),
+            node.inclusive_us()
+        );
+        for child in &node.children {
+            assert!(
+                child.record.depth > node.record.depth,
+                "child depth must exceed parent depth"
+            );
+            assert!(child.record.start_us >= node.record.start_us);
+            stack.push(child);
+        }
+    }
+    assert_eq!(checked, data.spans.len(), "every span lands in the forest");
+
+    // The synthetic root adopted the cleaning flow; its critical path
+    // starts at the root and descends into real work.
+    let fig2_root = roots
+        .iter()
+        .find(|r| r.record.name == "test.fig2_root")
+        .expect("root span reconstructed");
+    assert!(fig2_root
+        .children
+        .iter()
+        .any(|c| c.record.name == "cleaning.iterative_cached"));
+    let cp = analyze::critical_path(fig2_root);
+    assert_eq!(cp[0].name, "test.fig2_root");
+    assert!(cp.len() >= 2, "critical path must descend: {cp:?}");
+
+    // Aggregates: totals match the sink's own span_stats for main-thread
+    // names, and percentiles are ordered.
+    let agg = analyze::aggregate_spans(&roots);
+    let rounds = &agg["cleaning.round"];
+    assert!(rounds.count >= 2);
+    assert!(rounds.p50_us <= rounds.p95_us && rounds.p95_us <= rounds.max_us);
+    assert!(rounds.self_us <= rounds.total_us);
+    let (sink_count, sink_total) = data.span_stats["cleaning.round"];
+    assert_eq!(rounds.count, sink_count);
+    assert_eq!(rounds.total_us, sink_total);
+
+    // Chrome Trace export of the same run is valid JSON with one complete
+    // event per span.
+    let chrome = analyze::to_chrome_trace(&data.spans);
+    let parsed = nde_trace::json::parse(&chrome).expect("chrome export parses");
+    let events = match parsed.get("traceEvents").unwrap() {
+        JsonValue::Array(items) => items,
+        other => panic!("traceEvents not an array: {other:?}"),
+    };
+    let complete = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(JsonValue::as_str) == Some("X"))
+        .count();
+    assert_eq!(complete, data.spans.len());
+
+    let _ = std::fs::remove_file(&path);
+}
