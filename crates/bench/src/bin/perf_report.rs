@@ -20,7 +20,9 @@
 
 use nde_bench::perf::{self, DiffThresholds, Snapshot};
 use nde_core::cleaning::iterative_cleaning_cached;
-use nde_core::pipeline_scenario::{datascope_for_train_source, run_figure3};
+use nde_core::pipeline_scenario::{
+    datascope_for_train_source, figure3_plan, pipeline_sources, run_figure3,
+};
 use nde_core::scenario::load_recommendation_letters;
 use nde_datagen::errors::flip_labels;
 use nde_datagen::{HiringConfig, HiringScenario};
@@ -123,6 +125,52 @@ fn workload_knn_index_scale() -> Option<u64> {
     Some(valid.len() as u64)
 }
 
+/// Data-quality profiling overhead on the Figure-3 pipeline: the same
+/// plan executed with `NDE_QUALITY` off then full. The off phase must
+/// leave every `quality.*` counter untouched (the gate is one relaxed
+/// atomic load), and both phases must produce bit-identical outputs —
+/// profiling is strictly observational. The `phase.quality_off` /
+/// `phase.quality_on` span totals in the snapshot are the overhead
+/// figure quoted in docs/OBSERVABILITY.md.
+fn workload_fig3_quality() -> Option<u64> {
+    use nde_quality::QualityMode;
+    let cfg = HiringConfig {
+        n_train: 200,
+        n_valid: 80,
+        n_test: 100,
+        ..Default::default()
+    };
+    let scenario = HiringScenario::generate(&cfg);
+    let srcs = pipeline_sources(&scenario, scenario.train.clone());
+    let plan = figure3_plan();
+
+    nde_quality::configure_quality(QualityMode::Off);
+    nde_quality::reset_quality();
+    let out_off = {
+        let _s = nde_trace::span("phase.quality_off");
+        plan.run(&srcs).expect("pipeline run (quality off)")
+    };
+    assert_eq!(
+        nde_trace::counter_value("quality.profiles"),
+        0,
+        "off path must not touch quality counters"
+    );
+    assert_eq!(nde_quality::profiles_pending(), 0);
+
+    nde_quality::configure_quality(QualityMode::Full);
+    let out_on = {
+        let _s = nde_trace::span("phase.quality_on");
+        plan.run(&srcs).expect("pipeline run (quality on)")
+    };
+    nde_quality::configure_quality(QualityMode::Off);
+    let profiles = nde_quality::take_profiles();
+
+    assert_eq!(out_off, out_on, "profiling must be observational");
+    assert!(!profiles.is_empty(), "full mode must record profiles");
+    std::hint::black_box(&profiles);
+    Some(out_on.num_rows() as u64)
+}
+
 fn trace_dir() -> PathBuf {
     match std::env::var_os("NDE_PERF_TRACE_DIR") {
         Some(dir) => PathBuf::from(dir),
@@ -136,9 +184,10 @@ type Workload = (&'static str, fn() -> Option<u64>);
 
 fn run_suite(label: &str) -> Snapshot {
     let dir = trace_dir();
-    let suite: [Workload; 3] = [
+    let suite: [Workload; 4] = [
         ("fig2_cleaning", workload_fig2_cleaning),
         ("fig3_pipeline", workload_fig3_pipeline),
+        ("fig3_quality", workload_fig3_quality),
         ("knn_index_scale", workload_knn_index_scale),
     ];
     let mut workloads = Vec::with_capacity(suite.len());

@@ -20,6 +20,7 @@ use std::fmt::Display;
 use std::time::Instant;
 
 pub mod perf;
+pub mod quality;
 
 /// Prints a section header.
 pub fn section(title: &str) {

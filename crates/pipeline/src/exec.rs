@@ -57,6 +57,7 @@ impl Plan {
         let out = eval_plain(&self.node, sources);
         if let Ok(table) = &out {
             span.field("rows_out", table.num_rows());
+            record_final_profile(&self.node, table);
         }
         out
     }
@@ -77,6 +78,7 @@ impl Plan {
         let (table, lineage) = eval(&self.node, sources, &mut source_names, observer)?;
         span.field("rows_out", table.num_rows());
         span.field("sources", source_names.len());
+        record_final_profile(&self.node, &table);
         Ok(TracedTable {
             table,
             lineage,
@@ -100,9 +102,42 @@ fn op_span_name(node: &Node) -> &'static str {
     }
 }
 
+/// Under `NDE_QUALITY=final`, profiles a plan's final output (keyed
+/// `final:<root label>`). `full` mode already profiles the root operator
+/// via [`record_op_profile`], so only `final` records here.
+fn record_final_profile(root: &Node, table: &Table) {
+    if nde_quality::quality_mode() == nde_quality::QualityMode::Final {
+        let label = format!("final:{}", root.label());
+        nde_quality::record_profile(&label, table.quality_profile());
+    }
+}
+
+/// Under `NDE_QUALITY=full` (`on`), profiles one operator's output table
+/// at the boundary where it is produced. Strictly observational: the
+/// profile reads the table, records sketches, and changes nothing about
+/// execution. The off path is the one relaxed atomic load inside
+/// [`nde_quality::quality_mode`].
+fn record_op_profile(node: &Node, table: &Table) {
+    if nde_quality::quality_mode() == nde_quality::QualityMode::Full {
+        let mut span = nde_trace::span("quality.profile");
+        if span.is_active() {
+            span.field("op", node.label());
+            span.field("rows", table.num_rows());
+        }
+        nde_quality::record_profile(&node.label(), table.quality_profile());
+        drop(span);
+    }
+}
+
 /// Lineage-free evaluation: the baseline the provenance-overhead ablation
 /// compares against.
 fn eval_plain(node: &Node, sources: &Sources) -> Result<Table> {
+    let table = eval_plain_inner(node, sources)?;
+    record_op_profile(node, &table);
+    Ok(table)
+}
+
+fn eval_plain_inner(node: &Node, sources: &Sources) -> Result<Table> {
     match node {
         Node::Source { name } => sources
             .get(name)
@@ -288,6 +323,7 @@ fn eval(
         let lineage_tokens: usize = result.1.iter().map(|m| m.tokens().len()).sum();
         span.field("lineage_tokens", lineage_tokens);
     }
+    record_op_profile(node, &result.0);
     observer(node, &result.0);
     Ok(result)
 }

@@ -266,6 +266,89 @@ mod tests {
         assert!(report.operators[1].numeric_stats.contains_key("score"));
     }
 
+    fn post_order_labels(node: &Node, out: &mut Vec<String>) {
+        for child in node.children() {
+            post_order_labels(child, out);
+        }
+        out.push(node.label());
+    }
+
+    #[test]
+    fn operator_order_matches_plan_post_order() {
+        // A branchy plan: two joins and a filter. The report's operator
+        // sequence must be exactly the plan's post-order walk, which is
+        // also execution order — the invariant the parent→first-child
+        // warning recovery in `inspect` relies on.
+        let extra = Table::builder()
+            .str("sex", ["f", "m"])
+            .int("w", [1, 2])
+            .build()
+            .unwrap();
+        let bonus = Table::builder()
+            .int("id", [0, 1, 2, 3, 4, 5])
+            .int("bonus", [9, 9, 9, 9, 9, 9])
+            .build()
+            .unwrap();
+        let plan = Plan::source("train")
+            .join(Plan::source("extra"), "sex", "sex")
+            .filter("id < 4", |r| r.int("id").unwrap() < 4)
+            .join(Plan::source("bonus"), "id", "id");
+        let mut srcs = demo_sources();
+        srcs.insert("extra".into(), extra);
+        srcs.insert("bonus".into(), bonus);
+        let report = inspect(&plan, &srcs, &["sex"], 1.0).unwrap();
+        let mut expected = Vec::new();
+        post_order_labels(&plan.node, &mut expected);
+        let got: Vec<String> = report.operators.iter().map(|o| o.label.clone()).collect();
+        assert_eq!(got, expected);
+        // Post-order means every operator appears after all its inputs.
+        assert_eq!(report.operators.len(), 6);
+        assert_eq!(got[0], Plan::source("train").node.label());
+        assert_eq!(*got.last().unwrap(), plan.node.label());
+    }
+
+    #[test]
+    fn join_induced_share_shift_names_the_join_operator() {
+        // The right side only matches f rows and matches each twice, so
+        // the inner join both drops every m row and duplicates the f rows:
+        // sex=f goes 0.5 → 1.0, sex=m 0.5 → 0.0. The warning must be
+        // attributed to the join operator (not the sources) and report
+        // both directions of the shift.
+        let extra = Table::builder()
+            .str("sex", ["f", "f"])
+            .int("w", [1, 2])
+            .build()
+            .unwrap();
+        let plan = Plan::source("train").join(Plan::source("extra"), "sex", "sex");
+        let join_label = plan.node.label();
+        let mut srcs = demo_sources();
+        srcs.insert("extra".into(), extra);
+        let report = inspect(&plan, &srcs, &["sex"], 0.2).unwrap();
+        assert_eq!(report.warnings.len(), 2, "{:?}", report.warnings);
+        for warning in &report.warnings {
+            assert!(warning.starts_with(&join_label), "{warning}");
+        }
+        assert!(
+            report
+                .warnings
+                .iter()
+                .any(|w| w.contains("sex=f") && w.contains("0.50 → 1.00")),
+            "{:?}",
+            report.warnings
+        );
+        assert!(
+            report
+                .warnings
+                .iter()
+                .any(|w| w.contains("sex=m") && w.contains("0.50 → 0.00")),
+            "{:?}",
+            report.warnings
+        );
+        // The post-join report row itself carries the shifted shares.
+        let joined = report.operators.last().unwrap();
+        assert!((joined.group_shares["sex"]["f"] - 1.0).abs() < 1e-12);
+    }
+
     #[test]
     fn missing_watched_column_is_ignored() {
         let plan = Plan::source("train");

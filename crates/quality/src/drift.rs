@@ -1,0 +1,353 @@
+//! Drift scoring between a baseline profile and a current run: PSI over
+//! heavy-hitter categories, a two-sample KS statistic from the quantile
+//! sketches, and null-rate / distinct-count deltas — each gated by
+//! two-tier (warn / fail) thresholds.
+
+use crate::profile::{ColumnKind, ColumnSketch, TableProfile};
+use std::collections::BTreeSet;
+
+/// Drift severity tiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Within the warn threshold.
+    Ok,
+    /// Past the warn threshold but below fail — reported, not gating.
+    Warn,
+    /// Past the fail threshold — the quality gate exits non-zero.
+    Fail,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Severity::Ok => "ok",
+            Severity::Warn => "WARN",
+            Severity::Fail => "FAIL",
+        })
+    }
+}
+
+/// Two-tier thresholds per drift metric. Defaults follow the usual
+/// monitoring folklore: PSI 0.1 = "monitor", 0.25 = "act"; KS and the
+/// rate deltas are calibrated on the seeded injection experiment
+/// (`quality_report --experiment`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftThresholds {
+    /// Population-stability-index warn tier (categorical columns).
+    pub psi_warn: f64,
+    /// PSI fail tier.
+    pub psi_fail: f64,
+    /// KS-statistic warn tier (numeric columns).
+    pub ks_warn: f64,
+    /// KS fail tier.
+    pub ks_fail: f64,
+    /// Absolute null-rate delta warn tier.
+    pub null_warn: f64,
+    /// Null-rate delta fail tier.
+    pub null_fail: f64,
+    /// Relative distinct-count change warn tier.
+    pub distinct_warn: f64,
+    /// Distinct-count change fail tier.
+    pub distinct_fail: f64,
+}
+
+impl Default for DriftThresholds {
+    fn default() -> Self {
+        DriftThresholds {
+            psi_warn: 0.10,
+            psi_fail: 0.25,
+            ks_warn: 0.10,
+            ks_fail: 0.25,
+            null_warn: 0.02,
+            null_fail: 0.10,
+            distinct_warn: 0.25,
+            distinct_fail: 0.60,
+        }
+    }
+}
+
+/// Drift scores for one column (baseline vs. current).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDrift {
+    /// Column name.
+    pub column: String,
+    /// Population stability index over heavy-hitter shares
+    /// (categorical columns; `None` for numeric).
+    pub psi: Option<f64>,
+    /// Two-sample KS statistic from the quantile sketches
+    /// (numeric columns; `None` for categorical).
+    pub ks: Option<f64>,
+    /// Absolute change in null rate.
+    pub null_delta: f64,
+    /// Relative change in estimated distinct count
+    /// (`|new − base| / max(base, 1)`).
+    pub distinct_delta: f64,
+}
+
+impl ColumnDrift {
+    /// The worst tier any metric of this column reaches.
+    pub fn severity(&self, t: &DriftThresholds) -> Severity {
+        let mut worst = Severity::Ok;
+        let mut raise = |value: f64, warn: f64, fail: f64| {
+            let tier = if value > fail {
+                Severity::Fail
+            } else if value > warn {
+                Severity::Warn
+            } else {
+                Severity::Ok
+            };
+            worst = worst.max(tier);
+        };
+        if let Some(psi) = self.psi {
+            raise(psi, t.psi_warn, t.psi_fail);
+        }
+        if let Some(ks) = self.ks {
+            raise(ks, t.ks_warn, t.ks_fail);
+        }
+        raise(self.null_delta, t.null_warn, t.null_fail);
+        raise(self.distinct_delta, t.distinct_warn, t.distinct_fail);
+        worst
+    }
+
+    /// The metric with the largest threshold-relative exceedance, as a
+    /// `(metric_name, value)` pair — "which alarm fired first".
+    pub fn dominant_metric(&self, t: &DriftThresholds) -> (&'static str, f64) {
+        let mut best = ("none", 0.0f64, 0.0f64); // (name, value, value/warn)
+        let mut consider = |name: &'static str, value: f64, warn: f64| {
+            let ratio = value / warn.max(1e-12);
+            if ratio > best.2 {
+                best = (name, value, ratio);
+            }
+        };
+        if let Some(psi) = self.psi {
+            consider("psi", psi, t.psi_warn);
+        }
+        if let Some(ks) = self.ks {
+            consider("ks", ks, t.ks_warn);
+        }
+        consider("null_rate", self.null_delta, t.null_warn);
+        consider("distinct", self.distinct_delta, t.distinct_warn);
+        (best.0, best.1)
+    }
+}
+
+/// Population stability index between two categorical share maps, over
+/// the union of observed categories, with epsilon smoothing so a
+/// vanished or newborn category contributes a large-but-finite term.
+pub fn psi(base: &ColumnSketch, current: &ColumnSketch) -> f64 {
+    const EPS: f64 = 1e-4;
+    let (p, q) = (base.heavy.shares(), current.heavy.shares());
+    let keys: BTreeSet<&String> = p.keys().chain(q.keys()).collect();
+    let mut total = 0.0;
+    for key in keys {
+        let pb = p.get(key).copied().unwrap_or(0.0).max(EPS);
+        let pc = q.get(key).copied().unwrap_or(0.0).max(EPS);
+        total += (pc - pb) * (pc / pb).ln();
+    }
+    total
+}
+
+/// Scores one column pair. Callers guarantee matching names/kinds
+/// (profiles from the same operator/schema).
+pub fn column_drift(base: &ColumnSketch, current: &ColumnSketch) -> ColumnDrift {
+    let (psi_score, ks_score) = match base.kind {
+        ColumnKind::Categorical => (Some(psi(base, current)), None),
+        ColumnKind::Numeric => (None, Some(base.quantiles.ks_statistic(&current.quantiles))),
+    };
+    let base_distinct = base.distinct_estimate();
+    let distinct_delta =
+        (current.distinct_estimate() - base_distinct).abs() / base_distinct.max(1.0);
+    ColumnDrift {
+        column: base.name.clone(),
+        psi: psi_score,
+        ks: ks_score,
+        null_delta: (current.null_rate() - base.null_rate()).abs(),
+        distinct_delta,
+    }
+}
+
+/// The full comparison of two table profiles.
+#[derive(Debug, Clone)]
+pub struct DriftReport {
+    /// Per-column drift scores (schema order, matched by name).
+    pub columns: Vec<ColumnDrift>,
+    /// Structural findings that gate regardless of thresholds
+    /// (missing columns, kind changes).
+    pub structural: Vec<String>,
+    /// Relative row-count change.
+    pub row_delta: f64,
+}
+
+impl DriftReport {
+    /// The worst severity across all columns (structural findings count
+    /// as [`Severity::Fail`]).
+    pub fn severity(&self, t: &DriftThresholds) -> Severity {
+        if !self.structural.is_empty() {
+            return Severity::Fail;
+        }
+        self.columns
+            .iter()
+            .map(|c| c.severity(t))
+            .max()
+            .unwrap_or(Severity::Ok)
+    }
+
+    /// Renders one line per column plus structural findings.
+    pub fn render(&self, t: &DriftThresholds) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for finding in &self.structural {
+            let _ = writeln!(out, "  FAIL(structure): {finding}");
+        }
+        for c in &self.columns {
+            let tier = c.severity(t);
+            let mut metrics = String::new();
+            if let Some(psi) = c.psi {
+                let _ = write!(metrics, "psi={psi:.4} ");
+            }
+            if let Some(ks) = c.ks {
+                let _ = write!(metrics, "ks={ks:.4} ");
+            }
+            let _ = writeln!(
+                out,
+                "  {tier:<4} {:<24} {metrics}null_delta={:.4} distinct_delta={:.4}",
+                c.column, c.null_delta, c.distinct_delta
+            );
+        }
+        out
+    }
+}
+
+/// Compares `current` against `base` column-by-column (matched by name).
+/// Columns missing from either side, or changing kind, are structural
+/// failures.
+pub fn diff_profiles(base: &TableProfile, current: &TableProfile) -> DriftReport {
+    let mut columns = Vec::new();
+    let mut structural = Vec::new();
+    for b in &base.columns {
+        match current.column(&b.name) {
+            None => structural.push(format!("column {:?} missing from current profile", b.name)),
+            Some(c) if c.kind != b.kind => structural.push(format!(
+                "column {:?} changed kind {} → {}",
+                b.name,
+                b.kind.as_str(),
+                c.kind.as_str()
+            )),
+            Some(c) => columns.push(column_drift(b, c)),
+        }
+    }
+    for c in &current.columns {
+        if base.column(&c.name).is_none() {
+            structural.push(format!("column {:?} is new (not in baseline)", c.name));
+        }
+    }
+    let row_delta = (current.rows as f64 - base.rows as f64).abs() / (base.rows as f64).max(1.0);
+    DriftReport {
+        columns,
+        structural,
+        row_delta,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn numeric_sketch(values: impl Iterator<Item = Option<f64>>) -> ColumnSketch {
+        let mut s = ColumnSketch::numeric("x");
+        for v in values {
+            s.push_num(v);
+        }
+        s
+    }
+
+    fn cat_sketch(labels: &[(&str, usize)]) -> ColumnSketch {
+        let mut s = ColumnSketch::categorical("label");
+        for &(key, n) in labels {
+            for _ in 0..n {
+                s.push_str(Some(key));
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn identical_profiles_have_zero_drift() {
+        let a = numeric_sketch((0..500).map(|i| Some(i as f64)));
+        let drift = column_drift(&a, &a.clone());
+        assert_eq!(drift.ks, Some(0.0));
+        assert_eq!(drift.null_delta, 0.0);
+        assert_eq!(drift.distinct_delta, 0.0);
+        assert_eq!(drift.severity(&DriftThresholds::default()), Severity::Ok);
+    }
+
+    #[test]
+    fn label_flips_move_psi() {
+        let base = cat_sketch(&[("pos", 500), ("neg", 500)]);
+        let mild = cat_sketch(&[("pos", 530), ("neg", 470)]);
+        let gross = cat_sketch(&[("pos", 800), ("neg", 200)]);
+        let t = DriftThresholds::default();
+        let mild_drift = column_drift(&base, &mild);
+        assert_eq!(mild_drift.severity(&t), Severity::Ok, "{mild_drift:?}");
+        let gross_drift = column_drift(&base, &gross);
+        assert_eq!(gross_drift.severity(&t), Severity::Fail, "{gross_drift:?}");
+        assert_eq!(gross_drift.dominant_metric(&t).0, "psi");
+    }
+
+    #[test]
+    fn covariate_shift_moves_ks_not_nulls() {
+        let base = numeric_sketch((0..1000).map(|i| Some(i as f64 / 1000.0)));
+        let shifted = numeric_sketch((0..1000).map(|i| Some(i as f64 / 1000.0 * 1.5 + 2.0)));
+        let t = DriftThresholds::default();
+        let drift = column_drift(&base, &shifted);
+        assert!(drift.ks.unwrap() > 0.9);
+        assert_eq!(drift.null_delta, 0.0);
+        assert_eq!(drift.severity(&t), Severity::Fail);
+        assert_eq!(drift.dominant_metric(&t).0, "ks");
+    }
+
+    #[test]
+    fn missingness_moves_null_rate() {
+        let base = numeric_sketch((0..1000).map(|i| Some(i as f64)));
+        let holes =
+            numeric_sketch((0..1000).map(|i| if i % 5 == 0 { None } else { Some(i as f64) }));
+        let t = DriftThresholds::default();
+        let drift = column_drift(&base, &holes);
+        assert!((drift.null_delta - 0.2).abs() < 1e-9);
+        assert_eq!(drift.severity(&t), Severity::Fail);
+        assert_eq!(drift.dominant_metric(&t).0, "null_rate");
+    }
+
+    #[test]
+    fn structural_changes_always_fail() {
+        let base = TableProfile {
+            rows: 10,
+            columns: vec![ColumnSketch::numeric("a"), ColumnSketch::categorical("b")],
+        };
+        let mut current = TableProfile {
+            rows: 10,
+            columns: vec![ColumnSketch::numeric("a")],
+        };
+        let report = diff_profiles(&base, &current);
+        assert_eq!(report.severity(&DriftThresholds::default()), Severity::Fail);
+        assert!(report.structural[0].contains("missing"));
+
+        current.columns.push(ColumnSketch::numeric("b"));
+        let report = diff_profiles(&base, &current);
+        assert!(report.structural[0].contains("changed kind"));
+    }
+
+    #[test]
+    fn warn_tier_sits_between_ok_and_fail() {
+        let base = numeric_sketch((0..1000).map(|i| Some(i as f64)));
+        let holes =
+            numeric_sketch((0..1000).map(|i| if i % 25 == 0 { None } else { Some(i as f64) }));
+        let drift = column_drift(&base, &holes);
+        // 4% null delta: past warn (2%), below fail (10%).
+        assert_eq!(
+            drift.severity(&DriftThresholds::default()),
+            Severity::Warn,
+            "{drift:?}"
+        );
+    }
+}

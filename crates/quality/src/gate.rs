@@ -1,0 +1,196 @@
+//! The `NDE_QUALITY` collection gate and the process-global profile
+//! registry — the runtime half of the quality layer, mirroring the
+//! `NDE_TRACE` design: off by default, one relaxed atomic load per
+//! instrumentation site, strictly observational when on.
+
+use crate::profile::TableProfile;
+use nde_trace::json::{self, JsonValue};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Mutex;
+
+/// How much profiling the pipeline executor performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QualityMode {
+    /// No profiles are collected (the default). Instrumentation sites
+    /// cost one relaxed atomic load each.
+    Off,
+    /// Only each plan's *final* output is profiled.
+    Final,
+    /// Every operator boundary is profiled.
+    Full,
+}
+
+const MODE_UNINIT: u8 = u8::MAX;
+static MODE: AtomicU8 = AtomicU8::new(MODE_UNINIT);
+
+/// Collected profiles, in record order (pipeline post-order execution).
+static PROFILES: Mutex<Vec<OpProfile>> = Mutex::new(Vec::new());
+
+fn mode_from_env() -> QualityMode {
+    match std::env::var("NDE_QUALITY") {
+        Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+            "on" | "full" | "1" => QualityMode::Full,
+            "final" => QualityMode::Final,
+            "" | "off" | "0" => QualityMode::Off,
+            other => {
+                eprintln!("nde-quality: unknown NDE_QUALITY value {other:?}; profiling stays off");
+                QualityMode::Off
+            }
+        },
+        Err(_) => QualityMode::Off,
+    }
+}
+
+/// The active mode: the value passed to [`configure_quality`], else
+/// `NDE_QUALITY` read once on first use, else [`QualityMode::Off`].
+pub fn quality_mode() -> QualityMode {
+    match MODE.load(Ordering::Relaxed) {
+        MODE_UNINIT => {
+            let mode = mode_from_env();
+            // A concurrent first call may race configure(); storing the
+            // env-derived value twice is benign, configure wins last.
+            MODE.store(mode as u8, Ordering::Relaxed);
+            mode
+        }
+        0 => QualityMode::Off,
+        1 => QualityMode::Final,
+        _ => QualityMode::Full,
+    }
+}
+
+/// `true` when any profiling is active. The zero-overhead gate every
+/// collection site checks first: one relaxed atomic load and a branch.
+#[inline]
+pub fn quality_enabled() -> bool {
+    quality_mode() != QualityMode::Off
+}
+
+/// Programmatically selects the mode, overriding `NDE_QUALITY`. Intended
+/// for tests and the `quality_report` harness.
+pub fn configure_quality(mode: QualityMode) {
+    MODE.store(mode as u8, Ordering::Relaxed);
+}
+
+/// One collected profile: the operator label it was taken at, plus the
+/// profile itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpProfile {
+    /// Operator label (`pipeline::plan::Node::label` text, or a
+    /// caller-chosen site name).
+    pub op: String,
+    /// The table profile observed at that boundary.
+    pub profile: TableProfile,
+}
+
+/// Records one profile: appends it to the registry (drain with
+/// [`take_profiles`]), bumps the `quality.profiles` /
+/// `quality.cells_profiled` trace counters, and — when the trace JSON
+/// sink is live — emits a compact `{"type":"profile"}` record so
+/// trajectory files carry data profiles next to spans.
+pub fn record_profile(op: &str, profile: TableProfile) {
+    nde_trace::counter("quality.profiles").incr();
+    let cells: u64 = profile.columns.iter().map(|c| c.count).sum();
+    nde_trace::counter("quality.cells_profiled").add(cells);
+    if nde_trace::active_sink() == nde_trace::Sink::Json {
+        let mut line = String::from("{\"type\":\"profile\",\"op\":\"");
+        json::escape_into(&mut line, op);
+        line.push_str("\",\"profile\":");
+        json::write_value(&mut line, &profile.summary_json_value());
+        line.push('}');
+        nde_trace::emit_record(&line);
+    }
+    let mut profiles = PROFILES.lock().expect("quality profile registry lock");
+    profiles.push(OpProfile {
+        op: op.to_owned(),
+        profile,
+    });
+}
+
+/// Drains and returns every profile recorded since the last call, in
+/// record order.
+pub fn take_profiles() -> Vec<OpProfile> {
+    std::mem::take(&mut *PROFILES.lock().expect("quality profile registry lock"))
+}
+
+/// Number of profiles currently in the registry (not yet drained).
+pub fn profiles_pending() -> usize {
+    PROFILES
+        .lock()
+        .expect("quality profile registry lock")
+        .len()
+}
+
+/// Clears the registry without returning its contents (the mode is
+/// untouched). For tests and between bench workloads.
+pub fn reset_quality() {
+    PROFILES
+        .lock()
+        .expect("quality profile registry lock")
+        .clear();
+}
+
+/// Parses a `{"type":"profile"}` trace record (as emitted by
+/// [`record_profile`]) into its operator label and summary payload.
+/// Returns `None` for records of any other type.
+pub fn parse_profile_record(record: &JsonValue) -> Option<(String, JsonValue)> {
+    if record.get("type").and_then(JsonValue::as_str) != Some("profile") {
+        return None;
+    }
+    let op = record.get("op").and_then(JsonValue::as_str)?.to_owned();
+    Some((op, record.get("profile")?.clone()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::ColumnSketch;
+
+    fn tiny_profile() -> TableProfile {
+        let mut col = ColumnSketch::numeric("x");
+        col.push_num(Some(1.0));
+        col.push_num(None);
+        let mut p = TableProfile::with_columns(vec![col]);
+        p.rows = 2;
+        p
+    }
+
+    #[test]
+    fn registry_records_and_drains_in_order() {
+        configure_quality(QualityMode::Full);
+        reset_quality();
+        record_profile("op_a", tiny_profile());
+        record_profile("op_b", tiny_profile());
+        assert_eq!(profiles_pending(), 2);
+        let taken = take_profiles();
+        assert_eq!(taken.len(), 2);
+        assert_eq!(taken[0].op, "op_a");
+        assert_eq!(taken[1].op, "op_b");
+        assert_eq!(profiles_pending(), 0);
+        configure_quality(QualityMode::Off);
+    }
+
+    #[test]
+    fn mode_round_trips_through_configure() {
+        configure_quality(QualityMode::Final);
+        assert_eq!(quality_mode(), QualityMode::Final);
+        assert!(quality_enabled());
+        configure_quality(QualityMode::Off);
+        assert_eq!(quality_mode(), QualityMode::Off);
+        assert!(!quality_enabled());
+    }
+
+    #[test]
+    fn profile_record_parses_back() {
+        let profile = tiny_profile();
+        let mut line = String::from("{\"type\":\"profile\",\"op\":\"σ test\",\"profile\":");
+        json::write_value(&mut line, &profile.summary_json_value());
+        line.push('}');
+        let record = json::parse(&line).unwrap();
+        let (op, payload) = parse_profile_record(&record).unwrap();
+        assert_eq!(op, "σ test");
+        assert_eq!(payload.get("rows").and_then(JsonValue::as_u64), Some(2));
+        // Non-profile records are ignored.
+        let span = json::parse("{\"type\":\"span\",\"name\":\"x\"}").unwrap();
+        assert!(parse_profile_record(&span).is_none());
+    }
+}

@@ -1,0 +1,176 @@
+//! Streaming count/null/min/max/mean/M2 accumulator with Chan's parallel
+//! merge — the exact-statistics half of a column sketch.
+
+/// Single-pass numeric moments: counts, extrema, and mean/variance via
+/// Welford's update. [`Moments::merge`] uses Chan et al.'s pairwise
+/// formula, so shard accumulators combine into exactly the statistic the
+/// merged stream would have produced *for a fixed merge order* — the
+/// deterministic-parallel contract (`nde-parallel` fixes chunk boundaries
+/// and fold order, so results are bit-identical across thread counts).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Moments {
+    /// Total cells observed, including nulls.
+    pub count: u64,
+    /// Null cells observed.
+    pub nulls: u64,
+    /// Smallest non-null value (`None` until one is seen).
+    pub min: Option<f64>,
+    /// Largest non-null value.
+    pub max: Option<f64>,
+    /// Running mean of non-null values.
+    pub mean: f64,
+    /// Sum of squared deviations from the mean (Welford's M2).
+    pub m2: f64,
+}
+
+impl Moments {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of non-null values observed.
+    pub fn present(&self) -> u64 {
+        self.count - self.nulls
+    }
+
+    /// Observes one cell (`None` = null).
+    pub fn push(&mut self, value: Option<f64>) {
+        self.count += 1;
+        let Some(v) = value else {
+            self.nulls += 1;
+            return;
+        };
+        self.min = Some(self.min.map_or(v, |m| m.min(v)));
+        self.max = Some(self.max.map_or(v, |m| m.max(v)));
+        let n = self.present() as f64;
+        let delta = v - self.mean;
+        self.mean += delta / n;
+        self.m2 += delta * (v - self.mean);
+    }
+
+    /// Folds `other` into `self` (Chan's pairwise combination).
+    pub fn merge(&mut self, other: &Moments) {
+        let (na, nb) = (self.present() as f64, other.present() as f64);
+        self.count += other.count;
+        self.nulls += other.nulls;
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        if nb == 0.0 {
+            return;
+        }
+        if na == 0.0 {
+            self.mean = other.mean;
+            self.m2 = other.m2;
+            return;
+        }
+        let delta = other.mean - self.mean;
+        let n = na + nb;
+        self.mean += delta * nb / n;
+        self.m2 += other.m2 + delta * delta * na * nb / n;
+    }
+
+    /// Fraction of observed cells that are null (`0.0` when empty).
+    pub fn null_rate(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.nulls as f64 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation of non-null values.
+    pub fn std(&self) -> Option<f64> {
+        let n = self.present();
+        if n == 0 {
+            None
+        } else {
+            Some((self.m2 / n as f64).sqrt())
+        }
+    }
+
+    /// Mean of non-null values (`None` when all cells were null).
+    pub fn mean_opt(&self) -> Option<f64> {
+        if self.present() == 0 {
+            None
+        } else {
+            Some(self.mean)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_two_pass_statistics() {
+        let values = [3.0, -1.5, 4.0, 4.0, 9.25, 0.0];
+        let mut m = Moments::new();
+        for v in values {
+            m.push(Some(v));
+        }
+        m.push(None);
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
+        assert_eq!(m.count, 7);
+        assert_eq!(m.nulls, 1);
+        assert!((m.mean - mean).abs() < 1e-12);
+        assert!((m.std().unwrap() - var.sqrt()).abs() < 1e-12);
+        assert_eq!(m.min, Some(-1.5));
+        assert_eq!(m.max, Some(9.25));
+        assert!((m.null_rate() - 1.0 / 7.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn merge_equals_sequential_for_fixed_split() {
+        let values: Vec<f64> = (0..100).map(|i| (i as f64) * 0.37 - 18.0).collect();
+        let mut whole = Moments::new();
+        for &v in &values {
+            whole.push(Some(v));
+        }
+        let mut left = Moments::new();
+        let mut right = Moments::new();
+        for &v in &values[..41] {
+            left.push(Some(v));
+        }
+        for &v in &values[41..] {
+            right.push(Some(v));
+        }
+        left.merge(&right);
+        assert_eq!(left.count, whole.count);
+        assert!((left.mean - whole.mean).abs() < 1e-9);
+        assert!((left.m2 - whole.m2).abs() < 1e-6);
+        assert_eq!(left.min, whole.min);
+        assert_eq!(left.max, whole.max);
+    }
+
+    #[test]
+    fn merging_empty_sides_is_identity() {
+        let mut m = Moments::new();
+        m.push(Some(2.0));
+        m.push(None);
+        let snapshot = m.clone();
+        m.merge(&Moments::new());
+        assert_eq!(m, snapshot);
+        let mut empty = Moments::new();
+        empty.merge(&snapshot);
+        assert_eq!(empty, snapshot);
+    }
+
+    #[test]
+    fn all_null_column() {
+        let mut m = Moments::new();
+        m.push(None);
+        m.push(None);
+        assert_eq!(m.mean_opt(), None);
+        assert_eq!(m.std(), None);
+        assert_eq!(m.null_rate(), 1.0);
+    }
+}

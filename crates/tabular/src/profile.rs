@@ -4,7 +4,9 @@
 use crate::column::Column;
 use crate::table::Table;
 use crate::value::DataType;
+use nde_quality::{ColumnSketch, QuantileSketch, TableProfile};
 use std::collections::BTreeSet;
+use std::ops::Range;
 
 /// Summary statistics of one column.
 #[derive(Debug, Clone, PartialEq)]
@@ -25,9 +27,20 @@ pub struct ColumnProfile {
     pub min: Option<f64>,
     /// Maximum numeric value.
     pub max: Option<f64>,
+    /// Approximate median of numeric cells (sketch-backed; exact while
+    /// the column fits in one uncompacted sketch buffer).
+    pub p50: Option<f64>,
+    /// Approximate 95th percentile of numeric cells.
+    pub p95: Option<f64>,
+    /// Approximate 99th percentile of numeric cells.
+    pub p99: Option<f64>,
     /// Distinct non-null string values, capped at [`DISTINCT_CAP`]
     /// (None for non-string columns or when the cap is exceeded).
     pub categories: Option<Vec<String>>,
+    /// Whether a string column exceeded [`DISTINCT_CAP`] distinct values
+    /// (distinguishes "cardinality too high" from "not a string column",
+    /// both of which leave `categories` as `None`).
+    pub distinct_overflow: bool,
 }
 
 /// Maximum tracked distinct values for categorical profiling.
@@ -46,6 +59,7 @@ impl ColumnProfile {
 
 fn profile_column(name: &str, col: &Column) -> ColumnProfile {
     let (mut mean, mut std, mut min, mut max) = (None, None, None, None);
+    let (mut p50, mut p95, mut p99) = (None, None, None);
     if let Ok(vals) = col.to_f64() {
         let present: Vec<f64> = vals.into_iter().flatten().collect();
         if !present.is_empty() {
@@ -55,13 +69,22 @@ fn profile_column(name: &str, col: &Column) -> ColumnProfile {
             std = Some(var.sqrt());
             min = Some(present.iter().copied().fold(f64::INFINITY, f64::min));
             max = Some(present.iter().copied().fold(f64::NEG_INFINITY, f64::max));
+            let mut sketch = QuantileSketch::new();
+            for &v in &present {
+                sketch.push(v);
+            }
+            p50 = sketch.quantile(0.5);
+            p95 = sketch.quantile(0.95);
+            p99 = sketch.quantile(0.99);
         }
     }
+    let mut distinct_overflow = false;
     let categories = col.as_str().and_then(|cells| {
         let mut distinct: BTreeSet<&str> = BTreeSet::new();
         for cell in cells.iter().flatten() {
             distinct.insert(cell.as_str());
             if distinct.len() > DISTINCT_CAP {
+                distinct_overflow = true;
                 return None;
             }
         }
@@ -76,7 +99,11 @@ fn profile_column(name: &str, col: &Column) -> ColumnProfile {
         std,
         min,
         max,
+        p50,
+        p95,
+        p99,
         categories,
+        distinct_overflow,
     }
 }
 
@@ -94,6 +121,92 @@ impl Table {
     /// Profiles one column by name.
     pub fn describe_column(&self, name: &str) -> crate::Result<ColumnProfile> {
         Ok(profile_column(name, self.column(name)?))
+    }
+
+    /// Builds the streaming [`TableProfile`] (mergeable sketches) for this
+    /// table, sharding rows across `NDE_THREADS` workers. Chunk boundaries
+    /// and the in-order shard merge are functions of the row count only,
+    /// so the result is bit-identical for every thread count.
+    pub fn quality_profile(&self) -> TableProfile {
+        self.quality_profile_sharded(nde_parallel::num_threads(), QUALITY_PROFILE_CHUNK_LEN)
+    }
+
+    /// [`Table::quality_profile`] with an explicit worker cap and chunk
+    /// length. The worker cap bounds scheduling only; `chunk_len` fixes
+    /// the shard boundaries, so two calls with the same `chunk_len` agree
+    /// bit-for-bit regardless of `workers`.
+    pub fn quality_profile_sharded(&self, workers: usize, chunk_len: usize) -> TableProfile {
+        let rows = self.num_rows();
+        let fields = self.schema().fields();
+        let columns = self.columns();
+        let shards = nde_parallel::par_map_chunks_with(workers, rows, chunk_len, |range| {
+            let sketches = fields
+                .iter()
+                .zip(columns)
+                .map(|(f, c)| sketch_column_range(&f.name, c, range.clone()))
+                .collect();
+            let mut shard = TableProfile::with_columns(sketches);
+            shard.rows = range.len() as u64;
+            shard
+        });
+        let empty = || {
+            TableProfile::with_columns(
+                fields
+                    .iter()
+                    .zip(columns)
+                    .map(|(f, c)| sketch_column_range(&f.name, c, 0..0))
+                    .collect(),
+            )
+        };
+        shards
+            .into_iter()
+            .reduce(|mut acc, shard| {
+                acc.merge(&shard);
+                acc
+            })
+            // Zero-row tables produce zero chunks; keep the column
+            // skeletons so schema-level drift checks still see them.
+            .unwrap_or_else(empty)
+    }
+}
+
+/// Shard length for [`Table::quality_profile`]: big enough that sketch
+/// merge costs are amortized, small enough that mid-size tables still
+/// fan out.
+pub const QUALITY_PROFILE_CHUNK_LEN: usize = 2048;
+
+/// Sketches one row range of a column. Int/Float/Bool cells widen to
+/// `f64` (moments + quantiles), strings feed the heavy-hitters sketch.
+fn sketch_column_range(name: &str, col: &Column, range: Range<usize>) -> ColumnSketch {
+    match col {
+        Column::Int(cells) => {
+            let mut s = ColumnSketch::numeric(name);
+            for cell in &cells[range] {
+                s.push_num(cell.map(|v| v as f64));
+            }
+            s
+        }
+        Column::Float(cells) => {
+            let mut s = ColumnSketch::numeric(name);
+            for cell in &cells[range] {
+                s.push_num(*cell);
+            }
+            s
+        }
+        Column::Bool(cells) => {
+            let mut s = ColumnSketch::numeric(name);
+            for cell in &cells[range] {
+                s.push_num(cell.map(|v| if v { 1.0 } else { 0.0 }));
+            }
+            s
+        }
+        Column::Str(cells) => {
+            let mut s = ColumnSketch::categorical(name);
+            for cell in &cells[range] {
+                s.push_str(cell.as_deref());
+            }
+            s
+        }
     }
 }
 
@@ -147,6 +260,89 @@ mod tests {
         let t = Table::builder().str("s", values).build().unwrap();
         let p = t.describe_column("s").unwrap();
         assert!(p.categories.is_none());
+        // The overflow is explicit, not conflated with "not a string column".
+        assert!(p.distinct_overflow);
+        let below_cap = t.head(DISTINCT_CAP).describe_column("s").unwrap();
+        assert!(!below_cap.distinct_overflow);
+        assert_eq!(
+            below_cap.categories.as_ref().map(Vec::len),
+            Some(DISTINCT_CAP)
+        );
+        let numeric = demo().describe_column("x").unwrap();
+        assert!(!numeric.distinct_overflow);
+    }
+
+    #[test]
+    fn sketch_quantiles_match_exact_on_small_columns() {
+        // Below the sketch's compaction threshold the quantiles are exact:
+        // nearest-rank order statistics of the sorted column.
+        let values: Vec<f64> = (1..=100).map(f64::from).collect();
+        let t = Table::builder().float("v", values).build().unwrap();
+        let p = t.describe_column("v").unwrap();
+        assert_eq!(p.p50, Some(50.0));
+        assert_eq!(p.p95, Some(95.0));
+        assert_eq!(p.p99, Some(99.0));
+        // Non-numeric and all-null columns stay None.
+        let cat = demo().describe_column("cat").unwrap();
+        assert_eq!(cat.p50, None);
+        let t = Table::builder().float("v", [None::<f64>]).build().unwrap();
+        assert_eq!(t.describe_column("v").unwrap().p95, None);
+    }
+
+    #[test]
+    fn quality_profile_covers_all_column_types() {
+        let t = demo();
+        let profile = t.quality_profile();
+        assert_eq!(profile.rows, 4);
+        assert_eq!(profile.columns.len(), 3);
+        let x = profile.column("x").unwrap();
+        assert_eq!(x.count, 4);
+        assert_eq!(x.nulls, 1);
+        assert_eq!(x.moments.min, Some(1.0));
+        assert_eq!(x.moments.max, Some(5.0));
+        let cat = profile.column("cat").unwrap();
+        assert_eq!(cat.kind, nde_quality::ColumnKind::Categorical);
+        assert_eq!(cat.nulls, 1);
+        assert_eq!(cat.heavy.top()[0].0, "a");
+    }
+
+    #[test]
+    fn quality_profile_identical_for_any_worker_count() {
+        let values: Vec<Option<f64>> = (0..10_000)
+            .map(|i| {
+                if i % 13 == 0 {
+                    None
+                } else {
+                    Some(((i * 2654435761u64 % 997) as f64) / 10.0)
+                }
+            })
+            .collect();
+        let labels: Vec<Option<String>> =
+            (0..10_000).map(|i| Some(format!("c{}", i % 23))).collect();
+        let t = Table::builder()
+            .float("v", values)
+            .str_opt("label", labels)
+            .build()
+            .unwrap();
+        // Small chunks force many shard merges; the merged bits must not
+        // depend on how many workers did the sharding.
+        let baseline = t.quality_profile_sharded(1, 257);
+        for workers in [2, 3, 8] {
+            assert_eq!(t.quality_profile_sharded(workers, 257), baseline);
+        }
+        assert_eq!(baseline.rows, 10_000);
+    }
+
+    #[test]
+    fn quality_profile_of_empty_table_keeps_column_skeletons() {
+        let t = Table::builder()
+            .float("x", Vec::<f64>::new())
+            .build()
+            .unwrap();
+        let profile = t.quality_profile();
+        assert_eq!(profile.rows, 0);
+        assert_eq!(profile.columns.len(), 1);
+        assert_eq!(profile.columns[0].name, "x");
     }
 
     #[test]

@@ -130,6 +130,30 @@ proptest! {
         }
     }
 
+    /// Sharded quality profiling is worker-count invariant: for any
+    /// table, chunk length, and worker count, the in-order shard merge
+    /// yields a profile bit-identical to the single-worker run (same
+    /// chunk boundaries, so the merged sketch state cannot differ).
+    #[test]
+    fn quality_profile_is_worker_count_invariant(
+        rows in prop::collection::vec(
+            (prop::option::of(-1e4f64..1e4), prop::option::of("[a-e]{0,3}")),
+            0..300,
+        ),
+        chunk_len in 1usize..64,
+        workers in 2usize..9,
+    ) {
+        let table = Table::builder()
+            .float("x", rows.iter().map(|(x, _)| *x).collect::<Vec<_>>())
+            .str_opt("s", rows.iter().map(|(_, s)| s.clone()).collect::<Vec<_>>())
+            .build()
+            .unwrap();
+        let reference = table.quality_profile_sharded(1, chunk_len);
+        let candidate = table.quality_profile_sharded(workers, chunk_len);
+        prop_assert_eq!(&candidate, &reference);
+        prop_assert_eq!(candidate.to_json(), reference.to_json(), "bit-identical serialized state");
+    }
+
     /// group_by COUNT sums to the number of rows.
     #[test]
     fn group_counts_sum_to_rows(table in arb_key_table(40)) {

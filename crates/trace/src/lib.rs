@@ -68,5 +68,7 @@ mod span;
 pub use metrics::{
     counter, counter_value, gauge, histogram, Counter, Gauge, Histogram, HistogramSnapshot,
 };
-pub use sink::{active_sink, configure, enabled, flush, render_report, report, reset, Sink};
+pub use sink::{
+    active_sink, configure, emit_record, enabled, flush, render_report, report, reset, Sink,
+};
 pub use span::{span, span_stats, FieldValue, Span};

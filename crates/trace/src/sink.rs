@@ -127,6 +127,19 @@ pub(crate) fn write_json_line(line: &str) {
     }
 }
 
+/// Appends one pre-rendered JSON object as a record line to the JSON
+/// sink, for sibling observability layers (e.g. `nde-quality` profile
+/// records) that want their records interleaved with spans in the same
+/// trajectory file. Does nothing unless the JSON sink is active. The
+/// caller is responsible for `line` being one valid, newline-free JSON
+/// object with a `"type"` field ([`crate::analyze`] skips unknown types,
+/// so new record kinds are forward-compatible).
+pub fn emit_record(line: &str) {
+    if active_sink() == Sink::Json {
+        write_json_line(line);
+    }
+}
+
 /// Flushes the JSON-lines writer (no-op for the other sinks). [`report`]
 /// flushes implicitly; call this directly when tailing the file live.
 pub fn flush() {

@@ -9,5 +9,6 @@ pub use nde_datagen as datagen;
 pub use nde_importance as importance;
 pub use nde_learners as learners;
 pub use nde_pipeline as pipeline;
+pub use nde_quality as quality;
 pub use nde_tabular as tabular;
 pub use nde_uncertain as uncertain;

@@ -86,6 +86,40 @@ fn banzhaf_msr_is_thread_count_invariant() {
     }
 }
 
+/// Data-quality profiling shares the deterministic-parallel contract:
+/// the sharded profile of a realistic mixed-type table (floats with
+/// injected nulls, strings, ints, bools) must be bit-identical for any
+/// worker count at fixed chunk boundaries. Explicit worker counts are
+/// passed instead of mutating `NDE_THREADS` (environment mutation is
+/// process-global and owned by the test below).
+#[test]
+fn quality_profile_is_thread_count_invariant() {
+    let s = HiringScenario::generate(&HiringConfig {
+        n_train: 300,
+        n_valid: 0,
+        n_test: 0,
+        ..Default::default()
+    });
+    let (table, _) = inject_missing(&s.train, "employer_rating", 0.2, Mechanism::Mcar, 11).unwrap();
+    // A small odd chunk length forces many shards (and sketch
+    // compactions during the merge fold) even on a 300-row table.
+    for chunk_len in [57, nde_tabular::profile::QUALITY_PROFILE_CHUNK_LEN] {
+        let reference = table.quality_profile_sharded(1, chunk_len);
+        for threads in THREADS {
+            let candidate = table.quality_profile_sharded(threads, chunk_len);
+            assert_eq!(
+                candidate, reference,
+                "quality profile differs at {threads} workers (chunk_len {chunk_len})"
+            );
+            assert_eq!(
+                candidate.to_json(),
+                reference.to_json(),
+                "serialized sketch state differs at {threads} workers"
+            );
+        }
+    }
+}
+
 /// The env-driven entry points ([`certain_fraction`], the challenge
 /// leaderboard) take their worker count from `NDE_THREADS`. Exercised in a
 /// single test because environment mutation is process-global.
